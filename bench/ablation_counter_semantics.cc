@@ -1,0 +1,77 @@
+// Ablation: what do bus counters actually count?
+//
+// The paper reports one measurement its authors could not explain: two
+// co-scheduled Raytrace instances yield a cumulative 34.89 transactions/µs,
+// ABOVE the STREAM-sustainable 29.5 ("It has not been possible to reproduce
+// this behavior with any other application or synthetic microbenchmark. We
+// are currently investigating this issue in cooperation with Intel.").
+//
+// Data cannot move faster than the bus; *bus events* can. P4/Xeon bus
+// counters tally IOQ allocations — including retried and deferred
+// transactions — so a saturated, demanding workload can legitimately count
+// more events than completed 64-byte transfers. This bench contrasts the
+// two semantics on the Fig.-1 dual-instance set: "granted" (data actually
+// moved, capped by capacity) vs "attempts" (demand side, what this repo's
+// manager samples). The attempts column reproduces above-capacity readings
+// for exactly the high-bandwidth codes, Raytrace included.
+//
+// Usage: ablation_counter_semantics [--fast] [--csv]
+#include <iostream>
+
+#include "experiments/cli.h"
+#include "experiments/runner.h"
+#include "stats/table.h"
+#include "workload/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace bbsched;
+  const auto opt = experiments::parse_cli(argc, argv);
+
+  experiments::ExperimentConfig cfg;
+  cfg.time_scale = opt.time_scale;
+  cfg.engine.seed = opt.seed;
+  cfg.engine.os_noise_interval_us = 0;  // clean Fig.-1-style measurement
+
+  stats::Table table(
+      "Counter semantics on the 2-instance set: data moved vs bus events");
+  table.set_header({"app", "granted (trans/us)", "attempts (trans/us)",
+                    "attempts > capacity?"});
+
+  for (const auto& app : workload::paper_applications()) {
+    if (!opt.app.empty() && opt.app != app.name) continue;
+    const auto w = workload::fig1_dual(app, cfg.machine.bus);
+    sim::Engine eng(cfg.machine, cfg.engine,
+                    experiments::make_scheduler(
+                        experiments::SchedulerKind::kPinned, cfg));
+    for (auto spec : w.jobs) {
+      if (!spec.infinite()) spec.work_us *= cfg.time_scale;
+      eng.add_job(spec);
+    }
+    eng.run();
+
+    double granted = 0.0;
+    double attempts = 0.0;
+    for (const auto& job : eng.machine().jobs()) {
+      granted += eng.machine().job_bus_transactions(job);
+      attempts += eng.machine().job_bus_attempts(job);
+    }
+    const double elapsed = static_cast<double>(eng.now());
+    const double granted_rate = granted / elapsed;
+    const double attempts_rate = attempts / elapsed;
+    table.add_row({app.name, stats::Table::num(granted_rate),
+                   stats::Table::num(attempts_rate),
+                   attempts_rate > cfg.machine.bus.capacity_tps ? "YES"
+                                                                : "no"});
+  }
+  table.render(std::cout);
+  if (opt.csv) {
+    std::cout << '\n';
+    table.render_csv(std::cout);
+  }
+  std::cout << "\nPaper's anomaly: 2x Raytrace measured 34.89 trans/us "
+               "against a 29.5 sustainable\nlimit. Attempt-counting "
+               "reproduces above-capacity readings for the saturated\n"
+               "high-bandwidth codes; completed transfers never exceed "
+               "capacity.\n";
+  return 0;
+}

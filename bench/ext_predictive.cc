@@ -1,0 +1,68 @@
+// Extension (paper §6 future work): model-driven scheduling.
+//
+// Compares the Eq.-1 fitness policies against two model-driven elections
+// that predict contention with an offline-fitted analytic bus model
+// (core/predictor.h) and optimize over candidate gangs:
+//   predictive-throughput — maximize predicted aggregate progress,
+//   predictive-fair       — maximize the slowest thread's speed (may leave
+//                           processors idle rather than saturate the bus).
+//
+// Usage: ext_predictive [--fast] [--csv] [--app=NAME]
+#include <iostream>
+
+#include "experiments/cli.h"
+#include "experiments/fig2.h"
+#include "stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace bbsched;
+  const auto opt = experiments::parse_cli(argc, argv);
+
+  experiments::ExperimentConfig cfg;
+  cfg.time_scale = opt.time_scale;
+  cfg.engine.seed = opt.seed;
+
+  std::vector<std::string> names = {"Water-nsqr", "LU-CB", "SP", "CG"};
+  if (!opt.app.empty()) names = {opt.app};
+
+  for (auto set : {experiments::Fig2Set::kSaturated,
+                   experiments::Fig2Set::kIdleBus,
+                   experiments::Fig2Set::kMixed}) {
+    stats::Table table(std::string("Model-driven vs Eq. 1 — ") +
+                       experiments::to_string(set) +
+                       " (improvement vs Linux)");
+    table.set_header({"app", "window (Eq. 1)", "pred-throughput",
+                      "pred-fair"});
+    for (const auto& name : names) {
+      const auto& app = workload::paper_application(name);
+      const auto w =
+          experiments::make_fig2_workload(set, app, cfg.machine.bus);
+      const auto linux_run =
+          run_workload(w, experiments::SchedulerKind::kLinux, cfg);
+      auto improvement = [&](experiments::SchedulerKind kind) {
+        const auto run = run_workload(w, kind, cfg);
+        return 100.0 *
+               (linux_run.measured_mean_turnaround_us -
+                run.measured_mean_turnaround_us) /
+               linux_run.measured_mean_turnaround_us;
+      };
+      table.add_row(
+          {name,
+           stats::Table::pct(
+               improvement(experiments::SchedulerKind::kQuantaWindow)),
+           stats::Table::pct(improvement(
+               experiments::SchedulerKind::kPredictiveThroughput)),
+           stats::Table::pct(
+               improvement(experiments::SchedulerKind::kPredictiveFair))});
+    }
+    table.render(std::cout);
+    if (opt.csv) table.render_csv(std::cout);
+    std::cout << '\n';
+  }
+  std::cout
+      << "predictive-fair may leave processors idle instead of saturating "
+         "the bus,\nwhich Eq. 1 structurally never does — the comparison "
+         "quantifies what the paper's\nproposed model-driven reformulation "
+         "could buy.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Multi-seed version of the Fig.-2 headline numbers: every improvement is
+// reported as mean ± 95% CI over independent seeds (OS-noise phases, Linux
+// slice jitter and burst patterns all vary). The paper reports single
+// measurements; this bench shows how sensitive each number is.
+//
+// Usage: fig2_sweep [--fast] [--csv] [--app=NAME] [--seeds=N]   (default 5)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "experiments/cli.h"
+#include "experiments/fig2.h"
+#include "experiments/sweep.h"
+#include "stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace bbsched;
+  const auto opt = experiments::parse_cli(argc, argv);
+  int seeds = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seeds=", 0) == 0) seeds = std::atoi(arg.c_str() + 8);
+  }
+
+  experiments::ExperimentConfig cfg;
+  cfg.time_scale = opt.time_scale;
+  cfg.engine.seed = opt.seed;
+
+  std::vector<std::string> names = {"Radiosity", "LU-CB", "SP", "CG"};
+  if (!opt.app.empty()) names = {opt.app};
+
+  auto fmt = [](const experiments::ImprovementStats& s) {
+    return stats::Table::pct(s.mean_pct) + " ± " +
+           stats::Table::num(s.ci95_pct, 1);
+  };
+
+  for (auto set : {experiments::Fig2Set::kSaturated,
+                   experiments::Fig2Set::kIdleBus,
+                   experiments::Fig2Set::kMixed}) {
+    stats::Table table(std::string("Fig 2 sweep (") + std::to_string(seeds) +
+                       " seeds) — " + experiments::to_string(set));
+    table.set_header({"app", "Latest (mean ± ci95)", "Window (mean ± ci95)",
+                      "Window range"});
+    for (const auto& name : names) {
+      const auto& app = workload::paper_application(name);
+      const auto w =
+          experiments::make_fig2_workload(set, app, cfg.machine.bus);
+      const auto latest = experiments::sweep_improvement(
+          w, experiments::SchedulerKind::kLatestQuantum,
+          experiments::SchedulerKind::kLinux, cfg, seeds);
+      const auto window = experiments::sweep_improvement(
+          w, experiments::SchedulerKind::kQuantaWindow,
+          experiments::SchedulerKind::kLinux, cfg, seeds);
+      table.add_row({name, fmt(latest), fmt(window),
+                     "[" + stats::Table::pct(window.min_pct) + ", " +
+                         stats::Table::pct(window.max_pct) + "]"});
+    }
+    table.render(std::cout);
+    if (opt.csv) table.render_csv(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

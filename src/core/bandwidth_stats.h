@@ -1,0 +1,84 @@
+// Per-application bus-bandwidth bookkeeping for the CPU manager.
+//
+// Applications post cumulative bus-transaction counts to the manager twice
+// per scheduling quantum (paper §4: "the bus transaction rate is updated
+// twice per scheduling quantum ... the performance counters of all
+// application threads are polled, their values are accumulated and the
+// result is written to the shared arena"). At the end of each quantum the
+// manager folds the quantum's transactions into a per-thread rate:
+//
+//     BBW/thread = (transactions in quantum) / quantum / nthreads
+//
+// 'Latest Quantum' consumes the most recent quantum's value; 'Quanta Window'
+// consumes the arithmetic mean of a window of previous values (default 5
+// samples, the paper's choice).
+#pragma once
+
+#include <cstddef>
+
+#include "stats/moving_window.h"
+
+namespace bbsched::core {
+
+class BandwidthTracker {
+ public:
+  explicit BandwidthTracker(int nthreads, std::size_t window_len = 5,
+                            double ewma_alpha = 0.33)
+      : nthreads_(nthreads), window_(window_len), ewma_(ewma_alpha) {}
+
+  /// Accumulates one intra-quantum sample: `delta_transactions` issued by
+  /// all of the application's threads over the last sampling interval.
+  void record_sample(double delta_transactions) {
+    pending_transactions_ += delta_transactions;
+  }
+
+  /// Folds the pending transactions into a per-thread rate for a quantum of
+  /// `quantum_us` microseconds. Call only for applications that ran during
+  /// the quantum (the paper updates "all running jobs").
+  void end_quantum(double quantum_us) {
+    const double rate =
+        pending_transactions_ / quantum_us / static_cast<double>(nthreads_);
+    pending_transactions_ = 0.0;
+    latest_ = rate;
+    has_latest_ = true;
+    window_.push(rate);
+    ewma_.push(rate);
+  }
+
+  /// BBW/thread from the latest quantum (Eq. 1). Applications that have
+  /// never run report 0 — they are assumed bandwidth-free until observed,
+  /// which also makes them attractive co-runners on a loaded bus, giving
+  /// every new job a quick first run (no starvation of newcomers).
+  [[nodiscard]] double latest_per_thread() const noexcept {
+    return has_latest_ ? latest_ : 0.0;
+  }
+
+  /// Mean BBW/thread over the window of previous quanta (Eq. 2).
+  [[nodiscard]] double window_per_thread() const noexcept {
+    return window_.mean();
+  }
+
+  /// Exponentially weighted BBW/thread (§4's wider-window technique).
+  [[nodiscard]] double ewma_per_thread() const noexcept {
+    return ewma_.mean();
+  }
+
+  [[nodiscard]] int nthreads() const noexcept { return nthreads_; }
+  [[nodiscard]] bool observed() const noexcept { return has_latest_; }
+  [[nodiscard]] std::size_t window_fill() const noexcept {
+    return window_.size();
+  }
+  [[nodiscard]] double pending() const noexcept {
+    return pending_transactions_;
+  }
+
+ private:
+  int nthreads_;
+  double pending_transactions_ = 0.0;
+  double latest_ = 0.0;
+  bool has_latest_ = false;
+  stats::MovingWindow window_;
+  stats::ExponentialAverage ewma_;
+};
+
+}  // namespace bbsched::core

@@ -1,0 +1,93 @@
+#include "core/cpu_manager.h"
+
+#include <algorithm>
+
+namespace bbsched::core {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLatestQuantum: return "latest-quantum";
+    case PolicyKind::kQuantaWindow: return "quanta-window";
+    case PolicyKind::kExponential: return "ewma";
+  }
+  return "unknown";
+}
+
+int CpuManager::connect(const std::string& name, int nthreads) {
+  assert(nthreads >= 1);
+  const int id = next_id_++;
+  apps_.emplace(id, ManagedApp(id, name, nthreads, cfg_.window_len,
+                               cfg_.ewma_alpha));
+  order_.push_back(id);
+  return id;
+}
+
+void CpuManager::disconnect(int app_id) {
+  apps_.erase(app_id);
+  order_.remove(app_id);
+  running_.erase(std::remove(running_.begin(), running_.end(), app_id),
+                 running_.end());
+}
+
+void CpuManager::record_sample(int app_id, double delta_transactions) {
+  auto it = apps_.find(app_id);
+  if (it == apps_.end()) return;  // app disconnected between sample and post
+  it->second.tracker.record_sample(delta_transactions);
+}
+
+double CpuManager::policy_estimate(int app_id) const {
+  const ManagedApp& app = apps_.at(app_id);
+  if (!app.tracker.observed()) return cfg_.initial_estimate_tps;
+  switch (cfg_.policy) {
+    case PolicyKind::kLatestQuantum:
+      return app.tracker.latest_per_thread();
+    case PolicyKind::kQuantaWindow:
+      return app.tracker.window_per_thread();
+    case PolicyKind::kExponential:
+      return app.tracker.ewma_per_thread();
+  }
+  return 0.0;
+}
+
+ElectionResult CpuManager::schedule_quantum(int nprocs) {
+  const double quantum = static_cast<double>(cfg_.quantum_us);
+
+  // (1) Update statistics of the jobs that ran during the ending quantum.
+  for (int id : running_) {
+    auto it = apps_.find(id);
+    if (it != apps_.end()) it->second.tracker.end_quantum(quantum);
+  }
+
+  // (2) Move previously running jobs to the end of the list, preserving
+  // their relative order.
+  for (int id : running_) {
+    auto pos = std::find(order_.begin(), order_.end(), id);
+    if (pos != order_.end()) {
+      order_.erase(pos);
+      order_.push_back(id);
+    }
+  }
+
+  // (3) Elect the next gang.
+  std::vector<Candidate> candidates;
+  candidates.reserve(order_.size());
+  for (int id : order_) {
+    const ManagedApp& app = apps_.at(id);
+    candidates.push_back({id, app.nthreads, policy_estimate(id)});
+  }
+  ElectionResult result =
+      cfg_.use_predictive
+          ? elect_predictive(candidates, nprocs, cfg_.predictor,
+                             cfg_.predictive_objective)
+          : elect(candidates, nprocs, cfg_.total_bus_bw_tps,
+                  cfg_.election_rule);
+
+  running_ = result.elected;
+  for (auto& [id, app] : apps_) {
+    app.ran_last_quantum =
+        std::find(running_.begin(), running_.end(), id) != running_.end();
+  }
+  return result;
+}
+
+}  // namespace bbsched::core

@@ -1,0 +1,145 @@
+// The user-level CPU manager (paper §4), transport-agnostic.
+//
+// The manager keeps connected applications in a circular list, accumulates
+// their bus-transaction samples (delivered twice per quantum through the
+// shared arena in the real system, or read from simulated counters), and at
+// every quantum boundary (1) updates the statistics of the jobs that ran,
+// (2) moves them to the end of the list, and (3) elects the next quantum's
+// gang via the fitness metric. The same class drives both the simulator
+// adapter (core::ManagedScheduler) and the native runtime
+// (runtime::ManagerServer) — only the sampling and block/unblock transports
+// differ.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bandwidth_stats.h"
+#include "core/election.h"
+#include "core/predictor.h"
+#include "sim/time.h"
+
+namespace bbsched::core {
+
+/// Which BBW/thread estimate the election consumes.
+enum class PolicyKind {
+  kLatestQuantum,  ///< Eq. 1: latest quantum's rate
+  kQuantaWindow,   ///< Eq. 2: moving-window average
+  /// Exponentially weighted average — §4's suggested technique for widening
+  /// the effective window without losing responsiveness ("exponential
+  /// reduction of the weight of older samples").
+  kExponential,
+};
+
+[[nodiscard]] const char* to_string(PolicyKind kind);
+
+struct ManagerConfig {
+  PolicyKind policy = PolicyKind::kQuantaWindow;
+
+  /// Scheduling quantum (paper: 200 ms — twice the Linux quantum, which
+  /// avoids conflicting user/kernel-level decisions).
+  sim::SimTime quantum_us = 200 * sim::kUsPerMs;
+
+  /// Bandwidth samples collected per quantum (paper: 2).
+  int samples_per_quantum = 2;
+
+  /// Moving-window length in quanta for kQuantaWindow (paper: 5).
+  std::size_t window_len = 5;
+
+  /// Newest-sample weight for kExponential, in (0, 1]. 0.33 gives an
+  /// effective memory of ~5 quanta (2/alpha - 1), matching the paper's
+  /// window at equal responsiveness-smoothing tradeoff.
+  double ewma_alpha = 0.33;
+
+  /// Total schedulable bus bandwidth in transactions/µs (paper: the
+  /// sustained STREAM rate, 29.5).
+  double total_bus_bw_tps = 29.5;
+
+  /// Post-head candidate selection rule (kFitness = the paper's Eq. 1;
+  /// alternatives exist for the design ablation).
+  ElectionRule election_rule = ElectionRule::kFitness;
+
+  /// When true, elections use the model-driven algorithm (predictor.h, the
+  /// paper's §6 future work) instead of the Eq.-1 traversal.
+  bool use_predictive = false;
+  PredictorConfig predictor{};
+  PredictiveObjective predictive_objective =
+      PredictiveObjective::kMaxThroughput;
+
+  /// BBW/thread assumed for applications that have never been observed
+  /// running. The fair bandwidth share per processor is the neutral choice:
+  /// a fresh job is neither an attractive low-bandwidth co-runner nor a
+  /// bus hog until it has been measured. (With 0 instead, a loaded-bus
+  /// election would stampede onto every newcomer.)
+  double initial_estimate_tps = 29.5 / 4.0;
+};
+
+/// Connected-application record.
+struct ManagedApp {
+  int id = -1;
+  std::string name;
+  int nthreads = 1;
+  BandwidthTracker tracker;
+  bool ran_last_quantum = false;
+
+  ManagedApp(int id_, std::string name_, int nthreads_, std::size_t window,
+             double ewma_alpha = 0.33)
+      : id(id_), name(std::move(name_)), nthreads(nthreads_),
+        tracker(nthreads_, window, ewma_alpha) {}
+};
+
+class CpuManager {
+ public:
+  explicit CpuManager(const ManagerConfig& cfg) : cfg_(cfg) {}
+
+  /// Registers an application (the paper's 'connection' message). Returns
+  /// the manager-assigned app id. New applications join the list tail.
+  int connect(const std::string& name, int nthreads);
+
+  /// Removes an application (job completion / 'disconnection' message).
+  void disconnect(int app_id);
+
+  /// Posts a bus-transaction sample for a *running* application:
+  /// `delta_transactions` accumulated across its threads since the last
+  /// sample (the shared-arena update).
+  void record_sample(int app_id, double delta_transactions);
+
+  /// Ends the current quantum and elects the next gang:
+  ///  * folds pending samples of the apps that ran into their trackers,
+  ///  * moves previously running apps to the end of the list,
+  ///  * runs the fitness election for `nprocs` processors.
+  /// Returns elected app ids (allocation order).
+  ElectionResult schedule_quantum(int nprocs);
+
+  /// BBW/thread estimate the active policy would use right now.
+  [[nodiscard]] double policy_estimate(int app_id) const;
+
+  [[nodiscard]] const ManagerConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t app_count() const noexcept { return apps_.size(); }
+  [[nodiscard]] bool connected(int app_id) const {
+    return apps_.contains(app_id);
+  }
+  [[nodiscard]] const ManagedApp& app(int app_id) const {
+    return apps_.at(app_id);
+  }
+  /// Applications-list order (head first); exposed for tests.
+  [[nodiscard]] const std::list<int>& order() const noexcept { return order_; }
+  /// Apps elected by the most recent schedule_quantum().
+  [[nodiscard]] const std::vector<int>& running() const noexcept {
+    return running_;
+  }
+
+ private:
+  ManagerConfig cfg_;
+  std::unordered_map<int, ManagedApp> apps_;
+  std::list<int> order_;       ///< circular applications list (head = front)
+  std::vector<int> running_;   ///< elected in the current quantum
+  int next_id_ = 0;
+};
+
+}  // namespace bbsched::core

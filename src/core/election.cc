@@ -1,0 +1,78 @@
+#include "core/election.h"
+
+#include <cassert>
+
+namespace bbsched::core {
+
+const char* to_string(ElectionRule rule) {
+  switch (rule) {
+    case ElectionRule::kFitness: return "fitness";
+    case ElectionRule::kFirstFit: return "first-fit";
+    case ElectionRule::kLowestFirst: return "lowest-first";
+    case ElectionRule::kHighestFirst: return "highest-first";
+  }
+  return "unknown";
+}
+
+ElectionResult elect(const std::vector<Candidate>& candidates, int nprocs,
+                     double total_bus_bw, ElectionRule rule) {
+  assert(nprocs >= 0);
+  ElectionResult out;
+  out.idle_procs = nprocs;
+
+  std::vector<bool> taken(candidates.size(), false);
+
+  auto allocate = [&](std::size_t idx) {
+    const Candidate& c = candidates[idx];
+    taken[idx] = true;
+    out.elected.push_back(c.app_id);
+    out.idle_procs -= c.nthreads;
+    out.allocated_bw += c.bbw_per_thread * static_cast<double>(c.nthreads);
+  };
+
+  // Step 1: head-of-list default allocation (starvation freedom). The head
+  // is the first application that fits at all.
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].nthreads <= out.idle_procs) {
+      allocate(i);
+      break;
+    }
+  }
+
+  // Step 2: repeated full-list traversals, allocating the best candidate
+  // under the active rule each time, until no candidate fits.
+  while (out.idle_procs > 0) {
+    const double abbw =
+        abbw_per_proc(total_bus_bw, out.allocated_bw, out.idle_procs);
+    double best_score = -1.0;
+    std::size_t best_idx = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i] || candidates[i].nthreads > out.idle_procs) continue;
+      double score = 0.0;
+      switch (rule) {
+        case ElectionRule::kFitness:
+          score = fitness(abbw, candidates[i].bbw_per_thread);
+          break;
+        case ElectionRule::kFirstFit:
+          score = 1.0;  // strict '>' keeps the first fitting candidate
+          break;
+        case ElectionRule::kLowestFirst:
+          score = 1.0 / (1.0 + candidates[i].bbw_per_thread);
+          break;
+        case ElectionRule::kHighestFirst:
+          score = candidates[i].bbw_per_thread;
+          break;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best_idx = i;
+      }
+    }
+    if (best_idx == candidates.size()) break;  // nothing fits
+    allocate(best_idx);
+  }
+
+  return out;
+}
+
+}  // namespace bbsched::core

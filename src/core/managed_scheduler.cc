@@ -1,0 +1,210 @@
+#include "core/managed_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bbsched::core {
+
+using sim::Cpu;
+using sim::Machine;
+using sim::SimTime;
+using sim::ThreadState;
+
+void ManagedScheduler::start(Machine& m, trace::ScheduleTrace& trace) {
+  for (const auto& job : m.jobs()) {
+    const int app = manager_.connect(job.spec.name, job.spec.nthreads);
+    job_to_app_[job.id] = app;
+    app_to_job_[app] = job.id;
+    last_read_[app] = 0.0;
+  }
+  quantum_start_ = 0;
+  samples_taken_ = 0;
+  run_election(m, 0, trace);
+}
+
+double ManagedScheduler::read_counters(const Machine& m, int job_id) const {
+  const sim::Job& job = m.job(job_id);
+  return cfg_.sample_attempts ? m.job_bus_attempts(job)
+                              : m.job_bus_transactions(job);
+}
+
+void ManagedScheduler::take_sample(Machine& m, SimTime now,
+                                   trace::ScheduleTrace& trace) {
+  for (int app : manager_.running()) {
+    auto jit = app_to_job_.find(app);
+    if (jit == app_to_job_.end()) continue;
+    const double cum = read_counters(m, jit->second);
+    const double delta = cum - last_read_[app];
+    last_read_[app] = cum;
+    manager_.record_sample(app, delta);
+    trace.event({now, trace::EventKind::kSample, jit->second, -1, -1, delta});
+  }
+}
+
+void ManagedScheduler::run_election(Machine& m, SimTime now,
+                                    trace::ScheduleTrace& trace) {
+  const ElectionResult result = manager_.schedule_quantum(m.num_cpus());
+  ++elections_;
+  quantum_start_ = now;
+  samples_taken_ = 0;
+  busy_until_ = now + overhead_us();
+
+  trace.event({now, trace::EventKind::kQuantumStart, -1, -1, -1,
+               static_cast<double>(elections_)});
+  for (int app : result.elected) {
+    auto jit = app_to_job_.find(app);
+    if (jit != app_to_job_.end()) {
+      trace.event({now, trace::EventKind::kElection, jit->second, -1, -1,
+                   manager_.policy_estimate(app)});
+    }
+  }
+
+  // Reset counter baselines for the newly elected apps so the first sample
+  // of the quantum does not include transactions from earlier quanta.
+  for (int app : result.elected) {
+    auto jit = app_to_job_.find(app);
+    if (jit != app_to_job_.end()) {
+      last_read_[app] = read_counters(m, jit->second);
+    }
+  }
+
+  // A fresh gang means fresh placements.
+  m.vacate_all();
+  apply_block_states(m, trace, now);
+}
+
+void ManagedScheduler::apply_block_states(Machine& m,
+                                          trace::ScheduleTrace& trace,
+                                          SimTime now) {
+  const auto& running = manager_.running();
+  for (const auto& job : m.jobs()) {
+    if (job.completed) continue;
+    auto ait = job_to_app_.find(job.id);
+    if (ait == job_to_app_.end()) continue;
+    const bool elected = std::find(running.begin(), running.end(),
+                                   ait->second) != running.end();
+    for (int tid : job.thread_ids) {
+      auto& t = m.thread(tid);
+      if (elected && t.state == ThreadState::kManagerBlocked) {
+        t.state = ThreadState::kReady;
+        trace.event({now, trace::EventKind::kUnblock, job.id, tid, -1, 0.0});
+      } else if (!elected && t.state == ThreadState::kReady) {
+        t.state = ThreadState::kManagerBlocked;
+        trace.event({now, trace::EventKind::kBlock, job.id, tid, -1, 0.0});
+      }
+    }
+  }
+}
+
+void ManagedScheduler::place_elected(Machine& m) {
+  // Two passes: first honour affinity (thread's previous CPU if free), then
+  // fill remaining threads onto remaining CPUs.
+  std::vector<int> pending;
+  for (int app : manager_.running()) {
+    auto jit = app_to_job_.find(app);
+    if (jit == app_to_job_.end()) continue;
+    for (int tid : m.job(jit->second).thread_ids) {
+      auto& t = m.thread(tid);
+      if (t.state != ThreadState::kReady) continue;
+      if (m.cpu_of(tid) != -1) continue;  // already placed
+      if (t.last_cpu != -1 &&
+          m.cpus()[static_cast<std::size_t>(t.last_cpu)].thread == Cpu::kIdle) {
+        m.place(t.last_cpu, tid);
+      } else {
+        pending.push_back(tid);
+      }
+    }
+  }
+  for (int tid : pending) {
+    // Prefer a context on the least-occupied core: under SMT this spreads
+    // the gang across physical cores before doubling contexts up
+    // (symbiosis-aware placement; a no-op when threads_per_core == 1).
+    const auto& cfg = m.config();
+    int best_cpu = -1;
+    int best_load = cfg.threads_per_core + 1;
+    for (std::size_t c = 0; c < m.cpus().size(); ++c) {
+      if (m.cpus()[c].thread != Cpu::kIdle) continue;
+      const int core = cfg.core_of(static_cast<int>(c));
+      int load = 0;
+      for (int cc = core * cfg.threads_per_core;
+           cc < (core + 1) * cfg.threads_per_core; ++cc) {
+        if (m.cpus()[static_cast<std::size_t>(cc)].thread != Cpu::kIdle) {
+          ++load;
+        }
+      }
+      if (load < best_load) {
+        best_load = load;
+        best_cpu = static_cast<int>(c);
+      }
+    }
+    if (best_cpu >= 0) m.place(best_cpu, tid);
+  }
+}
+
+void ManagedScheduler::handle_completions(Machine& m, SimTime now,
+                                          trace::ScheduleTrace& trace) {
+  bool disconnected = false;
+  for (const auto& job : m.jobs()) {
+    if (!job.completed) continue;
+    auto ait = job_to_app_.find(job.id);
+    if (ait == job_to_app_.end()) continue;
+    manager_.disconnect(ait->second);
+    app_to_job_.erase(ait->second);
+    last_read_.erase(ait->second);
+    job_to_app_.erase(job.id);
+    disconnected = true;
+  }
+  if (disconnected && cfg_.reelect_on_disconnect &&
+      manager_.app_count() > 0) {
+    run_election(m, now, trace);
+  }
+}
+
+void ManagedScheduler::tick(Machine& m, SimTime now,
+                            trace::ScheduleTrace& trace) {
+  // Open-system arrivals: late jobs send their 'connection' message and
+  // join the applications list; they wait (manager-blocked) until the next
+  // election considers them.
+  for (const auto& job : m.jobs()) {
+    if (job.completed || job_to_app_.contains(job.id)) continue;
+    const int app = manager_.connect(job.spec.name, job.spec.nthreads);
+    job_to_app_[job.id] = app;
+    app_to_job_[app] = job.id;
+    last_read_[app] = read_counters(m, job.id);
+  }
+
+  handle_completions(m, now, trace);
+  if (manager_.app_count() == 0) return;
+
+  const SimTime quantum = cfg_.manager.quantum_us;
+  const int per_quantum = cfg_.manager.samples_per_quantum;
+
+  // Quantum boundary: take the final sample, then elect.
+  if (now >= quantum_start_ + quantum) {
+    take_sample(m, now, trace);
+    samples_taken_ = per_quantum;
+    run_election(m, now, trace);
+  } else if (per_quantum > 0) {
+    // Intra-quantum sampling points at k * quantum / samples_per_quantum.
+    const SimTime interval = quantum / static_cast<SimTime>(per_quantum);
+    while (samples_taken_ + 1 < per_quantum &&
+           now >= quantum_start_ +
+                      interval * static_cast<SimTime>(samples_taken_ + 1)) {
+      take_sample(m, now, trace);
+      ++samples_taken_;
+    }
+  }
+
+  apply_block_states(m, trace, now);
+
+  // Manager overhead: the machine does no useful work while the manager is
+  // delivering signals and traversing its lists.
+  if (now < busy_until_) {
+    m.vacate_all();
+    return;
+  }
+
+  place_elected(m);
+}
+
+}  // namespace bbsched::core

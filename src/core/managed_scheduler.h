@@ -1,0 +1,103 @@
+// Simulator adapter for the CPU manager: drives core::CpuManager from engine
+// ticks the way the real user-level manager is driven by timers and the
+// shared arena.
+//
+// Responsibilities per the paper's §4:
+//  * connect every admitted job to the manager (apps "connect" on startup),
+//  * poll the (simulated) performance counters of running applications twice
+//    per quantum and post the accumulated transactions,
+//  * at every quantum boundary run the election, block the de-scheduled
+//    applications and unblock the elected ones (block/unblock intents map
+//    to SIGUSR1/SIGUSR2 in the native runtime),
+//  * place elected threads with affinity (a thread returns to the CPU it
+//    last used whenever it is free),
+//  * charge the manager's own overhead by keeping processors idle for a
+//    configurable interval at each quantum boundary (signal delivery + list
+//    traversal + arena polling in the real system).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/cpu_manager.h"
+#include "sim/scheduler.h"
+
+namespace bbsched::core {
+
+struct ManagedSchedulerConfig {
+  ManagerConfig manager{};
+
+  /// Fixed manager cost per quantum boundary (µs of idle machine time).
+  sim::SimTime overhead_base_us = 0;
+  /// Additional cost per connected application (list traversal, signals,
+  /// counter polling).
+  sim::SimTime overhead_per_app_us = 0;
+
+  /// Re-run the election immediately when a job completes mid-quantum
+  /// (the real manager reacts to the 'disconnect' message).
+  bool reelect_on_disconnect = true;
+
+  /// Sample demand-side counters (attempted transactions, the quantity the
+  /// Xeon bus-event counters report) rather than the data actually moved.
+  /// See sim::ThreadCtx::bus_attempts.
+  bool sample_attempts = true;
+};
+
+class ManagedScheduler final : public sim::Scheduler {
+ public:
+  explicit ManagedScheduler(const ManagedSchedulerConfig& cfg)
+      : cfg_(cfg), manager_(cfg.manager) {}
+
+  void start(sim::Machine& m, trace::ScheduleTrace& trace) override;
+  void tick(sim::Machine& m, sim::SimTime now,
+            trace::ScheduleTrace& trace) override;
+
+  [[nodiscard]] const char* name() const override {
+    switch (cfg_.manager.policy) {
+      case PolicyKind::kLatestQuantum: return "manager/latest-quantum";
+      case PolicyKind::kQuantaWindow: return "manager/quanta-window";
+      case PolicyKind::kExponential: return "manager/ewma";
+    }
+    return "manager";
+  }
+
+  [[nodiscard]] CpuManager& manager() noexcept { return manager_; }
+  [[nodiscard]] const CpuManager& manager() const noexcept { return manager_; }
+
+  /// Completed gang context switches (elections applied); for tests and the
+  /// quantum-length ablation.
+  [[nodiscard]] std::uint64_t elections() const noexcept { return elections_; }
+
+ private:
+  [[nodiscard]] double read_counters(const sim::Machine& m, int job_id) const;
+  void take_sample(sim::Machine& m, sim::SimTime now,
+                   trace::ScheduleTrace& trace);
+  void run_election(sim::Machine& m, sim::SimTime now,
+                    trace::ScheduleTrace& trace);
+  void apply_block_states(sim::Machine& m, trace::ScheduleTrace& trace,
+                          sim::SimTime now);
+  void place_elected(sim::Machine& m);
+  void handle_completions(sim::Machine& m, sim::SimTime now,
+                          trace::ScheduleTrace& trace);
+
+  [[nodiscard]] sim::SimTime overhead_us() const {
+    return cfg_.overhead_base_us +
+           cfg_.overhead_per_app_us * manager_.app_count();
+  }
+
+  ManagedSchedulerConfig cfg_;
+  CpuManager manager_;
+
+  /// job id -> manager app id (identity in practice, but kept explicit).
+  std::unordered_map<int, int> job_to_app_;
+  std::unordered_map<int, int> app_to_job_;
+  /// Last cumulative transaction count read per manager app.
+  std::unordered_map<int, double> last_read_;
+
+  sim::SimTime quantum_start_ = 0;
+  int samples_taken_ = 0;
+  sim::SimTime busy_until_ = 0;  ///< manager overhead window
+  std::uint64_t elections_ = 0;
+};
+
+}  // namespace bbsched::core

@@ -1,0 +1,150 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bbsched::core {
+
+const char* to_string(PredictiveObjective objective) {
+  switch (objective) {
+    case PredictiveObjective::kMaxThroughput: return "max-throughput";
+    case PredictiveObjective::kMinSlowdown: return "min-slowdown";
+  }
+  return "unknown";
+}
+
+double ContentionPredictor::alpha(double demand_tps) const {
+  if (demand_tps <= 0.0) return 0.0;
+  const double ratio = std::min(1.0, demand_tps / cfg_.per_thread_peak_tps);
+  return std::pow(ratio, cfg_.alpha_exponent);
+}
+
+ContentionPredictor::Prediction ContentionPredictor::predict(
+    std::span<const double> demands) const {
+  Prediction out;
+  const std::size_t n = demands.size();
+  out.slowdown.assign(n, 1.0);
+  if (n == 0) return out;
+
+  double total_demand = 0.0;
+  std::vector<double> alphas(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    total_demand += demands[i];
+    alphas[i] = alpha(demands[i]);
+  }
+
+  // Same fixed point as the calibrated substrate model, but parameterised
+  // only by offline-measurable constants: solve X so granted load fits C.
+  auto granted_sum = [&](double x) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += demands[i] / (1.0 + alphas[i] * (x - 1.0));
+    }
+    return sum;
+  };
+
+  double x = 1.0;
+  if (total_demand > cfg_.capacity_tps) {
+    double lo = 1.0;
+    double hi = 64.0;
+    if (granted_sum(hi) <= cfg_.capacity_tps) {
+      for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (granted_sum(mid) > cfg_.capacity_tps) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      x = 0.5 * (lo + hi);
+    } else {
+      x = hi;
+    }
+  }
+
+  out.worst_speed = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.slowdown[i] = 1.0 + alphas[i] * (x - 1.0);
+    const double speed = 1.0 / out.slowdown[i];
+    out.aggregate_speed += speed;
+    out.worst_speed = std::min(out.worst_speed, speed);
+    out.total_rate += demands[i] / out.slowdown[i];
+  }
+  return out;
+}
+
+namespace {
+
+/// Objective value of a gang given its per-thread demand vector.
+double score(const ContentionPredictor& predictor,
+             const std::vector<double>& demands,
+             PredictiveObjective objective) {
+  if (demands.empty()) return 0.0;
+  const auto p = predictor.predict(demands);
+  switch (objective) {
+    case PredictiveObjective::kMaxThroughput:
+      return p.aggregate_speed;
+    case PredictiveObjective::kMinSlowdown:
+      // Lexicographic-ish: strongly prefer a better worst case, break ties
+      // toward more aggregate progress.
+      return p.worst_speed * 1000.0 + p.aggregate_speed;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ElectionResult elect_predictive(const std::vector<Candidate>& candidates,
+                                int nprocs, const PredictorConfig& cfg,
+                                PredictiveObjective objective) {
+  assert(nprocs >= 0);
+  const ContentionPredictor predictor(cfg);
+
+  ElectionResult out;
+  out.idle_procs = nprocs;
+  std::vector<bool> taken(candidates.size(), false);
+  std::vector<double> demands;  // per-thread demands of the growing gang
+
+  auto allocate = [&](std::size_t idx) {
+    const Candidate& c = candidates[idx];
+    taken[idx] = true;
+    out.elected.push_back(c.app_id);
+    out.idle_procs -= c.nthreads;
+    out.allocated_bw += c.bbw_per_thread * static_cast<double>(c.nthreads);
+    for (int t = 0; t < c.nthreads; ++t) demands.push_back(c.bbw_per_thread);
+  };
+
+  // Head-of-list default allocation (starvation freedom, as in Eq. 1).
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].nthreads <= out.idle_procs) {
+      allocate(i);
+      break;
+    }
+  }
+
+  // Greedy fill: add the candidate that best improves the objective; stop
+  // when no addition improves it (idle processors are a legitimate choice).
+  while (out.idle_procs > 0) {
+    const double current = score(predictor, demands, objective);
+    double best_score = current;
+    std::size_t best_idx = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i] || candidates[i].nthreads > out.idle_procs) continue;
+      std::vector<double> trial = demands;
+      for (int t = 0; t < candidates[i].nthreads; ++t) {
+        trial.push_back(candidates[i].bbw_per_thread);
+      }
+      const double s = score(predictor, trial, objective);
+      if (s > best_score + 1e-12) {
+        best_score = s;
+        best_idx = i;
+      }
+    }
+    if (best_idx == candidates.size()) break;  // nothing improves: stop
+    allocate(best_idx);
+  }
+  return out;
+}
+
+}  // namespace bbsched::core

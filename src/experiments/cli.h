@@ -1,0 +1,44 @@
+// Tiny flag parsing shared by the bench binaries.
+//
+// Flags:
+//   --fast        scale job durations to 20% (quick smoke runs)
+//   --scale=X     explicit duration scale factor
+//   --csv         additionally print tables as CSV
+//   --app=NAME    restrict to one application
+//   --seed=N      engine seed
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bbsched::experiments {
+
+struct CliOptions {
+  double time_scale = 1.0;
+  bool csv = false;
+  std::string app;  ///< empty = all applications
+  std::uint64_t seed = 42;
+};
+
+[[nodiscard]] inline CliOptions parse_cli(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      opt.time_scale = 0.2;
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      opt.time_scale = std::stod(arg.substr(8));
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg.rfind("--app=", 0) == 0) {
+      opt.app = arg.substr(6);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::stoull(arg.substr(7));
+    }
+    // Unknown flags are ignored so google-benchmark style flags pass through.
+  }
+  return opt;
+}
+
+}  // namespace bbsched::experiments

@@ -1,0 +1,61 @@
+#include "experiments/fig1.h"
+
+#include "workload/workload.h"
+
+namespace bbsched::experiments {
+
+namespace {
+
+/// Mean turnaround of the measured jobs relative to the reference time.
+double mean_slowdown(const workload::Workload& w, const RunResult& r,
+                     double reference_us) {
+  double sum = 0.0;
+  for (std::size_t idx : w.measured) sum += r.turnaround_us[idx];
+  const double mean = sum / static_cast<double>(w.measured.size());
+  return mean / reference_us;
+}
+
+}  // namespace
+
+std::vector<Fig1Row> run_fig1(const std::vector<workload::AppProfile>& apps,
+                              const ExperimentConfig& cfg_in) {
+  // §3's measurements are taken on a dedicated machine with at most one
+  // thread per processor; background-daemon noise is negligible there and
+  // would only blur the contention signal we calibrate against.
+  ExperimentConfig cfg = cfg_in;
+  cfg.engine.os_noise_interval_us = 0;
+
+  std::vector<Fig1Row> rows;
+  rows.reserve(apps.size());
+  const auto& bus = cfg.machine.bus;
+
+  for (const auto& app : apps) {
+    Fig1Row row;
+    row.app = app.name;
+
+    const auto single = workload::fig1_single(app, bus);
+    const RunResult r1 = run_workload(single, SchedulerKind::kPinned, cfg);
+    const double t_ref = r1.measured_mean_turnaround_us;
+    row.rate_single = r1.machine_rate_tps;
+
+    const auto dual = workload::fig1_dual(app, bus);
+    const RunResult r2 = run_workload(dual, SchedulerKind::kPinned, cfg);
+    row.rate_dual = r2.machine_rate_tps;
+    row.slow_dual = mean_slowdown(dual, r2, t_ref);
+
+    const auto with_bbma = workload::fig1_with_bbma(app, bus);
+    const RunResult r3 = run_workload(with_bbma, SchedulerKind::kPinned, cfg);
+    row.rate_bbma = r3.machine_rate_tps;
+    row.slow_bbma = mean_slowdown(with_bbma, r3, t_ref);
+
+    const auto with_nbbma = workload::fig1_with_nbbma(app, bus);
+    const RunResult r4 = run_workload(with_nbbma, SchedulerKind::kPinned, cfg);
+    row.rate_nbbma = r4.machine_rate_tps;
+    row.slow_nbbma = mean_slowdown(with_nbbma, r4, t_ref);
+
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace bbsched::experiments

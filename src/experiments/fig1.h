@@ -1,0 +1,41 @@
+// Fig. 1 reproduction: the motivating measurements of §3.
+//
+// For each of the 11 applications, four experiment sets (all on 4 CPUs with
+// no processor sharing, hence the pinned scheduler):
+//   (i)   the application alone (2 threads),
+//   (ii)  two instances (2 threads each),
+//   (iii) one instance + two BBMA microbenchmarks,
+//   (iv)  one instance + two nBBMA microbenchmarks.
+// Fig. 1A reports the cumulative bus-transaction rate of each workload;
+// Fig. 1B the slowdown of the application relative to set (i).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/runner.h"
+#include "workload/app_profile.h"
+
+namespace bbsched::experiments {
+
+struct Fig1Row {
+  std::string app;
+
+  // Fig. 1A: cumulative bus transactions / µs.
+  double rate_single = 0.0;  ///< black bars
+  double rate_dual = 0.0;    ///< dark gray bars
+  double rate_bbma = 0.0;    ///< light gray bars
+  double rate_nbbma = 0.0;   ///< white striped bars
+
+  // Fig. 1B: slowdown relative to the single run (arith. mean of instances).
+  double slow_dual = 1.0;
+  double slow_bbma = 1.0;
+  double slow_nbbma = 1.0;
+};
+
+/// Runs all four sets for every application in `apps`.
+[[nodiscard]] std::vector<Fig1Row> run_fig1(
+    const std::vector<workload::AppProfile>& apps,
+    const ExperimentConfig& cfg);
+
+}  // namespace bbsched::experiments

@@ -1,0 +1,73 @@
+#include "experiments/fig2.h"
+
+#include <algorithm>
+
+namespace bbsched::experiments {
+
+const char* to_string(Fig2Set set) {
+  switch (set) {
+    case Fig2Set::kSaturated: return "2 Apps + 4 BBMA";
+    case Fig2Set::kIdleBus: return "2 Apps + 4 nBBMA";
+    case Fig2Set::kMixed: return "2 Apps + 2 BBMA + 2 nBBMA";
+  }
+  return "unknown";
+}
+
+workload::Workload make_fig2_workload(Fig2Set set,
+                                      const workload::AppProfile& app,
+                                      const sim::BusConfig& bus) {
+  switch (set) {
+    case Fig2Set::kSaturated: return workload::fig2_saturated(app, bus);
+    case Fig2Set::kIdleBus: return workload::fig2_idle_bus(app, bus);
+    case Fig2Set::kMixed: return workload::fig2_mixed(app, bus);
+  }
+  return {};
+}
+
+std::vector<Fig2Row> run_fig2(Fig2Set set,
+                              const std::vector<workload::AppProfile>& apps,
+                              const ExperimentConfig& cfg) {
+  std::vector<Fig2Row> rows;
+  rows.reserve(apps.size());
+  for (const auto& app : apps) {
+    const auto w = make_fig2_workload(set, app, cfg.machine.bus);
+
+    const RunResult linux_run = run_workload(w, SchedulerKind::kLinux, cfg);
+    const RunResult latest_run =
+        run_workload(w, SchedulerKind::kLatestQuantum, cfg);
+    const RunResult window_run =
+        run_workload(w, SchedulerKind::kQuantaWindow, cfg);
+
+    Fig2Row row;
+    row.app = app.name;
+    row.t_linux_us = linux_run.measured_mean_turnaround_us;
+    row.t_latest_us = latest_run.measured_mean_turnaround_us;
+    row.t_window_us = window_run.measured_mean_turnaround_us;
+    row.improvement_latest_pct =
+        100.0 * (row.t_linux_us - row.t_latest_us) / row.t_linux_us;
+    row.improvement_window_pct =
+        100.0 * (row.t_linux_us - row.t_window_us) / row.t_linux_us;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+Fig2Summary summarize(const std::vector<Fig2Row>& rows) {
+  Fig2Summary s;
+  if (rows.empty()) return s;
+  s.latest_min_pct = s.window_min_pct = 1e18;
+  s.latest_max_pct = s.window_max_pct = -1e18;
+  for (const auto& r : rows) {
+    s.latest_avg_pct += r.improvement_latest_pct;
+    s.window_avg_pct += r.improvement_window_pct;
+    s.latest_max_pct = std::max(s.latest_max_pct, r.improvement_latest_pct);
+    s.latest_min_pct = std::min(s.latest_min_pct, r.improvement_latest_pct);
+    s.window_max_pct = std::max(s.window_max_pct, r.improvement_window_pct);
+    s.window_min_pct = std::min(s.window_min_pct, r.improvement_window_pct);
+  }
+  s.latest_avg_pct /= static_cast<double>(rows.size());
+  s.window_avg_pct /= static_cast<double>(rows.size());
+  return s;
+}
+
+}  // namespace bbsched::experiments

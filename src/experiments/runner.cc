@@ -1,0 +1,109 @@
+#include "experiments/runner.h"
+
+#include <cassert>
+
+namespace bbsched::experiments {
+
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kPinned: return "pinned";
+    case SchedulerKind::kLinux: return "linux-2.4";
+    case SchedulerKind::kLatestQuantum: return "latest-quantum";
+    case SchedulerKind::kQuantaWindow: return "quanta-window";
+    case SchedulerKind::kPredictiveThroughput: return "predictive-throughput";
+    case SchedulerKind::kPredictiveFair: return "predictive-fair";
+    case SchedulerKind::kEquipartition: return "equipartition";
+    case SchedulerKind::kManagedCustom: return "managed-custom";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<sim::Scheduler> make_scheduler(SchedulerKind kind,
+                                               const ExperimentConfig& cfg) {
+  switch (kind) {
+    case SchedulerKind::kPinned:
+      return std::make_unique<sim::PinnedScheduler>();
+    case SchedulerKind::kLinux:
+      return std::make_unique<linuxsched::LinuxScheduler>(cfg.linux_sched);
+    case SchedulerKind::kLatestQuantum: {
+      core::ManagedSchedulerConfig mcfg = cfg.managed;
+      mcfg.manager.policy = core::PolicyKind::kLatestQuantum;
+      return std::make_unique<core::ManagedScheduler>(mcfg);
+    }
+    case SchedulerKind::kQuantaWindow: {
+      core::ManagedSchedulerConfig mcfg = cfg.managed;
+      mcfg.manager.policy = core::PolicyKind::kQuantaWindow;
+      return std::make_unique<core::ManagedScheduler>(mcfg);
+    }
+    case SchedulerKind::kPredictiveThroughput:
+    case SchedulerKind::kPredictiveFair: {
+      core::ManagedSchedulerConfig mcfg = cfg.managed;
+      mcfg.manager.policy = core::PolicyKind::kQuantaWindow;  // smoothed input
+      mcfg.manager.use_predictive = true;
+      mcfg.manager.predictive_objective =
+          kind == SchedulerKind::kPredictiveThroughput
+              ? core::PredictiveObjective::kMaxThroughput
+              : core::PredictiveObjective::kMinSlowdown;
+      return std::make_unique<core::ManagedScheduler>(mcfg);
+    }
+    case SchedulerKind::kEquipartition:
+      return std::make_unique<spacesched::EquipartitionScheduler>(
+          spacesched::EquipartitionConfig{});
+    case SchedulerKind::kManagedCustom:
+      return std::make_unique<core::ManagedScheduler>(cfg.managed);
+  }
+  return nullptr;
+}
+
+RunResult run_workload(const workload::Workload& workload, SchedulerKind kind,
+                       const ExperimentConfig& cfg) {
+  sim::Engine engine(cfg.machine, cfg.engine, make_scheduler(kind, cfg));
+
+  for (const auto& spec : workload.jobs) {
+    sim::JobSpec scaled = spec;
+    if (!scaled.infinite() && cfg.time_scale != 1.0) {
+      scaled.work_us *= cfg.time_scale;
+    }
+    engine.add_job(scaled);
+  }
+
+  RunResult out;
+  out.scheduler = to_string(kind);
+  out.end_time_us = engine.run();
+
+  const auto& machine = engine.machine();
+  out.turnaround_us.reserve(machine.jobs().size());
+  for (const auto& job : machine.jobs()) {
+    out.turnaround_us.push_back(
+        job.completed ? static_cast<double>(job.turnaround_us()) : 0.0);
+    out.job_transactions.push_back(machine.job_bus_transactions(job));
+  }
+
+  double sum = 0.0;
+  for (std::size_t idx : workload.measured) {
+    assert(machine.jobs()[idx].completed &&
+           "measured job did not finish; raise engine.max_time_us");
+    sum += out.turnaround_us[idx];
+  }
+  out.measured_mean_turnaround_us =
+      workload.measured.empty()
+          ? 0.0
+          : sum / static_cast<double>(workload.measured.size());
+
+  out.machine_rate_tps =
+      out.end_time_us > 0
+          ? engine.stats().total_granted_transactions /
+                static_cast<double>(out.end_time_us)
+          : 0.0;
+  out.engine_stats = engine.stats();
+
+  for (const auto& t : machine.threads()) out.migrations += t.migrations;
+
+  if (auto* managed = dynamic_cast<core::ManagedScheduler*>(
+          &engine.scheduler())) {
+    out.elections = managed->elections();
+  }
+  return out;
+}
+
+}  // namespace bbsched::experiments

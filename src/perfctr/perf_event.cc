@@ -1,0 +1,88 @@
+#include "perfctr/perf_event.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "perfctr/software_counters.h"
+
+namespace bbsched::perfctr {
+
+SoftwareCounterRegistry& global_counters() {
+  static SoftwareCounterRegistry registry;
+  return registry;
+}
+
+PerfEventCounter::~PerfEventCounter() { close(); }
+
+PerfEventCounter::PerfEventCounter(PerfEventCounter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reason_(std::move(other.reason_)) {}
+
+PerfEventCounter& PerfEventCounter::operator=(
+    PerfEventCounter&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    reason_ = std::move(other.reason_);
+  }
+  return *this;
+}
+
+bool PerfEventCounter::open_for_current_thread() {
+#if defined(__linux__)
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_HW_CACHE;
+  attr.config = PERF_COUNT_HW_CACHE_LL |
+                (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          /*group_fd=*/-1, /*flags=*/0UL);
+  if (fd < 0) {
+    reason_ = std::string("perf_event_open failed: ") + std::strerror(errno);
+    return false;
+  }
+  fd_ = static_cast<int>(fd);
+  return true;
+#else
+  reason_ = "perf_event_open unavailable on this platform";
+  return false;
+#endif
+}
+
+std::uint64_t PerfEventCounter::read() const {
+#if defined(__linux__)
+  if (fd_ < 0) return 0;
+  std::uint64_t value = 0;
+  if (::read(fd_, &value, sizeof(value)) != sizeof(value)) return 0;
+  return value;
+#else
+  return 0;
+#endif
+}
+
+void PerfEventCounter::close() {
+#if defined(__linux__)
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#endif
+}
+
+bool PerfEventCounter::available() {
+  PerfEventCounter probe;
+  return probe.open_for_current_thread();
+}
+
+}  // namespace bbsched::perfctr

@@ -1,0 +1,46 @@
+// Optional hardware-counter probe via perf_event_open(2).
+//
+// On hosts that permit it (perf_event_paranoid low enough, counters present)
+// this measures last-level-cache misses as a proxy for front-side-bus
+// transactions — the same quantity the paper reads from the Xeon's counters.
+// Everything degrades gracefully: available() is false in containers/CI and
+// callers fall back to SoftwareCounterRegistry. Nothing in the repo requires
+// hardware counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bbsched::perfctr {
+
+class PerfEventCounter {
+ public:
+  PerfEventCounter() = default;
+  ~PerfEventCounter();
+
+  PerfEventCounter(const PerfEventCounter&) = delete;
+  PerfEventCounter& operator=(const PerfEventCounter&) = delete;
+  PerfEventCounter(PerfEventCounter&& other) noexcept;
+  PerfEventCounter& operator=(PerfEventCounter&& other) noexcept;
+
+  /// Attempts to open an LLC-miss counter for the calling thread.
+  /// Returns false (with reason()) when the host does not allow it.
+  bool open_for_current_thread();
+
+  /// Cumulative counted events; 0 if not open.
+  [[nodiscard]] std::uint64_t read() const;
+
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
+
+  void close();
+
+  /// Quick capability probe: can this process open an LLC-miss counter?
+  static bool available();
+
+ private:
+  int fd_ = -1;
+  std::string reason_;
+};
+
+}  // namespace bbsched::perfctr

@@ -1,0 +1,42 @@
+// The shared arena (paper §4): one shared-memory page per application, the
+// primary communication medium between the CPU manager and the application.
+//
+// The application's runtime accumulates the bus-transaction counts of all
+// its threads and writes the total into the arena at every update period
+// (the manager asks for updates twice per scheduling quantum); the manager
+// reads it at its sampling points. All fields are lock-free atomics — the
+// two processes never block each other.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace bbsched::runtime {
+
+struct Arena {
+  static constexpr std::uint32_t kMagic = 0x62627377;  // "bbsw"
+
+  std::uint32_t magic = kMagic;
+
+  /// Cumulative bus transactions of all application threads (written by the
+  /// application, read by the manager).
+  std::atomic<std::uint64_t> transactions{0};
+
+  /// Update-sequence counter (bumped by the application each write, lets
+  /// the manager detect a stalled updater).
+  std::atomic<std::uint64_t> heartbeats{0};
+
+  /// How often the application should refresh `transactions` (µs); written
+  /// once by the manager at connection time ("it also informs the
+  /// application how often the bus transaction rate information on the
+  /// shared arena is expected to be updated").
+  std::atomic<std::uint64_t> update_period_us{0};
+
+  /// Worker threads registered so far (written by the application).
+  std::atomic<std::uint32_t> threads_registered{0};
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "arena requires lock-free 64-bit atomics");
+
+}  // namespace bbsched::runtime

@@ -1,0 +1,156 @@
+#include "runtime/client.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstring>
+
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "runtime/protocol.h"
+#include "runtime/signal_gate.h"
+
+namespace bbsched::runtime {
+
+Client::~Client() { disconnect(); }
+
+bool Client::connect(const std::string& socket_path, const std::string& name,
+                     int nthreads) {
+  assert(sock_ < 0 && "already connected");
+  assert(nthreads >= 1);
+
+  SignalGate::instance().install();
+
+  const int sock = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (sock < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(sock);
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(sock);
+    return false;
+  }
+
+  HelloMsg hello{};
+  hello.pid = ::getpid();
+  // The connecting (leader) thread receives the manager's signals. Use the
+  // caller's own tid — several clients can coexist in one process (each a
+  // logical "application"), so the gate-wide leader is not necessarily us.
+  hello.leader_tid =
+      static_cast<std::int32_t>(::syscall(SYS_gettid));
+  hello.nthreads = nthreads;
+  std::strncpy(hello.name, name.c_str(), sizeof(hello.name) - 1);
+  if (!send_all(sock, &hello, sizeof(hello))) {
+    ::close(sock);
+    return false;
+  }
+
+  HelloAck ack{};
+  int arena_fd = -1;
+  if (!recv_with_fd(sock, &ack, sizeof(ack), &arena_fd) ||
+      ack.magic != kProtocolMagic || arena_fd < 0) {
+    if (arena_fd >= 0) ::close(arena_fd);
+    ::close(sock);
+    return false;
+  }
+
+  void* mem = ::mmap(nullptr, sizeof(Arena), PROT_READ | PROT_WRITE,
+                     MAP_SHARED, arena_fd, 0);
+  ::close(arena_fd);  // the mapping keeps the memory alive
+  if (mem == MAP_FAILED) {
+    ::close(sock);
+    return false;
+  }
+
+  arena_ = static_cast<Arena*>(mem);
+  if (arena_->magic != Arena::kMagic) {
+    ::munmap(mem, sizeof(Arena));
+    arena_ = nullptr;
+    ::close(sock);
+    return false;
+  }
+  update_period_us_ = ack.update_period_us;
+  nthreads_ = nthreads;
+  sock_ = sock;
+
+  // The connecting thread is the leader worker: the manager signals it and
+  // it forwards to siblings registered later.
+  register_worker();
+  return true;
+}
+
+int Client::register_worker() {
+  SignalGate::instance().register_current_thread();
+  const int slot = perfctr::global_counters().register_thread();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    counter_slots_.push_back(slot);
+  }
+  if (arena_ != nullptr) {
+    arena_->threads_registered.fetch_add(1, std::memory_order_relaxed);
+  }
+  return slot;
+}
+
+void Client::unregister_worker() {
+  SignalGate::instance().unregister_current_thread();
+}
+
+std::uint64_t Client::total_transactions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t total = 0;
+  for (int slot : counter_slots_) {
+    total += perfctr::global_counters().read(slot);
+  }
+  return total;
+}
+
+bool Client::ready() {
+  if (sock_ < 0) return false;
+  ReadyMsg msg{};
+  if (!send_all(sock_, &msg, sizeof(msg))) return false;
+
+  stop_updater_.store(false, std::memory_order_relaxed);
+  updater_ = std::thread([this] { updater_loop(); });
+  return true;
+}
+
+void Client::updater_loop() {
+  // Publishes the accumulated transaction count at the manager-requested
+  // period. Deliberately NOT registered with the signal gate: the paper's
+  // arena must stay fresh so the manager can always read a consistent
+  // cumulative value.
+  const auto period =
+      std::chrono::microseconds(update_period_us_ > 0 ? update_period_us_
+                                                      : 100000);
+  while (!stop_updater_.load(std::memory_order_relaxed)) {
+    arena_->transactions.store(total_transactions(),
+                               std::memory_order_relaxed);
+    arena_->heartbeats.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(period);
+  }
+}
+
+void Client::disconnect() {
+  if (updater_.joinable()) {
+    stop_updater_.store(true, std::memory_order_relaxed);
+    updater_.join();
+  }
+  if (sock_ >= 0) {
+    ::close(sock_);
+    sock_ = -1;
+  }
+  if (arena_ != nullptr) {
+    ::munmap(arena_, sizeof(Arena));
+    arena_ = nullptr;
+  }
+}
+
+}  // namespace bbsched::runtime

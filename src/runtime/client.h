@@ -1,0 +1,103 @@
+// Application-side runtime library (paper §4):
+//
+// "A run-time library which accompanies the CPU manager offers all the
+//  necessary functionality for the cooperation between the CPU manager and
+//  applications. The modifications required to the source code of
+//  applications are limited to the addition of calls for connection and
+//  disconnection and to the interception of thread creation and
+//  destruction."
+//
+// Usage from an application:
+//   Client client;
+//   client.connect(socket_path, "myapp", nthreads);   // leader thread
+//   ... each worker thread: client.register_worker(); ...
+//   client.ready();                                    // all registered
+//   ... workers call client.credit(slot, n) as they issue memory traffic ...
+//   client.disconnect();
+//
+// The client starts an updater thread that publishes the accumulated
+// transaction counts to the shared arena at the period the manager
+// requested (twice per scheduling quantum). The updater thread is not
+// registered with the signal gate, so it keeps publishing even while the
+// workers are blocked — matching the paper's arena semantics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "perfctr/software_counters.h"
+#include "runtime/arena.h"
+
+namespace bbsched::runtime {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the manager. Must be called by the application's leader
+  /// thread (the thread the manager will signal); it is registered as
+  /// worker 0 automatically. Returns false if the manager is unreachable.
+  bool connect(const std::string& socket_path, const std::string& name,
+               int nthreads);
+
+  /// Registers the calling thread as a worker (signal gate + counter slot).
+  /// Returns the thread's counter slot. Call once per worker thread.
+  int register_worker();
+
+  /// Removes the calling thread from signal forwarding. Call from the
+  /// worker thread right before it exits (the paper's "interception of
+  /// thread destruction").
+  void unregister_worker();
+
+  /// Credits `n` bus transactions to worker `slot`.
+  void credit(int slot, std::uint64_t n) {
+    perfctr::global_counters().add(slot, n);
+  }
+
+  /// Announces that all `nthreads` workers are registered; the manager may
+  /// start blocking/unblocking this application.
+  bool ready();
+
+  /// Stops the updater and closes the connection.
+  void disconnect();
+
+  [[nodiscard]] bool connected() const noexcept { return sock_ >= 0; }
+  [[nodiscard]] std::uint64_t update_period_us() const noexcept {
+    return update_period_us_;
+  }
+  [[nodiscard]] const Arena* arena() const noexcept { return arena_; }
+
+  /// Sum of all registered workers' counters (what the updater publishes).
+  [[nodiscard]] std::uint64_t total_transactions() const;
+
+  /// Counter slot of the leader (the thread that called connect()); -1
+  /// before connecting.
+  [[nodiscard]] int leader_counter_slot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return counter_slots_.empty() ? -1 : counter_slots_.front();
+  }
+
+ private:
+  void updater_loop();
+
+  int sock_ = -1;
+  Arena* arena_ = nullptr;
+  std::uint64_t update_period_us_ = 0;
+  int nthreads_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<int> counter_slots_;
+
+  std::thread updater_;
+  std::atomic<bool> stop_updater_{false};
+};
+
+}  // namespace bbsched::runtime

@@ -1,0 +1,348 @@
+#include "runtime/manager_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "runtime/protocol.h"
+#include "runtime/signal_gate.h"
+
+namespace bbsched::runtime {
+
+namespace {
+
+int tgkill_portable(pid_t tgid, pid_t tid, int sig) {
+  return static_cast<int>(::syscall(SYS_tgkill, tgid, tid, sig));
+}
+
+}  // namespace
+
+std::uint64_t monotonic_now_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000ULL;
+}
+
+ManagerServer::ManagerServer(const ServerConfig& cfg)
+    : cfg_(cfg), manager_(cfg.manager) {
+  if (cfg_.nprocs <= 0) {
+    const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+    cfg_.nprocs = n > 0 ? static_cast<int>(n) : 1;
+  }
+}
+
+ManagerServer::~ManagerServer() { stop(); }
+
+bool ManagerServer::start() {
+  assert(!started_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return false;
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (cfg_.socket_path.size() >= sizeof(addr.sun_path)) return false;
+  std::strncpy(addr.sun_path, cfg_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(cfg_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::pipe2(wake_pipe_, O_CLOEXEC) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  stopping_ = false;
+  started_ = true;
+  quantum_start_us_ = monotonic_now_us();
+  samples_taken_ = 0;
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void ManagerServer::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  thread_.join();
+  started_ = false;
+
+  // Leave no application suspended behind us.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& app : apps_) {
+      if (app->blocked) set_blocked(*app, false);
+      if (app->arena != nullptr) ::munmap(app->arena, sizeof(Arena));
+      if (app->arena_fd >= 0) ::close(app->arena_fd);
+      if (app->sock >= 0) ::close(app->sock);
+    }
+    apps_.clear();
+  }
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(cfg_.socket_path.c_str());
+}
+
+void ManagerServer::set_blocked(AppConn& app, bool blocked) {
+  if (app.blocked == blocked) return;
+  app.blocked = blocked;
+  // One signal to the leader thread; the application runtime forwards it to
+  // the siblings (signal_gate.h).
+  tgkill_portable(app.pid, app.leader_tid,
+                  blocked ? kBlockSignal : kUnblockSignal);
+}
+
+void ManagerServer::accept_connection() {
+  const int sock = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+  if (sock < 0) return;
+
+  HelloMsg hello{};
+  if (!recv_all(sock, &hello, sizeof(hello)) ||
+      hello.magic != kProtocolMagic || hello.nthreads < 1) {
+    ::close(sock);
+    return;
+  }
+
+  // Create the shared arena as an anonymous memfd and hand it over.
+  const int arena_fd = static_cast<int>(
+      ::syscall(SYS_memfd_create, "bbsched-arena", 0U));
+  if (arena_fd < 0 || ::ftruncate(arena_fd, sizeof(Arena)) != 0) {
+    if (arena_fd >= 0) ::close(arena_fd);
+    ::close(sock);
+    return;
+  }
+  void* mem = ::mmap(nullptr, sizeof(Arena), PROT_READ | PROT_WRITE,
+                     MAP_SHARED, arena_fd, 0);
+  if (mem == MAP_FAILED) {
+    ::close(arena_fd);
+    ::close(sock);
+    return;
+  }
+  auto* arena = new (mem) Arena();
+  const std::uint64_t period =
+      cfg_.manager.quantum_us /
+      static_cast<std::uint64_t>(std::max(1, cfg_.manager.samples_per_quantum));
+  arena->update_period_us.store(period, std::memory_order_relaxed);
+
+  auto app = std::make_unique<AppConn>();
+  app->sock = sock;
+  app->pid = hello.pid;
+  app->leader_tid = hello.leader_tid;
+  app->nthreads = hello.nthreads;
+  app->name.assign(hello.name,
+                   strnlen(hello.name, sizeof(hello.name)));
+  app->arena = arena;
+  app->arena_fd = arena_fd;
+
+  HelloAck ack{};
+  ack.update_period_us = period;
+  ack.app_id = static_cast<int>(apps_.size());
+  if (!send_with_fd(sock, &ack, sizeof(ack), arena_fd)) {
+    ::munmap(mem, sizeof(Arena));
+    ::close(arena_fd);
+    ::close(sock);
+    return;
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  apps_.push_back(std::move(app));
+}
+
+bool ManagerServer::handle_client(std::size_t idx) {
+  AppConn& app = *apps_[idx];
+  ReadyMsg msg{};
+  if (!recv_all(app.sock, &msg, sizeof(msg)) ||
+      msg.magic != kProtocolMagic) {
+    return false;  // EOF or garbage => disconnect
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!app.ready) {
+    app.ready = true;
+    app.manager_id = manager_.connect(app.name, app.nthreads);
+    app.last_read = app.arena->transactions.load(std::memory_order_relaxed);
+    // The app keeps running until the first election decides otherwise.
+  }
+  return true;
+}
+
+void ManagerServer::drop_client(std::size_t idx) {
+  AppConn& app = *apps_[idx];
+  std::lock_guard<std::mutex> lk(mu_);
+  // Defensive: if the process is still alive but blocked (e.g. it closed
+  // the socket from an unmanaged thread), leave it runnable — a removed
+  // application would otherwise stay suspended forever.
+  if (app.blocked) set_blocked(app, false);
+  if (app.manager_id >= 0) manager_.disconnect(app.manager_id);
+  if (app.arena != nullptr) ::munmap(app.arena, sizeof(Arena));
+  if (app.arena_fd >= 0) ::close(app.arena_fd);
+  ::close(app.sock);
+  apps_.erase(apps_.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+void ManagerServer::sample_running(std::uint64_t /*now_us*/) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto& running = manager_.running();
+  for (auto& app : apps_) {
+    if (app->manager_id < 0) continue;
+    if (std::find(running.begin(), running.end(), app->manager_id) ==
+        running.end()) {
+      continue;  // stats are only updated for running jobs
+    }
+    const std::uint64_t cum =
+        app->arena->transactions.load(std::memory_order_relaxed);
+    const std::uint64_t delta = cum - app->last_read;
+    app->last_read = cum;
+    manager_.record_sample(app->manager_id, static_cast<double>(delta));
+  }
+}
+
+void ManagerServer::quantum_boundary(std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const core::ElectionResult result = manager_.schedule_quantum(cfg_.nprocs);
+  ++elections_;
+  quantum_start_us_ = now_us;
+  samples_taken_ = 0;
+
+  for (auto& app : apps_) {
+    if (app->manager_id < 0) continue;
+    const bool elected =
+        std::find(result.elected.begin(), result.elected.end(),
+                  app->manager_id) != result.elected.end();
+    set_blocked(*app, !elected);
+    if (elected) {
+      // Fresh baseline so the first sample excludes older quanta.
+      app->last_read =
+          app->arena->transactions.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+void ManagerServer::loop() {
+  const std::uint64_t quantum = cfg_.manager.quantum_us;
+  const int per_quantum = std::max(1, cfg_.manager.samples_per_quantum);
+  const std::uint64_t sample_interval =
+      quantum / static_cast<std::uint64_t>(per_quantum);
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_) return;
+    }
+
+    const std::uint64_t now = monotonic_now_us();
+    std::uint64_t next_event;
+    if (samples_taken_ + 1 < per_quantum) {
+      next_event = quantum_start_us_ +
+                   sample_interval *
+                       static_cast<std::uint64_t>(samples_taken_ + 1);
+    } else {
+      next_event = quantum_start_us_ + quantum;
+    }
+    const int timeout_ms =
+        next_event > now
+            ? static_cast<int>((next_event - now) / 1000 + 1)
+            : 0;
+
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (const auto& app : apps_) fds.push_back({app->sock, POLLIN, 0});
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) return;
+
+    if (rc > 0) {
+      if ((fds[1].revents & POLLIN) != 0) return;  // stop requested
+      if ((fds[0].revents & POLLIN) != 0) accept_connection();
+      // Client messages / disconnects. fds[i+2] corresponds to apps_[i] at
+      // poll time; handle back-to-front so erasures keep indices valid.
+      for (std::size_t i = fds.size(); i-- > 2;) {
+        const std::size_t app_idx = i - 2;
+        if (app_idx >= apps_.size()) continue;
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        if ((fds[i].revents & POLLIN) != 0 && handle_client(app_idx)) {
+          continue;
+        }
+        drop_client(app_idx);
+      }
+    }
+
+    const std::uint64_t after = monotonic_now_us();
+    if (after >= quantum_start_us_ + quantum) {
+      sample_running(after);
+      quantum_boundary(after);
+    } else if (samples_taken_ + 1 < per_quantum &&
+               after >= quantum_start_us_ +
+                            sample_interval *
+                                static_cast<std::uint64_t>(samples_taken_ +
+                                                           1)) {
+      sample_running(after);
+      ++samples_taken_;
+    }
+  }
+}
+
+std::uint64_t ManagerServer::elections() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return elections_;
+}
+
+std::size_t ManagerServer::connected_apps() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return apps_.size();
+}
+
+std::vector<std::string> ManagerServer::running_app_names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> names;
+  for (const auto& app : apps_) {
+    if (app->manager_id < 0) continue;
+    const auto& running = manager_.running();
+    if (std::find(running.begin(), running.end(), app->manager_id) !=
+        running.end()) {
+      names.push_back(app->name);
+    }
+  }
+  return names;
+}
+
+std::vector<std::pair<std::string, double>> ManagerServer::estimates() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& app : apps_) {
+    if (app->manager_id < 0) continue;
+    out.emplace_back(app->name, manager_.policy_estimate(app->manager_id));
+  }
+  return out;
+}
+
+}  // namespace bbsched::runtime

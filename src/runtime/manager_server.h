@@ -1,0 +1,105 @@
+// The user-level CPU manager as a real server (paper §4).
+//
+// "The user-level CPU manager runs as a server process on the target
+//  system. Each application that wishes to use the new scheduling policies
+//  sends a 'connection' message to the CPU manager (through a standard
+//  UNIX-socket). The CPU manager responds ... by creating a shared arena
+//  ... It also informs the application how often the bus transaction rate
+//  information on the shared-arena is expected to be updated."
+//
+// This class implements exactly that: a UNIX-domain socket server that hands
+// each application a shared-memory arena (memfd over SCM_RIGHTS), samples
+// the arenas twice per scheduling quantum, feeds core::CpuManager, and
+// enforces its elections by sending SIGUSR1/SIGUSR2 to application leader
+// threads (which forward to their siblings — see signal_gate.h).
+//
+// It can manage any process that links the client library; the examples run
+// it in-process against worker threads, which exercises the identical code
+// path (signals, arenas and sockets behave the same within one process).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cpu_manager.h"
+#include "runtime/arena.h"
+
+namespace bbsched::runtime {
+
+struct ServerConfig {
+  core::ManagerConfig manager{};
+  std::string socket_path = "/tmp/bbsched-manager.sock";
+  /// Processors to allocate (defaults to the host's online CPUs).
+  int nprocs = 0;
+};
+
+class ManagerServer {
+ public:
+  explicit ManagerServer(const ServerConfig& cfg);
+  ~ManagerServer();
+
+  ManagerServer(const ManagerServer&) = delete;
+  ManagerServer& operator=(const ManagerServer&) = delete;
+
+  /// Binds the socket and starts the manager thread. False on bind failure.
+  bool start();
+
+  /// Unblocks every application, stops the manager thread, unlinks the
+  /// socket. Idempotent.
+  void stop();
+
+  // ---- introspection (thread-safe snapshots, used by tests/examples) ----
+  [[nodiscard]] std::uint64_t elections() const;
+  [[nodiscard]] std::size_t connected_apps() const;
+  [[nodiscard]] std::vector<std::string> running_app_names() const;
+  /// Latest policy estimate (BBW/thread, transactions/µs) per app name.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> estimates() const;
+
+  [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct AppConn {
+    int sock = -1;
+    int manager_id = -1;  ///< id inside core::CpuManager; -1 until Ready
+    pid_t pid = 0;
+    pid_t leader_tid = 0;
+    int nthreads = 1;
+    std::string name;
+    Arena* arena = nullptr;
+    int arena_fd = -1;
+    std::uint64_t last_read = 0;
+    bool ready = false;
+    bool blocked = false;
+  };
+
+  void loop();
+  void accept_connection();
+  bool handle_client(std::size_t idx);  ///< false => disconnect
+  void drop_client(std::size_t idx);
+  void sample_running(std::uint64_t now_us);
+  void quantum_boundary(std::uint64_t now_us);
+  void set_blocked(AppConn& app, bool blocked);
+
+  ServerConfig cfg_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread thread_;
+  bool started_ = false;
+
+  mutable std::mutex mu_;
+  core::CpuManager manager_;
+  std::vector<std::unique_ptr<AppConn>> apps_;
+  std::uint64_t elections_ = 0;
+  std::uint64_t quantum_start_us_ = 0;
+  int samples_taken_ = 0;
+  bool stopping_ = false;
+};
+
+/// Monotonic clock in microseconds.
+[[nodiscard]] std::uint64_t monotonic_now_us();
+
+}  // namespace bbsched::runtime

@@ -1,0 +1,99 @@
+#include "runtime/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace bbsched::runtime {
+
+bool send_all(int sock, const void* bytes, std::size_t len) {
+  const char* p = static_cast<const char*>(bytes);
+  while (len > 0) {
+    const ssize_t n = ::send(sock, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool recv_all(int sock, void* bytes, std::size_t len) {
+  char* p = static_cast<char*>(bytes);
+  while (len > 0) {
+    const ssize_t n = ::recv(sock, p, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_with_fd(int sock, const void* bytes, std::size_t len, int fd) {
+  msghdr msg{};
+  iovec iov{};
+  iov.iov_base = const_cast<void*>(bytes);
+  iov.iov_len = len;
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+
+  alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int))] = {};
+  if (fd >= 0) {
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof(control);
+    cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+    cmsg->cmsg_level = SOL_SOCKET;
+    cmsg->cmsg_type = SCM_RIGHTS;
+    cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+    std::memcpy(CMSG_DATA(cmsg), &fd, sizeof(int));
+  }
+
+  for (;;) {
+    const ssize_t n = ::sendmsg(sock, &msg, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    return n == static_cast<ssize_t>(len);
+  }
+}
+
+bool recv_with_fd(int sock, void* bytes, std::size_t len, int* fd_out) {
+  if (fd_out != nullptr) *fd_out = -1;
+
+  msghdr msg{};
+  iovec iov{};
+  iov.iov_base = bytes;
+  iov.iov_len = len;
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+
+  alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int))] = {};
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof(control);
+
+  ssize_t n;
+  for (;;) {
+    n = ::recvmsg(sock, &msg, MSG_WAITALL);
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  if (n != static_cast<ssize_t>(len)) return false;
+
+  if (fd_out != nullptr) {
+    for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+         cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+      if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SCM_RIGHTS) {
+        std::memcpy(fd_out, CMSG_DATA(cmsg), sizeof(int));
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace bbsched::runtime

@@ -1,0 +1,50 @@
+// Wire protocol between applications and the CPU manager: fixed-size binary
+// messages over a UNIX-domain stream socket. The arena file descriptor
+// travels back to the application as SCM_RIGHTS ancillary data, so no
+// filesystem-visible shm names are needed and cleanup is automatic.
+#pragma once
+
+#include <cstdint>
+#include <sys/types.h>
+
+namespace bbsched::runtime {
+
+inline constexpr std::uint32_t kProtocolMagic = 0x62627331;  // "bbs1"
+inline constexpr std::size_t kMaxAppName = 48;
+
+/// Application -> manager: connection request.
+struct HelloMsg {
+  std::uint32_t magic = kProtocolMagic;
+  std::int32_t pid = 0;         ///< application process id
+  std::int32_t leader_tid = 0;  ///< kernel tid that receives manager signals
+  std::int32_t nthreads = 1;    ///< worker threads the app will register
+  char name[kMaxAppName] = {};
+};
+
+/// Manager -> application: connection accepted (+ arena fd via SCM_RIGHTS).
+struct HelloAck {
+  std::uint32_t magic = kProtocolMagic;
+  std::uint64_t update_period_us = 0;  ///< requested arena refresh period
+  std::int32_t app_id = -1;
+};
+
+/// Application -> manager: all worker threads registered; the application
+/// is now safely blockable (every thread will see forwarded signals).
+struct ReadyMsg {
+  std::uint32_t magic = kProtocolMagic;
+  std::int32_t app_id = -1;
+};
+
+/// Sends `bytes` with an optional file descriptor as ancillary data.
+/// Returns false on error. Retries EINTR.
+bool send_with_fd(int sock, const void* bytes, std::size_t len, int fd);
+
+/// Receives exactly `len` bytes; if the peer attached a descriptor it is
+/// stored in *fd_out (otherwise -1). Returns false on error / EOF.
+bool recv_with_fd(int sock, void* bytes, std::size_t len, int* fd_out);
+
+/// Plain full-buffer send/recv with EINTR retry.
+bool send_all(int sock, const void* bytes, std::size_t len);
+bool recv_all(int sock, void* bytes, std::size_t len);
+
+}  // namespace bbsched::runtime

@@ -1,0 +1,118 @@
+#include "sim/bus_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bbsched::sim {
+
+double BusModel::alpha(double demand_tps) const {
+  if (demand_tps <= 0.0) return 0.0;
+  const double ratio =
+      std::min(1.0, demand_tps / cfg_.per_thread_peak_tps);
+  return std::pow(ratio, cfg_.alpha_exponent);
+}
+
+double BusModel::effective_capacity(int demanding_agents) const {
+  const double k = std::max(0, demanding_agents - 1);
+  const double eff =
+      std::max(cfg_.arbitration_floor, 1.0 - cfg_.arbitration_loss * k);
+  return cfg_.capacity_tps * eff;
+}
+
+BusResolution BusModel::resolve(std::span<const double> demands,
+                                std::span<const double> weights) const {
+  BusResolution out;
+  const std::size_t n = demands.size();
+  assert(weights.empty() || weights.size() == n);
+  out.slowdown.assign(n, 1.0);
+  out.granted.assign(n, 0.0);
+
+  double total_demand = 0.0;
+  int demanding = 0;
+  std::vector<double> alphas(n, 0.0);
+  std::vector<double> inv_w(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(demands[i] >= 0.0 && "bus demand must be non-negative");
+    total_demand += demands[i];
+    alphas[i] = alpha(demands[i]);
+    if (!weights.empty()) {
+      assert(weights[i] >= 1.0 && "arbitration weight must be >= 1");
+      inv_w[i] = 1.0 / weights[i];
+    }
+    if (demands[i] > cfg_.demanding_threshold_tps) ++demanding;
+  }
+
+  out.effective_capacity = effective_capacity(demanding);
+  if (total_demand <= 0.0) {
+    out.stretch = 1.0;
+    out.total_granted = 0.0;
+    return out;
+  }
+  out.offered_rho = total_demand / out.effective_capacity;
+
+  // Aggregate granted rate under stretch X.
+  auto granted_sum = [&](double x) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += demands[i] / (1.0 + alphas[i] * (x - 1.0) * inv_w[i]);
+    }
+    return sum;
+  };
+
+  // Sub-saturation queueing inflation, clamped so the light regime never
+  // exceeds the saturation solution's starting point.
+  const double rho_for_light = std::min(out.offered_rho, 1.0);
+  const double x_light = 1.0 + cfg_.queueing_kappa * rho_for_light * rho_for_light;
+
+  double x = x_light;
+  if (granted_sum(x_light) > out.effective_capacity) {
+    out.saturated = true;
+    // Bisection: granted_sum is strictly decreasing in X whenever some
+    // demanding thread has alpha > 0, which holds since alpha(d)>0 for d>0.
+    double lo = x_light;
+    double hi = cfg_.max_stretch;
+    if (granted_sum(hi) > out.effective_capacity) {
+      // Pathological: even max stretch cannot push demand below capacity
+      // (can only happen with thousands of near-zero-alpha threads). Fall
+      // through with X = hi; a final proportional clamp below enforces the
+      // capacity invariant.
+      x = hi;
+    } else {
+      for (int iter = 0; iter < 64; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (granted_sum(mid) > out.effective_capacity) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      x = 0.5 * (lo + hi);
+    }
+  }
+
+  out.stretch = x;
+  out.total_granted = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.slowdown[i] = 1.0 + alphas[i] * (x - 1.0) * inv_w[i];
+    out.granted[i] = demands[i] / out.slowdown[i];
+    out.total_granted += out.granted[i];
+  }
+
+  // Hard physical limit: proportional clamp in the pathological case where
+  // the stretch cap was hit.
+  if (out.total_granted > out.effective_capacity) {
+    const double scale = out.effective_capacity / out.total_granted;
+    out.total_granted = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.granted[i] *= scale;
+      if (out.granted[i] > 0.0) {
+        out.slowdown[i] = demands[i] / out.granted[i];
+      }
+      out.total_granted += out.granted[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace bbsched::sim

@@ -1,0 +1,387 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace bbsched::sim {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+Engine::Engine(const MachineConfig& mcfg, const EngineConfig& ecfg,
+               std::unique_ptr<Scheduler> scheduler)
+    : mcfg_(mcfg),
+      ecfg_(ecfg),
+      machine_(mcfg),
+      bus_(mcfg.bus),
+      scheduler_(std::move(scheduler)),
+      trace_(ecfg.trace),
+      rng_(ecfg.seed) {
+  assert(scheduler_ != nullptr);
+  assert(ecfg_.tick_us > 0);
+  noise_until_.assign(static_cast<std::size_t>(mcfg.num_cpus), 0);
+  noise_next_.assign(static_cast<std::size_t>(mcfg.num_cpus), 0);
+  if (ecfg_.os_noise_interval_us > 0) {
+    for (auto& next : noise_next_) {
+      next = static_cast<SimTime>(
+          rng_.uniform(0.0, 2.0 * static_cast<double>(
+                                      ecfg_.os_noise_interval_us)));
+    }
+  }
+}
+
+int Engine::add_job(const JobSpec& spec) {
+  assert(!started_ && "jobs must be admitted before the run starts");
+  return machine_.add_job(spec, now_);
+}
+
+void Engine::submit_job(const JobSpec& spec, SimTime when) {
+  assert(!started_ && "submit arrivals before the run starts");
+  pending_.push_back({when, spec});
+  std::sort(pending_.begin(), pending_.end(),
+            [](const PendingJob& a, const PendingJob& b) {
+              return a.when < b.when;
+            });
+}
+
+SimTime Engine::run() { return run_until(ecfg_.max_time_us); }
+
+SimTime Engine::run_until(SimTime until) {
+  if (!started_) {
+    scheduler_->start(machine_, trace_);
+    started_ = true;
+  }
+  // Run until `until`, stopping early only once every finite job (if any
+  // exist) has completed; all-infinite workloads run the full span.
+  while (now_ < until &&
+         !(pending_.empty() && machine_.has_finite_jobs() &&
+           machine_.all_finite_jobs_done())) {
+    step();
+  }
+  return now_;
+}
+
+void Engine::step() {
+  if (!started_) {
+    scheduler_->start(machine_, trace_);
+    started_ = true;
+  }
+  // Open-system arrivals whose release time has come.
+  while (!pending_.empty() && pending_.front().when <= now_) {
+    machine_.add_job(pending_.front().spec, now_);
+    pending_.erase(pending_.begin());
+  }
+  scheduler_->tick(machine_, now_, trace_);
+  execute_tick();
+  now_ += ecfg_.tick_us;
+  if (observer_) observer_(*this);
+}
+
+void Engine::execute_tick() {
+  const double tick = static_cast<double>(ecfg_.tick_us);
+  const auto& cache_cfg = mcfg_.cache;
+
+  // Barrier front per job, computed once at tick start so sibling updates
+  // within the tick are order-independent.
+  std::vector<double> min_prog(machine_.jobs().size(), 0.0);
+  for (const auto& j : machine_.jobs()) {
+    min_prog[static_cast<std::size_t>(j.id)] = machine_.job_min_progress(j);
+  }
+
+  // Gather placed threads and their demands.
+  struct Placed {
+    int cpu;
+    int tid;
+    double limit;          // progress bound this tick (barrier/end of work)
+    bool spinning;         // already at the bound => pure spin
+    bool barrier_limited;  // bound comes from a barrier, not end of work
+  };
+  // OS-noise bookkeeping: open new steal windows whose start time passed.
+  if (ecfg_.os_noise_interval_us > 0) {
+    for (std::size_t c = 0; c < noise_next_.size(); ++c) {
+      if (now_ >= noise_next_[c]) {
+        noise_until_[c] =
+            now_ + static_cast<SimTime>(rng_.uniform(
+                       static_cast<double>(ecfg_.os_noise_min_us),
+                       static_cast<double>(ecfg_.os_noise_max_us)));
+        noise_next_[c] =
+            noise_until_[c] +
+            static_cast<SimTime>(rng_.uniform(
+                0.5 * static_cast<double>(ecfg_.os_noise_interval_us),
+                1.5 * static_cast<double>(ecfg_.os_noise_interval_us)));
+      }
+    }
+  }
+
+  std::vector<Placed> placed;
+  std::vector<double> demands;
+  std::vector<double> weights;
+  placed.reserve(machine_.cpus().size());
+  for (std::size_t c = 0; c < machine_.cpus().size(); ++c) {
+    const int tid = machine_.cpus()[c].thread;
+    if (tid == Cpu::kIdle) continue;
+    if (now_ < noise_until_[c]) {
+      // The kernel stole this CPU for the tick: the resident thread makes
+      // no progress and issues no traffic.
+      machine_.thread(tid).stolen_us += tick;
+      continue;
+    }
+    ThreadCtx& t = machine_.thread(tid);
+    assert(t.state == ThreadState::kReady &&
+           "only runnable threads may be placed");
+    const Job& j = machine_.job(t.app_id);
+
+    double limit = j.spec.work_us;
+    bool barrier_limited = false;
+    if (j.spec.barrier_interval_us > 0.0) {
+      const double barrier_limit =
+          min_prog[static_cast<std::size_t>(j.id)] +
+          j.spec.barrier_interval_us;
+      if (barrier_limit < limit) {
+        limit = barrier_limit;
+        barrier_limited = true;
+      }
+    }
+    if (j.spec.io.enabled() && t.next_io_at_progress < limit) {
+      // Computation pauses at the next I/O issue point.
+      limit = t.next_io_at_progress;
+      barrier_limited = false;
+    }
+    const bool spinning = barrier_limited && t.progress_us >= limit - kEps;
+
+    double demand = 0.0;
+    if (!spinning) {
+      demand = j.spec.demand->rate(t.tidx, t.progress_us);
+      // Cold caches refill from memory: extra uncontended demand.
+      demand *= 1.0 + j.spec.cache.cold_demand_boost * (1.0 - t.warmth);
+    }
+    placed.push_back(
+        {static_cast<int>(c), tid, limit, spinning, barrier_limited});
+    demands.push_back(demand);
+    weights.push_back(j.spec.bus_priority);
+  }
+
+  // I/O DMA agents: devices transferring on behalf of blocked threads are
+  // additional bus masters; their demand entries follow the placed ones.
+  std::vector<int> dma_tids;
+  for (const auto& t : machine_.threads()) {
+    if (t.state != ThreadState::kIoWait) continue;
+    const auto& io = machine_.job(t.app_id).spec.io;
+    if (io.dma_tps <= 0.0) continue;
+    dma_tids.push_back(t.id);
+    demands.push_back(io.dma_tps);
+    weights.push_back(mcfg_.bus.dma_arbitration_weight);
+  }
+
+  const BusResolution bus = bus_.resolve(demands, weights);
+
+  // SMT: per-context penalty when a sibling context on the same core is
+  // actively executing (see SmtConfig). Spinning siblings are excluded —
+  // a spin loop leaves the core's execution resources mostly free.
+  std::vector<double> smt_penalty(placed.size(), 1.0);
+  if (mcfg_.threads_per_core > 1) {
+    std::vector<int> placed_idx_by_cpu(machine_.cpus().size(), -1);
+    for (std::size_t i = 0; i < placed.size(); ++i) {
+      placed_idx_by_cpu[static_cast<std::size_t>(placed[i].cpu)] =
+          static_cast<int>(i);
+    }
+    for (std::size_t i = 0; i < placed.size(); ++i) {
+      if (placed[i].spinning) continue;
+      const int core = mcfg_.core_of(placed[i].cpu);
+      double max_sibling_alpha = -1.0;
+      for (int c = core * mcfg_.threads_per_core;
+           c < (core + 1) * mcfg_.threads_per_core; ++c) {
+        if (c == placed[i].cpu) continue;
+        const int j = placed_idx_by_cpu[static_cast<std::size_t>(c)];
+        if (j < 0 || placed[static_cast<std::size_t>(j)].spinning) continue;
+        max_sibling_alpha =
+            std::max(max_sibling_alpha,
+                     bus_.alpha(demands[static_cast<std::size_t>(j)]));
+      }
+      if (max_sibling_alpha >= 0.0) {
+        const double own_alpha = bus_.alpha(demands[i]);
+        smt_penalty[i] = 1.0 + mcfg_.smt.base_penalty +
+                         mcfg_.smt.memory_overlap_penalty *
+                             std::min(own_alpha, max_sibling_alpha);
+      }
+    }
+  }
+
+  ++stats_.total_ticks;
+  if (!demands.empty()) {
+    stats_.bus_utilization.add(bus.total_granted / bus.effective_capacity);
+    stats_.stretch.add(bus.stretch);
+    if (bus.saturated) ++stats_.saturated_ticks;
+    stats_.total_granted_transactions += bus.total_granted * tick;
+  }
+
+  // Advance placed threads.
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    const Placed& p = placed[i];
+    ThreadCtx& t = machine_.thread(p.tid);
+    const Job& j = machine_.job(t.app_id);
+    const bool coupled = j.spec.barrier_interval_us > 0.0;
+
+    trace_.occupy(now_, now_ + ecfg_.tick_us, t.app_id, t.id, p.cpu);
+
+    if (p.spinning) {
+      t.spin_us += tick;
+      t.consecutive_spin_us += tick;
+      if (coupled && t.consecutive_spin_us >=
+                         static_cast<double>(ecfg_.spin_grace_us)) {
+        // Spin-then-block: yield the processor until siblings catch up.
+        t.state = ThreadState::kBarrierWait;
+        t.consecutive_spin_us = 0.0;
+        machine_.vacate(p.cpu);
+      }
+      continue;
+    }
+
+    const double affinity_penalty =
+        1.0 + j.spec.cache.migration_sensitivity * (1.0 - t.warmth);
+    const double total_slowdown =
+        bus.slowdown[i] * affinity_penalty * smt_penalty[i];
+    assert(total_slowdown >= 1.0 - kEps);
+
+    const double delta = tick / total_slowdown;
+    const double allowed = std::max(0.0, p.limit - t.progress_us);
+    const double frac = delta > 0.0 ? std::min(1.0, allowed / delta) : 1.0;
+
+    t.progress_us += delta * frac;
+    t.run_us += tick * frac;
+    t.bus_transactions += bus.granted[i] * tick * frac;
+    t.bus_attempts += demands[i] * tick * frac;
+    if (frac < 1.0 && p.barrier_limited) {
+      // Ran into the barrier mid-tick: the remainder was spent spinning.
+      t.spin_us += tick * (1.0 - frac);
+      t.consecutive_spin_us += tick * (1.0 - frac);
+    } else {
+      t.consecutive_spin_us = 0.0;
+    }
+    t.warmth = std::min(
+        1.0, t.warmth + tick / static_cast<double>(cache_cfg.warmup_us));
+
+    // I/O issue: computation reached the next I/O point (and not the end
+    // of the job) — block and start the DMA transfer.
+    if (j.spec.io.enabled() &&
+        t.progress_us >= t.next_io_at_progress - kEps &&
+        t.progress_us < j.spec.work_us - kEps) {
+      t.state = ThreadState::kIoWait;
+      t.io_wake_us =
+          now_ + ecfg_.tick_us + static_cast<SimTime>(j.spec.io.burst_us);
+      t.next_io_at_progress += j.spec.io.period_progress_us;
+      machine_.vacate(p.cpu);
+      continue;
+    }
+
+    // Completion.
+    if (t.progress_us >= j.spec.work_us - kEps) {
+      t.state = ThreadState::kDone;
+      machine_.vacate(p.cpu);
+      Job& jm = machine_.job(t.app_id);
+      const bool all_done = std::all_of(
+          jm.thread_ids.begin(), jm.thread_ids.end(), [&](int tid) {
+            return machine_.thread(tid).state == ThreadState::kDone;
+          });
+      if (all_done && !jm.completed) {
+        jm.completed = true;
+        jm.completion_us = now_ + ecfg_.tick_us;
+        trace_.event({now_ + ecfg_.tick_us, trace::EventKind::kJobComplete,
+                      jm.id, -1, -1, 0.0});
+      }
+    }
+  }
+
+  // Credit DMA traffic to the blocked threads' jobs (the counters see the
+  // device transfers, which is why I/O "stresses the bus").
+  for (std::size_t k = 0; k < dma_tids.size(); ++k) {
+    const std::size_t idx = placed.size() + k;
+    auto& t = machine_.thread(dma_tids[k]);
+    t.bus_transactions += bus.granted[idx] * tick;
+    t.bus_attempts += demands[idx] * tick;
+  }
+
+  // I/O completions.
+  for (auto& t : machine_.threads()) {
+    if (t.state == ThreadState::kIoWait &&
+        now_ + ecfg_.tick_us >= t.io_wake_us) {
+      t.state = ThreadState::kReady;
+    }
+  }
+
+  apply_cache_disturbance(tick);
+  account_unplaced(tick);
+  barrier_transitions();
+}
+
+void Engine::apply_cache_disturbance(double tick) {
+  // A running thread's working set evicts cached state of the other threads
+  // whose affinity home shares a cache with the runner: the same context
+  // when threads_per_core == 1, the whole core's contexts under SMT (the
+  // sibling context shares the L2).
+  const auto& cache_cfg = mcfg_.cache;
+  for (std::size_t c = 0; c < machine_.cpus().size(); ++c) {
+    const int runner = machine_.cpus()[c].thread;
+    if (runner == Cpu::kIdle) continue;
+    const ThreadCtx& rt = machine_.thread(runner);
+    const double footprint_frac = std::min(
+        1.0, machine_.job(rt.app_id).spec.cache.footprint_kb / cache_cfg.l2_kb);
+    if (footprint_frac <= 0.0) continue;
+    const int runner_core = mcfg_.core_of(static_cast<int>(c));
+    for (auto& t : machine_.threads()) {
+      if (t.id == runner || t.last_cpu < 0) continue;
+      if (mcfg_.core_of(t.last_cpu) != runner_core) continue;
+      if (t.state == ThreadState::kDone) continue;
+      t.warmth = std::max(
+          0.0, t.warmth - footprint_frac * tick /
+                              static_cast<double>(cache_cfg.warmup_us));
+    }
+  }
+}
+
+void Engine::account_unplaced(double tick) {
+  std::vector<bool> is_placed(machine_.threads().size(), false);
+  for (const auto& c : machine_.cpus()) {
+    if (c.thread != Cpu::kIdle) {
+      is_placed[static_cast<std::size_t>(c.thread)] = true;
+    }
+  }
+  for (auto& t : machine_.threads()) {
+    if (is_placed[static_cast<std::size_t>(t.id)]) continue;
+    switch (t.state) {
+      case ThreadState::kReady:
+        t.ready_wait_us += tick;
+        break;
+      case ThreadState::kBarrierWait:
+        t.barrier_wait_us += tick;
+        break;
+      case ThreadState::kIoWait:
+        t.io_wait_us += tick;
+        break;
+      case ThreadState::kManagerBlocked:
+        t.mgr_blocked_us += tick;
+        break;
+      case ThreadState::kDone:
+        break;
+    }
+  }
+}
+
+void Engine::barrier_transitions() {
+  for (const auto& j : machine_.jobs()) {
+    if (j.completed || j.spec.barrier_interval_us <= 0.0) continue;
+    const double front = machine_.job_min_progress(j);
+    for (int tid : j.thread_ids) {
+      ThreadCtx& t = machine_.thread(tid);
+      if (t.state == ThreadState::kBarrierWait &&
+          t.progress_us < front + j.spec.barrier_interval_us - kEps) {
+        t.state = ThreadState::kReady;
+      }
+    }
+  }
+}
+
+}  // namespace bbsched::sim

@@ -1,0 +1,101 @@
+// Quantum-stepped simulation engine.
+//
+// Each tick the engine (1) lets the scheduler adjust placements, (2) derives
+// every placed thread's uncontended bus demand (barrier-spinning threads
+// demand ~nothing), (3) resolves bus contention analytically, (4) advances
+// progress / warmth / accounting, and (5) applies barrier spin-then-block
+// and completion transitions. See DESIGN.md §3 for the model.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/bus_model.h"
+#include "sim/config.h"
+#include "sim/machine.h"
+#include "sim/scheduler.h"
+#include "stats/online_stats.h"
+#include "stats/rng.h"
+#include "trace/schedule_trace.h"
+
+namespace bbsched::sim {
+
+/// Aggregate machine-level statistics accumulated per run.
+struct EngineStats {
+  stats::OnlineStats bus_utilization;   ///< granted/effective per tick
+  stats::OnlineStats stretch;           ///< bus stretch factor per tick
+  std::uint64_t saturated_ticks = 0;    ///< ticks the saturation eq. was active
+  std::uint64_t total_ticks = 0;
+  double total_granted_transactions = 0.0;
+};
+
+class Engine {
+ public:
+  Engine(const MachineConfig& mcfg, const EngineConfig& ecfg,
+         std::unique_ptr<Scheduler> scheduler);
+
+  /// Admits a job immediately (delegates to Machine). Must be called
+  /// before run().
+  int add_job(const JobSpec& spec);
+
+  /// Schedules a job for admission at absolute simulated time `when` (an
+  /// open-system arrival). The job connects to the active scheduler when it
+  /// arrives, exactly as a late application connects to the CPU manager.
+  void submit_job(const JobSpec& spec, SimTime when);
+
+  /// Runs until all finite jobs complete or max_time_us elapses.
+  /// Returns simulated end time.
+  SimTime run();
+
+  /// Runs until `until` (absolute simulated time) or finite-job completion.
+  SimTime run_until(SimTime until);
+
+  /// Executes exactly one tick.
+  void step();
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] Machine& machine() noexcept { return machine_; }
+  [[nodiscard]] const Machine& machine() const noexcept { return machine_; }
+  [[nodiscard]] const BusModel& bus() const noexcept { return bus_; }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return *scheduler_; }
+  [[nodiscard]] trace::ScheduleTrace& trace() noexcept { return trace_; }
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return ecfg_; }
+
+  /// Optional observer called after every tick (used by experiments that
+  /// sample time series, e.g. the window-length ablation).
+  using TickObserver = std::function<void(const Engine&)>;
+  void set_tick_observer(TickObserver obs) { observer_ = std::move(obs); }
+
+ private:
+  void execute_tick();
+  void account_unplaced(double tick);
+  void apply_cache_disturbance(double tick);
+  void barrier_transitions();
+
+  MachineConfig mcfg_;
+  EngineConfig ecfg_;
+  Machine machine_;
+  BusModel bus_;
+  std::unique_ptr<Scheduler> scheduler_;
+  trace::ScheduleTrace trace_;
+  EngineStats stats_;
+  stats::Rng rng_;
+  TickObserver observer_;
+  SimTime now_ = 0;
+  bool started_ = false;
+
+  /// OS-noise state: until when each CPU is stolen, and when the next
+  /// steal begins.
+  std::vector<SimTime> noise_until_;
+  std::vector<SimTime> noise_next_;
+
+  /// Pending open-system arrivals, sorted by release time.
+  struct PendingJob {
+    SimTime when;
+    JobSpec spec;
+  };
+  std::vector<PendingJob> pending_;
+};
+
+}  // namespace bbsched::sim

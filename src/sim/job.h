@@ -1,0 +1,170 @@
+// Jobs and threads in the simulated SMP.
+//
+// A job models one application instance: `nthreads` SPMD threads that each
+// carry `work_us` of virtual work (its uniprogrammed execution time) and
+// synchronise at barriers every `barrier_interval_us` of progress. Bus
+// behaviour comes from a DemandModel (supplied by the workload library),
+// cache behaviour from a small per-job CacheProfile.
+#pragma once
+
+#include <cassert>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace bbsched::sim {
+
+/// Uncontended bus-transaction demand of a job's threads as a function of
+/// progress. Implementations must be deterministic in (tidx, progress) so
+/// runs are reproducible and contention feedback stays stable.
+class DemandModel {
+ public:
+  virtual ~DemandModel() = default;
+
+  /// Transactions/µs thread `tidx` would issue at virtual progress
+  /// `progress_us` on an uncontended machine.
+  [[nodiscard]] virtual double rate(int tidx, double progress_us) const = 0;
+};
+
+/// Constant-rate demand — adequate for most of the paper's applications,
+/// whose long-run transaction rates are steady (Fig. 1A).
+class SteadyDemand final : public DemandModel {
+ public:
+  explicit SteadyDemand(double tps) : tps_(tps) { assert(tps >= 0.0); }
+  [[nodiscard]] double rate(int, double) const override { return tps_; }
+
+ private:
+  double tps_;
+};
+
+/// Cache-related per-job parameters for the warmth/affinity model.
+struct CacheProfile {
+  /// Working-set footprint in KB (relative to L2 size). Determines how much
+  /// a thread disturbs other threads' cached state on the same CPU.
+  double footprint_kb = 128.0;
+
+  /// Extra execution-time penalty at warmth 0, scaled by (1 - warmth).
+  /// High for codes with very high cache hit ratios (paper: LU-CB at 99.53%
+  /// and Water-nsqr are "very sensitive to thread migrations").
+  double migration_sensitivity = 0.08;
+
+  /// Extra uncontended bus demand while cold (working-set refill):
+  /// d_eff = d * (1 + cold_demand_boost * (1 - warmth)). Zero for streaming
+  /// codes with no reuse (BBMA), higher for cache-resident codes.
+  double cold_demand_boost = 0.5;
+};
+
+/// Blocking-I/O behaviour (paper §6 future work: I/O- and network-intensive
+/// workloads "which stress the bus bandwidth"). Threads alternate
+/// `period_progress_us` of computation with `burst_us` of blocking I/O;
+/// while an I/O is in flight its DMA transfer consumes `dma_tps` of bus
+/// bandwidth even though the thread occupies no processor — the bus sees
+/// the device as one more agent, and the performance counters attribute the
+/// traffic to the job.
+struct IoProfile {
+  double period_progress_us = 0.0;  ///< compute between I/Os; 0 = no I/O
+  double burst_us = 0.0;            ///< blocking time per I/O
+  double dma_tps = 0.0;             ///< bus transactions/µs during the I/O
+
+  [[nodiscard]] bool enabled() const {
+    return period_progress_us > 0.0 && burst_us > 0.0;
+  }
+};
+
+/// Immutable description of a job to admit into the machine.
+struct JobSpec {
+  std::string name;
+  int nthreads = 1;
+
+  /// Per-thread virtual work (uniprogrammed execution time), µs.
+  /// Use kInfiniteWork for continuously running microbenchmarks.
+  double work_us = 1.0;
+
+  /// Progress between barriers; <= 0 disables coupling (independent threads).
+  double barrier_interval_us = 0.0;
+
+  /// Bus-arbitration weight (>= 1). Ordinary latency-bound applications use
+  /// 1.0; back-to-back streaming writers (BBMA) are burst-friendly and lose
+  /// less per transaction at saturation — see bus_model.h.
+  double bus_priority = 1.0;
+
+  std::shared_ptr<const DemandModel> demand;
+  CacheProfile cache{};
+  IoProfile io{};
+
+  static constexpr double kInfiniteWork =
+      std::numeric_limits<double>::infinity();
+  [[nodiscard]] bool infinite() const {
+    return work_us == kInfiniteWork;
+  }
+};
+
+/// Lifecycle state of a simulated thread.
+enum class ThreadState {
+  kReady,          ///< runnable, waiting for a processor
+  kBarrierWait,    ///< yielded the CPU waiting for siblings at a barrier
+  kIoWait,         ///< blocked on I/O (its DMA still uses the bus)
+  kManagerBlocked, ///< blocked by the CPU manager (gang scheduling)
+  kDone,           ///< all work complete
+};
+
+/// Mutable per-thread simulation state plus accumulated accounting.
+struct ThreadCtx {
+  int id = -1;      ///< global thread id (index in Machine::threads())
+  int app_id = -1;  ///< owning job id
+  int tidx = 0;     ///< index within the job
+
+  ThreadState state = ThreadState::kReady;
+
+  double progress_us = 0.0;  ///< virtual work completed
+  int last_cpu = -1;         ///< CPU it last ran on (-1: never ran)
+  double warmth = 0.0;       ///< cache state on last_cpu, in [0, 1]
+
+  /// Consecutive time spent spinning at the current barrier (for
+  /// spin-then-block).
+  double consecutive_spin_us = 0.0;
+
+  /// I/O bookkeeping: absolute wake time of the in-flight I/O, and the
+  /// progress point at which the next I/O will be issued.
+  SimTime io_wake_us = 0;
+  double next_io_at_progress = 0.0;
+
+  // ---- accounting (monotonically increasing) ----
+  double bus_transactions = 0.0;  ///< granted (data-moving) transactions
+  /// Attempted transactions: demand-side count including the retries a
+  /// starved agent issues while arbitrating for the bus. This is what the
+  /// Xeon's bus counters (IOQ allocations) see and hence what the CPU
+  /// manager samples; it can legitimately exceed the data actually moved —
+  /// the paper itself reports a cumulative Raytrace rate above the
+  /// STREAM-sustainable limit (34.89 vs 29.5 trans/µs).
+  double bus_attempts = 0.0;
+  double run_us = 0.0;            ///< time occupying a CPU and progressing
+  double spin_us = 0.0;           ///< time occupying a CPU but barrier-spinning
+  double stolen_us = 0.0;         ///< time lost to OS noise while placed
+  double ready_wait_us = 0.0;     ///< time runnable but not placed
+  double barrier_wait_us = 0.0;   ///< time blocked at barriers
+  double io_wait_us = 0.0;        ///< time blocked on I/O
+  double mgr_blocked_us = 0.0;    ///< time blocked by the CPU manager
+  std::uint64_t migrations = 0;   ///< times placed on a different CPU
+};
+
+/// Mutable per-job simulation state.
+struct Job {
+  int id = -1;
+  JobSpec spec;
+  std::vector<int> thread_ids;  ///< global ids of this job's threads
+
+  SimTime release_us = 0;            ///< admission time
+  SimTime completion_us = kForever;  ///< set when the last thread finishes
+  bool completed = false;
+
+  [[nodiscard]] SimTime turnaround_us() const {
+    assert(completed);
+    return completion_us - release_us;
+  }
+};
+
+}  // namespace bbsched::sim

@@ -1,0 +1,82 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+
+namespace bbsched::sim {
+
+int Machine::add_job(const JobSpec& spec, SimTime now) {
+  assert(spec.nthreads >= 1);
+  assert(spec.demand != nullptr && "job needs a demand model");
+  assert(spec.work_us > 0.0);
+
+  Job j;
+  j.id = static_cast<int>(jobs_.size());
+  j.spec = spec;
+  j.release_us = now;
+  for (int t = 0; t < spec.nthreads; ++t) {
+    ThreadCtx ctx;
+    ctx.id = static_cast<int>(threads_.size());
+    ctx.app_id = j.id;
+    ctx.tidx = t;
+    if (spec.io.enabled()) {
+      ctx.next_io_at_progress = spec.io.period_progress_us;
+    }
+    j.thread_ids.push_back(ctx.id);
+    threads_.push_back(ctx);
+  }
+  jobs_.push_back(std::move(j));
+  return jobs_.back().id;
+}
+
+void Machine::place(int cpu, int tid) {
+  auto& slot = cpus_.at(static_cast<std::size_t>(cpu));
+  if (slot.thread == tid) return;
+  // A thread must never occupy two CPUs.
+  assert(cpu_of(tid) == -1 && "thread already placed on another CPU");
+  slot.thread = tid;
+  ThreadCtx& t = thread(tid);
+  if (t.last_cpu != cpu) {
+    if (t.last_cpu != -1) {
+      ++t.migrations;
+    }
+    // Cache state was built on the previous CPU; start cold here.
+    t.warmth = 0.0;
+    t.last_cpu = cpu;
+  }
+}
+
+double Machine::job_min_progress(const Job& j) const {
+  double lo = std::numeric_limits<double>::infinity();
+  for (int tid : j.thread_ids) {
+    lo = std::min(lo, thread(tid).progress_us);
+  }
+  return lo;
+}
+
+bool Machine::has_finite_jobs() const {
+  for (const auto& j : jobs_) {
+    if (!j.spec.infinite()) return true;
+  }
+  return false;
+}
+
+bool Machine::all_finite_jobs_done() const {
+  for (const auto& j : jobs_) {
+    if (!j.spec.infinite() && !j.completed) return false;
+  }
+  return true;
+}
+
+double Machine::job_bus_transactions(const Job& j) const {
+  double sum = 0.0;
+  for (int tid : j.thread_ids) sum += thread(tid).bus_transactions;
+  return sum;
+}
+
+double Machine::job_bus_attempts(const Job& j) const {
+  double sum = 0.0;
+  for (int tid : j.thread_ids) sum += thread(tid).bus_attempts;
+  return sum;
+}
+
+}  // namespace bbsched::sim

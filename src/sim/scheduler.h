@@ -1,0 +1,56 @@
+// Scheduler interface for the simulated SMP.
+//
+// The engine calls tick() before executing every simulation tick; the
+// scheduler mutates CPU placements (Machine::place / vacate) and thread
+// states (e.g. kManagerBlocked). Implementations:
+//   * linuxsched::LinuxScheduler — the bandwidth-oblivious baseline,
+//   * core::ManagedScheduler    — the paper's user-level CPU manager running
+//                                 a bandwidth-aware policy,
+//   * sim::PinnedScheduler      — static placement for calibration runs.
+#pragma once
+
+#include "sim/machine.h"
+#include "sim/time.h"
+#include "trace/schedule_trace.h"
+
+namespace bbsched::sim {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Invoked once before jobs start so the scheduler can initialise
+  /// bookkeeping for admitted jobs.
+  virtual void start(Machine& machine, trace::ScheduleTrace& trace) {
+    (void)machine;
+    (void)trace;
+  }
+
+  /// Invoked at the start of every engine tick; adjusts placements.
+  virtual void tick(Machine& machine, SimTime now,
+                    trace::ScheduleTrace& trace) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Statically pins each thread to CPU (thread_id % num_cpus) and never
+/// preempts. Used by the Fig.-1 calibration experiments, which by
+/// construction have at most one thread per processor ("no processor
+/// sharing").
+class PinnedScheduler final : public Scheduler {
+ public:
+  void tick(Machine& m, SimTime /*now*/,
+            trace::ScheduleTrace& /*trace*/) override {
+    for (auto& t : m.threads()) {
+      if (t.state != ThreadState::kReady) continue;
+      const int cpu = t.id % m.num_cpus();
+      if (m.cpus()[static_cast<std::size_t>(cpu)].thread == Cpu::kIdle) {
+        m.place(cpu, t.id);
+      }
+    }
+  }
+
+  [[nodiscard]] const char* name() const override { return "pinned"; }
+};
+
+}  // namespace bbsched::sim

@@ -1,0 +1,24 @@
+// Simulated time. The whole substrate works in integer microseconds, which
+// matches the paper's units (bus transactions per microsecond, millisecond
+// scheduling quanta) and keeps tick arithmetic exact.
+#pragma once
+
+#include <cstdint>
+
+namespace bbsched::sim {
+
+/// Simulated time in microseconds since experiment start.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kUsPerMs = 1000;
+inline constexpr SimTime kUsPerSec = 1000 * 1000;
+
+/// Convenience constructors, e.g. `ms(200)` for a 200 ms quantum.
+constexpr SimTime us(std::uint64_t v) { return v; }
+constexpr SimTime ms(std::uint64_t v) { return v * kUsPerMs; }
+constexpr SimTime sec(std::uint64_t v) { return v * kUsPerSec; }
+
+/// Sentinel for "never" / unbounded work.
+inline constexpr SimTime kForever = ~SimTime{0};
+
+}  // namespace bbsched::sim

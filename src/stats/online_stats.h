@@ -1,0 +1,81 @@
+// Online (single-pass) summary statistics.
+//
+// Used throughout the simulator and the benches to accumulate means,
+// variances and extrema without storing samples. Welford's algorithm keeps
+// the variance numerically stable for long runs (millions of ticks).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace bbsched::stats {
+
+/// Single-pass accumulator for mean / variance / min / max.
+///
+/// Empty accumulators report mean() == 0 and variance() == 0 so callers can
+/// print summaries without special-casing; use count() to detect emptiness.
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  /// Merges another accumulator into this one (parallel-reduction friendly).
+  void merge(const OnlineStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double nt = na + nb;
+    mean_ += delta * nb / nt;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Population variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double sample_variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// +inf / -inf when empty, mirroring the identity of min/max folds.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  void reset() noexcept { *this = OnlineStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace bbsched::stats

@@ -1,0 +1,52 @@
+// Small percentile / distribution helpers for experiment reporting.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace bbsched::stats {
+
+/// Stores samples and answers percentile queries. Intended for modest sample
+/// counts (per-experiment summaries), not for per-tick hot paths.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Linear-interpolated percentile, p in [0, 100]. Requires non-empty set.
+  [[nodiscard]] double percentile(double p) const {
+    assert(!samples_.empty());
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] double mean() const {
+    assert(!samples_.empty());
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+  void clear() noexcept { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace bbsched::stats

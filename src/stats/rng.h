@@ -1,0 +1,84 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic behaviour in the simulator (burst phases, Linux-scheduler
+// tie-breaking, workload arrival jitter) is drawn from explicitly seeded
+// generators so every experiment is exactly reproducible. We use
+// splitmix64 for seeding and xoshiro256** as the main generator — small,
+// fast, and far better distributed than std::minstd, without the size of
+// std::mt19937.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bbsched::stats {
+
+/// splitmix64 step; used to expand a single seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — deterministic, seedable, UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n); n must be > 0. Uses rejection to stay unbiased.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Forks an independent stream (for per-thread generators).
+  Rng fork() noexcept { return Rng((*this)() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace bbsched::stats

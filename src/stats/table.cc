@@ -1,0 +1,101 @@
+#include "stats/table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace bbsched::stats {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  // Allow a trailing '%' (percent cells align like numbers).
+  if (end != nullptr && *end == '%') ++end;
+  return end != nullptr && *end == '\0';
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::set_header(std::vector<std::string> header) {
+  assert(rows_.empty() && "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size() && "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double v, int precision) {
+  std::ostringstream os;
+  os << std::showpos << std::fixed << std::setprecision(precision) << v << '%';
+  return os.str();
+}
+
+void Table::render(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const bool right = c > 0 && (rows_.empty() || looks_numeric(row[c]) ||
+                                   row == header_);
+      os << "  ";
+      if (right) {
+        os << std::setw(static_cast<int>(width[c])) << std::right << row[c];
+      } else {
+        os << std::setw(static_cast<int>(width[c])) << std::left << row[c];
+      }
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::render_csv(std::ostream& os) const {
+  auto print_csv = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  print_csv(header_);
+  for (const auto& row : rows_) print_csv(row);
+}
+
+}  // namespace bbsched::stats

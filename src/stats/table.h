@@ -1,0 +1,47 @@
+// Console table rendering for the benchmark harness.
+//
+// Every fig*/ablation_* bench prints the rows/series the paper reports using
+// this renderer, so output formatting is consistent and greppable. Columns
+// are right-aligned for numbers, left-aligned for labels, and the renderer
+// also emits CSV so results can be post-processed.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bbsched::stats {
+
+/// Column-aligned text table with an optional title and CSV export.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before any add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; size must match the header (checked with assert).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with fixed precision, passing strings through.
+  static std::string num(double v, int precision = 2);
+  /// Formats a percentage with sign, e.g. "+41.3%".
+  static std::string pct(double v, int precision = 1);
+
+  /// Renders the aligned table (with title and separator rules).
+  void render(std::ostream& os) const;
+
+  /// Renders as CSV (header + rows, comma-separated, quotes where needed).
+  void render_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bbsched::stats

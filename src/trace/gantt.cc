@@ -1,0 +1,87 @@
+#include "trace/gantt.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace bbsched::trace {
+
+char gantt_glyph(int app_id) {
+  if (app_id < 0) return '?';
+  if (app_id < 26) return static_cast<char>('a' + app_id);
+  if (app_id < 52) return static_cast<char>('A' + app_id - 26);
+  return '#';
+}
+
+std::vector<GanttRow> build_gantt(const ScheduleTrace& trace, int num_cpus,
+                                  const GanttOptions& opt) {
+  std::uint64_t end = opt.end_us;
+  if (end == 0) {
+    for (const auto& iv : trace.intervals()) end = std::max(end, iv.end_us);
+  }
+  const std::uint64_t start = std::min(opt.start_us, end);
+  const std::uint64_t span = end - start;
+  const std::size_t cells =
+      std::min(opt.max_cells,
+               static_cast<std::size_t>((span + opt.cell_us - 1) /
+                                        std::max<std::uint64_t>(1, opt.cell_us)));
+
+  std::vector<GanttRow> rows(static_cast<std::size_t>(num_cpus));
+  for (int c = 0; c < num_cpus; ++c) {
+    rows[static_cast<std::size_t>(c)].cpu = c;
+    rows[static_cast<std::size_t>(c)].cells.assign(cells, ' ');
+  }
+
+  // Majority occupancy per (cpu, cell).
+  std::vector<std::map<int, std::uint64_t>> occupancy(
+      static_cast<std::size_t>(num_cpus) * cells);
+  for (const auto& iv : trace.intervals()) {
+    if (iv.cpu < 0 || iv.cpu >= num_cpus) continue;
+    const std::uint64_t lo = std::max(iv.start_us, start);
+    const std::uint64_t hi = std::min(iv.end_us, end);
+    if (lo >= hi) continue;
+    for (std::uint64_t cell = (lo - start) / opt.cell_us;
+         cell < cells && cell * opt.cell_us + start < hi; ++cell) {
+      const std::uint64_t cell_lo = start + cell * opt.cell_us;
+      const std::uint64_t cell_hi = cell_lo + opt.cell_us;
+      const std::uint64_t overlap =
+          std::min(hi, cell_hi) - std::max(lo, cell_lo);
+      occupancy[static_cast<std::size_t>(iv.cpu) * cells + cell][iv.app_id] +=
+          overlap;
+    }
+  }
+  for (int c = 0; c < num_cpus; ++c) {
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      const auto& occ = occupancy[static_cast<std::size_t>(c) * cells + cell];
+      int best = -1;
+      std::uint64_t best_t = 0;
+      for (const auto& [app, t] : occ) {
+        if (t > best_t) {
+          best_t = t;
+          best = app;
+        }
+      }
+      if (best >= 0) {
+        rows[static_cast<std::size_t>(c)].cells[cell] = gantt_glyph(best);
+      }
+    }
+  }
+  return rows;
+}
+
+void render_gantt(std::ostream& os, const ScheduleTrace& trace, int num_cpus,
+                  const std::vector<std::string>& job_names,
+                  const GanttOptions& opt) {
+  const auto rows = build_gantt(trace, num_cpus, opt);
+  os << "gantt (" << opt.cell_us / 1000 << " ms per cell; blank = idle)\n";
+  for (const auto& row : rows) {
+    os << "cpu" << row.cpu << " |" << row.cells << "|\n";
+  }
+  os << "legend:";
+  for (std::size_t i = 0; i < job_names.size(); ++i) {
+    os << ' ' << gantt_glyph(static_cast<int>(i)) << '=' << job_names[i];
+  }
+  os << '\n';
+}
+
+}  // namespace bbsched::trace

@@ -1,0 +1,46 @@
+// ASCII Gantt rendering of a schedule trace: one row per CPU, one character
+// cell per time bucket, labelled by job. Invaluable for understanding why a
+// policy made the decisions it did (examples/schedule_gantt uses it, and it
+// is how the Linux baseline's accidental anti-phase lock was found during
+// calibration).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/schedule_trace.h"
+
+namespace bbsched::trace {
+
+struct GanttOptions {
+  /// Simulated time per character cell (µs).
+  std::uint64_t cell_us = 10'000;
+  /// Render window [start_us, end_us); end 0 = end of trace.
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  /// Maximum number of character cells per row (rows are clipped).
+  std::size_t max_cells = 240;
+};
+
+/// One rendered row.
+struct GanttRow {
+  int cpu = 0;
+  std::string cells;  ///< one char per cell: job glyph or ' ' (idle)
+};
+
+/// Glyph assigned to each job: 'a'..'z' then 'A'..'Z' then '#' by job id.
+[[nodiscard]] char gantt_glyph(int app_id);
+
+/// Builds rows from the trace's occupancy intervals. A cell shows the job
+/// that occupied the majority of that cell on that CPU.
+[[nodiscard]] std::vector<GanttRow> build_gantt(const ScheduleTrace& trace,
+                                                int num_cpus,
+                                                const GanttOptions& opt = {});
+
+/// Renders rows plus a legend mapping glyphs to job names.
+void render_gantt(std::ostream& os, const ScheduleTrace& trace, int num_cpus,
+                  const std::vector<std::string>& job_names,
+                  const GanttOptions& opt = {});
+
+}  // namespace bbsched::trace

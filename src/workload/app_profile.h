@@ -1,0 +1,103 @@
+// Application profiles: the bandwidth signature of each benchmark the paper
+// evaluates, expressed in simulator terms.
+//
+// A profile captures everything Figs. 1 and 2 depend on: the standalone
+// (2-thread, uniprogrammed) cumulative bus-transaction rate read off
+// Fig. 1A, the temporal shape of the demand (steady / bursty / phased),
+// the cache footprint and migration sensitivity, and the uniprogrammed
+// execution time used to size the job's virtual work.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/job.h"
+
+namespace bbsched::workload {
+
+/// Temporal shape of an application's bus demand.
+enum class DemandShape {
+  kSteady,  ///< flat long-run rate
+  kBursty,  ///< random piecewise-constant bursts (Raytrace)
+  kPhased,  ///< alternating high/low phases (LU)
+};
+
+struct AppProfile {
+  std::string name;
+
+  /// Cumulative bus transactions/µs of the standalone 2-thread run
+  /// (Fig. 1A, black bars). Calibration adjusts the per-thread demand so a
+  /// simulated uniprogrammed run reproduces this value.
+  double standalone_rate_tps = 1.0;
+
+  DemandShape shape = DemandShape::kSteady;
+  /// Burst amplitude (kBursty) as a fraction of the base rate.
+  double burst_amplitude = 0.0;
+  /// Burst cell / phase period in progress-µs.
+  double burst_cell_us = 40.0e3;
+  /// High:low ratio and duty cycle for kPhased.
+  double phase_ratio = 4.0;
+  double phase_duty = 0.5;
+
+  /// Cache behaviour.
+  double footprint_kb = 192.0;
+  double migration_sensitivity = 0.08;
+  double cold_demand_boost = 1.5;
+
+  /// Uniprogrammed execution time of one 2-thread instance (µs of virtual
+  /// work per thread).
+  double uniprog_time_us = 30.0e6;
+
+  /// Progress between barrier synchronisations (µs); 0 = uncoupled.
+  double barrier_interval_us = 2000.0;
+};
+
+/// Builds the job spec for one instance of the application with `nthreads`
+/// threads. Per-thread demand is the calibrated standalone rate divided by
+/// the reference thread count (2), preserving per-thread intensity when the
+/// thread count changes.
+[[nodiscard]] sim::JobSpec make_app_job(const AppProfile& profile,
+                                        const sim::BusConfig& bus,
+                                        int nthreads = 2,
+                                        std::uint64_t seed = 1);
+
+/// The 11 applications of the paper's evaluation (NAS + SPLASH-2), in
+/// Fig. 1A's increasing order of standalone bus-transaction rate:
+/// Radiosity, Water-nsqr, Volrend, Barnes, FMM, LU-CB, BT, SP, MG,
+/// Raytrace, CG.
+[[nodiscard]] const std::vector<AppProfile>& paper_applications();
+
+/// Looks up a paper application by name; aborts on unknown names.
+[[nodiscard]] const AppProfile& paper_application(const std::string& name);
+
+/// Microbenchmarks from §3. BBMA streams column-wise through an array twice
+/// the L2 size (~0% hit rate, 23.6 trans/µs); nBBMA walks half the L2
+/// row-wise (~100% hit rate, 0.0037 trans/µs). Both run one thread and
+/// never terminate (the experiment driver stops them).
+[[nodiscard]] sim::JobSpec make_bbma_job(const sim::BusConfig& bus);
+[[nodiscard]] sim::JobSpec make_nbbma_job();
+
+/// A server-style job (paper §6 future work: web and database servers whose
+/// I/O "stresses the bus bandwidth"): threads alternate request processing
+/// (`cpu_burst_us` of computation at `cpu_rate_tps` bus demand) with
+/// blocking I/O of `io_burst_us`, whose DMA transfer consumes `dma_tps` of
+/// bus bandwidth while no processor is held.
+[[nodiscard]] sim::JobSpec make_server_job(const std::string& name,
+                                           int nthreads, double work_us,
+                                           double cpu_rate_tps,
+                                           double cpu_burst_us,
+                                           double io_burst_us,
+                                           double dma_tps);
+
+/// Uncontended per-thread demand rate that makes an `nthreads` uniprogrammed
+/// run measure `target_rate_tps` cumulative transactions/µs under the bus
+/// model `bus` (inverts the mild self-contention of the standalone run).
+/// `bus_priority` is the arbitration weight the job will run with.
+[[nodiscard]] double calibrate_per_thread_demand(double target_rate_tps,
+                                                 int nthreads,
+                                                 const sim::BusConfig& bus,
+                                                 double bus_priority = 1.0);
+
+}  // namespace bbsched::workload

@@ -1,0 +1,67 @@
+// Trace-driven demand: replay a measured bus-bandwidth profile.
+//
+// Users with real per-phase transaction-rate measurements (e.g. from
+// hardware counters on their own machine, sampled the way the paper's CPU
+// manager samples) can feed them into the simulator instead of the
+// synthetic shapes: a trace is a sequence of (progress_duration_us, rate)
+// segments that repeats cyclically over the job's virtual progress.
+//
+// CSV format, one segment per line, '#' comments allowed:
+//     duration_us,rate_tps
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/job.h"
+
+namespace bbsched::workload {
+
+/// One trace segment: the job issues `rate_tps` for `duration_us` of
+/// progress.
+struct TraceSegment {
+  double duration_us = 0.0;
+  double rate_tps = 0.0;
+};
+
+/// Demand model replaying a segment list cyclically. Thread index shifts
+/// the phase (threads of real codes are rarely in perfect phase), by one
+/// segment per thread.
+class TraceDemand final : public sim::DemandModel {
+ public:
+  explicit TraceDemand(std::vector<TraceSegment> segments);
+
+  [[nodiscard]] double rate(int tidx, double progress_us) const override;
+
+  [[nodiscard]] const std::vector<TraceSegment>& segments() const noexcept {
+    return segments_;
+  }
+  /// Total progress covered by one cycle of the trace.
+  [[nodiscard]] double period_us() const noexcept { return period_; }
+  /// Progress-weighted mean rate over one cycle.
+  [[nodiscard]] double mean_tps() const noexcept { return mean_; }
+
+ private:
+  std::vector<TraceSegment> segments_;
+  std::vector<double> offsets_;  ///< cumulative start offset per segment
+  double period_ = 0.0;
+  double mean_ = 0.0;
+};
+
+/// Parses the CSV trace format from a stream. Throws std::runtime_error on
+/// malformed input (line number included).
+[[nodiscard]] std::vector<TraceSegment> parse_trace_csv(std::istream& in);
+
+/// Loads a trace file; convenience wrapper over parse_trace_csv.
+[[nodiscard]] std::vector<TraceSegment> load_trace_csv(
+    const std::string& path);
+
+/// Builds a job spec around a trace (analogous to make_app_job).
+[[nodiscard]] sim::JobSpec make_trace_job(const std::string& name,
+                                          std::vector<TraceSegment> segments,
+                                          int nthreads, double work_us,
+                                          double barrier_interval_us = 2000.0);
+
+}  // namespace bbsched::workload

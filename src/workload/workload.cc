@@ -1,0 +1,104 @@
+#include "workload/workload.h"
+
+#include "stats/rng.h"
+
+namespace bbsched::workload {
+
+namespace {
+
+/// Distinct per-instance seeds keep bursty instances decorrelated, as two
+/// real copies of Raytrace would be.
+sim::JobSpec app_instance(const AppProfile& app, const sim::BusConfig& bus,
+                          std::uint64_t seed) {
+  return make_app_job(app, bus, /*nthreads=*/2, seed);
+}
+
+}  // namespace
+
+Workload fig1_single(const AppProfile& app, const sim::BusConfig& bus) {
+  Workload w;
+  w.name = "1x " + app.name;
+  w.jobs.push_back(app_instance(app, bus, 11));
+  w.measured = {0};
+  return w;
+}
+
+Workload fig1_dual(const AppProfile& app, const sim::BusConfig& bus) {
+  Workload w;
+  w.name = "2x " + app.name;
+  w.jobs.push_back(app_instance(app, bus, 11));
+  w.jobs.push_back(app_instance(app, bus, 23));
+  w.measured = {0, 1};
+  return w;
+}
+
+Workload fig1_with_bbma(const AppProfile& app, const sim::BusConfig& bus) {
+  Workload w;
+  w.name = app.name + " + 2 BBMA";
+  w.jobs.push_back(app_instance(app, bus, 11));
+  w.jobs.push_back(make_bbma_job(bus));
+  w.jobs.push_back(make_bbma_job(bus));
+  w.measured = {0};
+  return w;
+}
+
+Workload fig1_with_nbbma(const AppProfile& app, const sim::BusConfig& bus) {
+  Workload w;
+  w.name = app.name + " + 2 nBBMA";
+  w.jobs.push_back(app_instance(app, bus, 11));
+  w.jobs.push_back(make_nbbma_job());
+  w.jobs.push_back(make_nbbma_job());
+  w.measured = {0};
+  return w;
+}
+
+Workload fig2_saturated(const AppProfile& app, const sim::BusConfig& bus) {
+  Workload w;
+  w.name = "2x " + app.name + " + 4 BBMA";
+  w.jobs.push_back(app_instance(app, bus, 11));
+  w.jobs.push_back(app_instance(app, bus, 23));
+  for (int i = 0; i < 4; ++i) w.jobs.push_back(make_bbma_job(bus));
+  w.measured = {0, 1};
+  return w;
+}
+
+Workload fig2_idle_bus(const AppProfile& app, const sim::BusConfig& bus) {
+  Workload w;
+  w.name = "2x " + app.name + " + 4 nBBMA";
+  w.jobs.push_back(app_instance(app, bus, 11));
+  w.jobs.push_back(app_instance(app, bus, 23));
+  for (int i = 0; i < 4; ++i) w.jobs.push_back(make_nbbma_job());
+  w.measured = {0, 1};
+  return w;
+}
+
+Workload fig2_mixed(const AppProfile& app, const sim::BusConfig& bus) {
+  Workload w;
+  w.name = "2x " + app.name + " + 2 BBMA + 2 nBBMA";
+  w.jobs.push_back(app_instance(app, bus, 11));
+  w.jobs.push_back(app_instance(app, bus, 23));
+  w.jobs.push_back(make_bbma_job(bus));
+  w.jobs.push_back(make_bbma_job(bus));
+  w.jobs.push_back(make_nbbma_job());
+  w.jobs.push_back(make_nbbma_job());
+  w.measured = {0, 1};
+  return w;
+}
+
+Workload random_mix(std::size_t napps, std::size_t nbbma, std::size_t nnbbma,
+                    const sim::BusConfig& bus, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  const auto& apps = paper_applications();
+  Workload w;
+  w.name = "random mix";
+  for (std::size_t i = 0; i < napps; ++i) {
+    const auto& app = apps[rng.below(apps.size())];
+    w.jobs.push_back(app_instance(app, bus, rng()));
+    w.measured.push_back(w.jobs.size() - 1);
+  }
+  for (std::size_t i = 0; i < nbbma; ++i) w.jobs.push_back(make_bbma_job(bus));
+  for (std::size_t i = 0; i < nnbbma; ++i) w.jobs.push_back(make_nbbma_job());
+  return w;
+}
+
+}  // namespace bbsched::workload

@@ -1,0 +1,65 @@
+// Workload construction for the paper's experiment sets.
+//
+// §3 (Fig. 1) uses four sets per application: the application alone, two
+// instances, one instance + two BBMA, one instance + two nBBMA. §5 (Fig. 2)
+// uses three multiprogrammed sets at multiprogramming degree two (eight
+// threads on four processors): two application instances plus four BBMA /
+// four nBBMA / two of each.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/job.h"
+#include "workload/app_profile.h"
+
+namespace bbsched::workload {
+
+/// A named set of job specs; `measured` indexes the jobs whose turnaround
+/// the experiment reports (the "applications of interest"). Background
+/// microbenchmarks run until the driver stops them and are never measured.
+struct Workload {
+  std::string name;
+  std::vector<sim::JobSpec> jobs;
+  std::vector<std::size_t> measured;
+};
+
+/// Fig. 1 set (i): the application alone, two threads.
+[[nodiscard]] Workload fig1_single(const AppProfile& app,
+                                   const sim::BusConfig& bus);
+
+/// Fig. 1 set (ii): two identical instances, two threads each.
+[[nodiscard]] Workload fig1_dual(const AppProfile& app,
+                                 const sim::BusConfig& bus);
+
+/// Fig. 1 set (iii): one instance + two BBMA microbenchmarks.
+[[nodiscard]] Workload fig1_with_bbma(const AppProfile& app,
+                                      const sim::BusConfig& bus);
+
+/// Fig. 1 set (iv): one instance + two nBBMA microbenchmarks.
+[[nodiscard]] Workload fig1_with_nbbma(const AppProfile& app,
+                                       const sim::BusConfig& bus);
+
+/// Fig. 2A: two instances + four BBMA (already-saturated bus).
+[[nodiscard]] Workload fig2_saturated(const AppProfile& app,
+                                      const sim::BusConfig& bus);
+
+/// Fig. 2B: two instances + four nBBMA (low-bandwidth jobs available).
+[[nodiscard]] Workload fig2_idle_bus(const AppProfile& app,
+                                     const sim::BusConfig& bus);
+
+/// Fig. 2C: two instances + two BBMA + two nBBMA (mixed environment).
+[[nodiscard]] Workload fig2_mixed(const AppProfile& app,
+                                  const sim::BusConfig& bus);
+
+/// A randomized heterogeneous mix of `napps` paper applications (2 threads
+/// each) plus `nbbma`/`nnbbma` microbenchmarks; used by robustness tests
+/// beyond the paper's sets.
+[[nodiscard]] Workload random_mix(std::size_t napps, std::size_t nbbma,
+                                  std::size_t nnbbma,
+                                  const sim::BusConfig& bus,
+                                  std::uint64_t seed);
+
+}  // namespace bbsched::workload

@@ -1,0 +1,46 @@
+// Tests for the bench CLI parsing.
+#include <gtest/gtest.h>
+
+#include "experiments/cli.h"
+
+namespace bbsched::experiments {
+namespace {
+
+CliOptions parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return parse_cli(static_cast<int>(args.size()),
+                   const_cast<char**>(args.data()));
+}
+
+TEST(Cli, Defaults) {
+  const auto opt = parse({});
+  EXPECT_DOUBLE_EQ(opt.time_scale, 1.0);
+  EXPECT_FALSE(opt.csv);
+  EXPECT_TRUE(opt.app.empty());
+  EXPECT_EQ(opt.seed, 42u);
+}
+
+TEST(Cli, FastSetsScale) {
+  const auto opt = parse({"--fast"});
+  EXPECT_DOUBLE_EQ(opt.time_scale, 0.2);
+}
+
+TEST(Cli, ExplicitScaleWins) {
+  const auto opt = parse({"--fast", "--scale=0.5"});
+  EXPECT_DOUBLE_EQ(opt.time_scale, 0.5);
+}
+
+TEST(Cli, CsvAppSeed) {
+  const auto opt = parse({"--csv", "--app=Raytrace", "--seed=99"});
+  EXPECT_TRUE(opt.csv);
+  EXPECT_EQ(opt.app, "Raytrace");
+  EXPECT_EQ(opt.seed, 99u);
+}
+
+TEST(Cli, UnknownFlagsIgnored) {
+  const auto opt = parse({"--benchmark_filter=x", "--app=CG"});
+  EXPECT_EQ(opt.app, "CG");
+}
+
+}  // namespace
+}  // namespace bbsched::experiments

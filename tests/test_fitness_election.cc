@@ -1,0 +1,227 @@
+// Tests for the paper's fitness metric (Eq. 1/2) and the gang election.
+#include <gtest/gtest.h>
+
+#include "core/election.h"
+#include "core/fitness.h"
+
+namespace bbsched::core {
+namespace {
+
+// ---- fitness (Eq. 1) ----
+
+TEST(Fitness, MaximalAtExactMatch) {
+  EXPECT_DOUBLE_EQ(fitness(10.0, 10.0), kFitnessScale);
+}
+
+TEST(Fitness, SymmetricAroundMatch) {
+  EXPECT_DOUBLE_EQ(fitness(10.0, 7.0), fitness(10.0, 13.0));
+}
+
+TEST(Fitness, DecreasesWithDistance) {
+  EXPECT_GT(fitness(10.0, 9.0), fitness(10.0, 5.0));
+  EXPECT_GT(fitness(10.0, 11.0), fitness(10.0, 20.0));
+}
+
+TEST(Fitness, KnownValue) {
+  // 1000 / (1 + |4 - 1|) = 250.
+  EXPECT_DOUBLE_EQ(fitness(4.0, 1.0), 250.0);
+}
+
+TEST(Fitness, NegativeAbbwFavorsLowestBandwidth) {
+  // Paper: "As soon as the bus gets overloaded, ABBW/proc turns negative
+  // and the application with the lowest BBW/thread becomes the fittest."
+  const double abbw = -5.0;
+  EXPECT_GT(fitness(abbw, 0.1), fitness(abbw, 5.0));
+  EXPECT_GT(fitness(abbw, 5.0), fitness(abbw, 23.6));
+}
+
+TEST(Fitness, AbbwPerProcComputation) {
+  EXPECT_DOUBLE_EQ(abbw_per_proc(29.5, 20.0, 2), 4.75);
+  EXPECT_LT(abbw_per_proc(29.5, 40.0, 2), 0.0);
+}
+
+// ---- election ----
+
+TEST(Election, EmptyCandidateList) {
+  const auto r = elect({}, 4, 29.5);
+  EXPECT_TRUE(r.elected.empty());
+  EXPECT_EQ(r.idle_procs, 4);
+}
+
+TEST(Election, HeadOfListAlwaysAllocated) {
+  // The head runs regardless of how poorly it fits (starvation freedom).
+  std::vector<Candidate> c{
+      {0, 2, 23.6},  // head: terrible fit on a loaded bus
+      {1, 2, 0.1},
+      {2, 2, 0.1},
+  };
+  const auto r = elect(c, 4, 29.5);
+  ASSERT_FALSE(r.elected.empty());
+  EXPECT_EQ(r.elected.front(), 0);
+}
+
+TEST(Election, HeadSkippedOnlyWhenItCannotFit) {
+  std::vector<Candidate> c{
+      {0, 8, 1.0},  // needs more processors than exist
+      {1, 2, 1.0},
+  };
+  const auto r = elect(c, 4, 29.5);
+  ASSERT_FALSE(r.elected.empty());
+  EXPECT_EQ(r.elected.front(), 1);
+}
+
+TEST(Election, PairsHighBandwidthHeadWithLowBandwidthJobs) {
+  // Head is a high-bandwidth app (2 threads x 10 trans/µs); with nBBMA-like
+  // candidates available, the election should prefer them over a second
+  // high-bandwidth app: ABBW/proc = (29.5-20)/2 = 4.75, |4.75-0| < |4.75-10|.
+  std::vector<Candidate> c{
+      {0, 2, 10.0},   // head (elected by default)
+      {1, 2, 10.0},   // twin instance
+      {2, 1, 0.002},  // nBBMA
+      {3, 1, 0.002},  // nBBMA
+  };
+  const auto r = elect(c, 4, 29.5);
+  ASSERT_EQ(r.elected.size(), 3u);
+  EXPECT_EQ(r.elected[0], 0);
+  EXPECT_EQ(r.elected[1], 2);
+  EXPECT_EQ(r.elected[2], 3);
+  EXPECT_EQ(r.idle_procs, 0);
+}
+
+TEST(Election, ReverseScenarioLowBandwidthHeadAttractsHigh) {
+  // Paper: "If processors have already been allocated to low-bandwidth
+  // applications, high-bandwidth ones become best candidates."
+  std::vector<Candidate> c{
+      {0, 2, 0.1},   // low-bandwidth head
+      {1, 2, 0.1},   // low-bandwidth twin
+      {2, 2, 14.0},  // high-bandwidth app
+  };
+  // After the head: ABBW/proc = (29.5 - 0.2)/2 = 14.65 -> app 2 fits best.
+  const auto r = elect(c, 4, 29.5);
+  ASSERT_EQ(r.elected.size(), 2u);
+  EXPECT_EQ(r.elected[0], 0);
+  EXPECT_EQ(r.elected[1], 2);
+}
+
+TEST(Election, OverloadedBusPrefersLowestBandwidth) {
+  // Once the head saturates the bus, remaining picks go to the lowest
+  // BBW/thread candidates.
+  std::vector<Candidate> c{
+      {0, 2, 16.0},  // head: 32 > 29.5 => ABBW/proc < 0 afterwards
+      {1, 1, 23.6},
+      {2, 1, 5.0},
+      {3, 1, 0.5},
+  };
+  const auto r = elect(c, 4, 29.5);
+  ASSERT_GE(r.elected.size(), 3u);
+  EXPECT_EQ(r.elected[0], 0);
+  EXPECT_EQ(r.elected[1], 3);  // lowest bandwidth first
+  EXPECT_EQ(r.elected[2], 2);
+}
+
+TEST(Election, GangNeverSplitsApplications) {
+  // 3 CPUs left after the head; a 4-thread app cannot be elected.
+  std::vector<Candidate> c{
+      {0, 1, 1.0},
+      {1, 4, 0.5},  // does not fit the remaining 3 processors
+      {2, 1, 0.7},
+  };
+  const auto r = elect(c, 4, 29.5);
+  for (int id : r.elected) EXPECT_NE(id, 1);
+  // Gang fragmentation is visible as idle processors.
+  EXPECT_EQ(r.idle_procs, 4 - 2);
+}
+
+TEST(Election, ProcessorsNeverOversubscribed) {
+  std::vector<Candidate> c{
+      {0, 2, 3.0}, {1, 2, 5.0}, {2, 2, 7.0}, {3, 2, 1.0}, {4, 2, 2.0},
+  };
+  const auto r = elect(c, 4, 29.5);
+  int used = 0;
+  for (int id : r.elected) used += c[static_cast<std::size_t>(id)].nthreads;
+  EXPECT_LE(used, 4);
+  EXPECT_EQ(r.idle_procs, 4 - used);
+}
+
+TEST(Election, AllocatedBandwidthAccounting) {
+  std::vector<Candidate> c{
+      {0, 2, 10.0},
+      {1, 1, 0.002},
+      {2, 1, 0.002},
+  };
+  const auto r = elect(c, 4, 29.5);
+  EXPECT_NEAR(r.allocated_bw, 2 * 10.0 + 0.002 + 0.002, 1e-12);
+}
+
+TEST(Election, FitnessTieBreaksByListOrder) {
+  // Identical candidates: earlier list position wins (strict > comparison).
+  std::vector<Candidate> c{
+      {7, 2, 1.0},
+      {8, 2, 1.0},
+      {9, 2, 1.0},
+  };
+  const auto r = elect(c, 4, 29.5);
+  ASSERT_EQ(r.elected.size(), 2u);
+  EXPECT_EQ(r.elected[0], 7);
+  EXPECT_EQ(r.elected[1], 8);
+}
+
+TEST(Election, SingleProcessorMachine) {
+  std::vector<Candidate> c{
+      {0, 1, 2.0},
+      {1, 1, 1.0},
+  };
+  const auto r = elect(c, 1, 29.5);
+  ASSERT_EQ(r.elected.size(), 1u);
+  EXPECT_EQ(r.elected[0], 0);
+  EXPECT_EQ(r.idle_procs, 0);
+}
+
+// Property sweep over machine sizes: the election never oversubscribes and
+// always elects the head when anything fits.
+class ElectionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ElectionPropertyTest, CoreInvariants) {
+  const int nprocs = GetParam();
+  std::vector<Candidate> c;
+  std::uint64_t state = static_cast<std::uint64_t>(nprocs) * 0x9e3779b9u + 17;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const int napps = 2 + static_cast<int>(next() % 6);
+  for (int i = 0; i < napps; ++i) {
+    c.push_back({i, 1 + static_cast<int>(next() % 4),
+                 static_cast<double>(next() % 236) / 10.0});
+  }
+
+  const auto r = elect(c, nprocs, 29.5);
+  int used = 0;
+  for (int id : r.elected) {
+    used += c[static_cast<std::size_t>(id)].nthreads;
+  }
+  EXPECT_LE(used, nprocs);
+  EXPECT_EQ(r.idle_procs, nprocs - used);
+
+  // If any candidate fits, the first fitting one is elected first.
+  for (const auto& cand : c) {
+    if (cand.nthreads <= nprocs) {
+      ASSERT_FALSE(r.elected.empty());
+      EXPECT_EQ(r.elected.front(), cand.app_id);
+      break;
+    }
+  }
+
+  // No duplicates.
+  auto sorted = r.elected;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, ElectionPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16, 32));
+
+}  // namespace
+}  // namespace bbsched::core

@@ -1,0 +1,103 @@
+// Tests for the ASCII Gantt renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/gantt.h"
+
+namespace bbsched::trace {
+namespace {
+
+TEST(Gantt, GlyphAssignment) {
+  EXPECT_EQ(gantt_glyph(0), 'a');
+  EXPECT_EQ(gantt_glyph(25), 'z');
+  EXPECT_EQ(gantt_glyph(26), 'A');
+  EXPECT_EQ(gantt_glyph(51), 'Z');
+  EXPECT_EQ(gantt_glyph(52), '#');
+  EXPECT_EQ(gantt_glyph(-1), '?');
+}
+
+TEST(Gantt, EmptyTraceRendersIdleRows) {
+  ScheduleTrace t(true);
+  const auto rows = build_gantt(t, 2, {});
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    EXPECT_TRUE(row.cells.empty());
+  }
+}
+
+TEST(Gantt, MajorityOccupancyPerCell) {
+  ScheduleTrace t(true);
+  // Job 0 occupies cpu 0 for 7 ms, then job 1 for 13 ms.
+  t.occupy(0, 7'000, 0, 0, 0);
+  t.occupy(7'000, 20'000, 1, 1, 0);
+  GanttOptions opt;
+  opt.cell_us = 10'000;
+  const auto rows = build_gantt(t, 1, opt);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].cells.size(), 2u);
+  EXPECT_EQ(rows[0].cells[0], 'a');  // 7 ms of job 0 beats 3 ms of job 1
+  EXPECT_EQ(rows[0].cells[1], 'b');
+}
+
+TEST(Gantt, IdleCellsBlank) {
+  ScheduleTrace t(true);
+  t.occupy(0, 10'000, 0, 0, 0);
+  t.occupy(30'000, 40'000, 0, 0, 0);
+  GanttOptions opt;
+  opt.cell_us = 10'000;
+  const auto rows = build_gantt(t, 1, opt);
+  ASSERT_EQ(rows[0].cells.size(), 4u);
+  EXPECT_EQ(rows[0].cells, "a  a");
+}
+
+TEST(Gantt, WindowClipping) {
+  ScheduleTrace t(true);
+  t.occupy(0, 100'000, 0, 0, 0);
+  GanttOptions opt;
+  opt.cell_us = 10'000;
+  opt.start_us = 50'000;
+  opt.end_us = 80'000;
+  const auto rows = build_gantt(t, 1, opt);
+  EXPECT_EQ(rows[0].cells.size(), 3u);
+  EXPECT_EQ(rows[0].cells, "aaa");
+}
+
+TEST(Gantt, MaxCellsClipsRow) {
+  ScheduleTrace t(true);
+  t.occupy(0, 1'000'000, 0, 0, 0);
+  GanttOptions opt;
+  opt.cell_us = 1'000;
+  opt.max_cells = 50;
+  const auto rows = build_gantt(t, 1, opt);
+  EXPECT_EQ(rows[0].cells.size(), 50u);
+}
+
+TEST(Gantt, RenderIncludesLegend) {
+  ScheduleTrace t(true);
+  t.occupy(0, 10'000, 0, 0, 0);
+  t.occupy(0, 10'000, 1, 1, 1);
+  std::ostringstream os;
+  render_gantt(os, t, 2, {"SP", "BBMA"});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("cpu0"), std::string::npos);
+  EXPECT_NE(out.find("cpu1"), std::string::npos);
+  EXPECT_NE(out.find("a=SP"), std::string::npos);
+  EXPECT_NE(out.find("b=BBMA"), std::string::npos);
+}
+
+TEST(Gantt, MultiCpuRows) {
+  ScheduleTrace t(true);
+  t.occupy(0, 20'000, 0, 0, 0);
+  t.occupy(0, 20'000, 1, 1, 3);
+  GanttOptions opt;
+  opt.cell_us = 10'000;
+  const auto rows = build_gantt(t, 4, opt);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].cells, "aa");
+  EXPECT_EQ(rows[1].cells, "  ");
+  EXPECT_EQ(rows[3].cells, "bb");
+}
+
+}  // namespace
+}  // namespace bbsched::trace

@@ -1,0 +1,98 @@
+// Parameterized sweeps over all 11 paper applications: calibration
+// round-trips through the full engine, and the Fig.-1 invariants hold for
+// every profile, not just the spot-checked ones.
+#include <gtest/gtest.h>
+
+#include "experiments/runner.h"
+#include "workload/workload.h"
+
+namespace bbsched::workload {
+namespace {
+
+experiments::ExperimentConfig clean_cfg() {
+  experiments::ExperimentConfig cfg;
+  cfg.time_scale = 0.08;  // small but long enough to average burst cells
+  cfg.engine.os_noise_interval_us = 0;
+  return cfg;
+}
+
+class PaperAppSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PaperAppSweep, StandaloneRateMatchesFig1A) {
+  const auto& app = paper_application(GetParam());
+  const auto cfg = clean_cfg();
+  const auto w = fig1_single(app, cfg.machine.bus);
+  const auto r =
+      run_workload(w, experiments::SchedulerKind::kPinned, cfg);
+  // Calibration inverts self-contention; bursty shapes add small error.
+  EXPECT_NEAR(r.machine_rate_tps, app.standalone_rate_tps,
+              0.05 * app.standalone_rate_tps + 0.05)
+      << app.name;
+}
+
+TEST_P(PaperAppSweep, NbbmaCompanionsAreFree) {
+  // Fig. 1B white bars: + 2 nBBMA is indistinguishable from running alone.
+  const auto& app = paper_application(GetParam());
+  const auto cfg = clean_cfg();
+  const auto solo =
+      run_workload(fig1_single(app, cfg.machine.bus),
+                   experiments::SchedulerKind::kPinned, cfg);
+  const auto with_nbbma =
+      run_workload(fig1_with_nbbma(app, cfg.machine.bus),
+                   experiments::SchedulerKind::kPinned, cfg);
+  EXPECT_NEAR(with_nbbma.measured_mean_turnaround_us /
+                  solo.measured_mean_turnaround_us,
+              1.0, 0.02)
+      << app.name;
+}
+
+TEST_P(PaperAppSweep, BbmaCompanionsAlwaysHurtMoreThanTwin) {
+  // For every app, two BBMA streamers hurt at least as much as a twin
+  // instance (Fig. 1B: light-gray bars dominate dark-gray bars).
+  const auto& app = paper_application(GetParam());
+  const auto cfg = clean_cfg();
+  const auto solo =
+      run_workload(fig1_single(app, cfg.machine.bus),
+                   experiments::SchedulerKind::kPinned, cfg);
+  const auto dual = run_workload(fig1_dual(app, cfg.machine.bus),
+                                 experiments::SchedulerKind::kPinned, cfg);
+  const auto bbma =
+      run_workload(fig1_with_bbma(app, cfg.machine.bus),
+                   experiments::SchedulerKind::kPinned, cfg);
+  const double slow_dual = dual.measured_mean_turnaround_us /
+                           solo.measured_mean_turnaround_us;
+  const double slow_bbma = bbma.measured_mean_turnaround_us /
+                           solo.measured_mean_turnaround_us;
+  EXPECT_GE(slow_bbma, slow_dual - 0.03) << app.name;
+  EXPECT_GE(slow_bbma, 1.0) << app.name;
+  EXPECT_LT(slow_bbma, 3.2) << app.name;  // paper: at most ~3x
+}
+
+TEST_P(PaperAppSweep, JobSpecWellFormed) {
+  const auto& app = paper_application(GetParam());
+  const sim::BusConfig bus;
+  const auto spec = make_app_job(app, bus, 2, 1);
+  EXPECT_EQ(spec.nthreads, 2);
+  EXPECT_GT(spec.work_us, 0.0);
+  EXPECT_GT(spec.barrier_interval_us, 0.0);
+  ASSERT_NE(spec.demand, nullptr);
+  // Demand is non-negative everywhere sampled.
+  for (double p = 0.0; p < 1.0e6; p += 37'111.0) {
+    EXPECT_GE(spec.demand->rate(0, p), 0.0) << app.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEleven, PaperAppSweep,
+    ::testing::Values("Radiosity", "Water-nsqr", "Volrend", "Barnes", "FMM",
+                      "LU-CB", "BT", "SP", "MG", "Raytrace", "CG"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace bbsched::workload

@@ -1,0 +1,195 @@
+// Tests for the model-driven election extension (core/predictor.h).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/predictor.h"
+
+namespace bbsched::core {
+namespace {
+
+PredictorConfig cfg() { return PredictorConfig{}; }
+
+TEST(ContentionPredictor, NoDemandNoSlowdown) {
+  ContentionPredictor p(cfg());
+  const auto r = p.predict(std::vector<double>{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(r.slowdown[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.aggregate_speed, 2.0);
+  EXPECT_DOUBLE_EQ(r.worst_speed, 1.0);
+}
+
+TEST(ContentionPredictor, SaturationCapsTotalRate) {
+  ContentionPredictor p(cfg());
+  const auto r = p.predict(std::vector<double>{23.6, 23.6, 23.6, 23.6});
+  EXPECT_LE(r.total_rate, cfg().capacity_tps + 1e-6);
+  EXPECT_GT(r.slowdown[0], 1.5);
+}
+
+TEST(ContentionPredictor, AsymmetricImpactByAlpha) {
+  ContentionPredictor p(cfg());
+  const auto r = p.predict(std::vector<double>{0.3, 23.6, 23.6});
+  EXPECT_LT(r.slowdown[0], 1.2);   // light thread barely affected
+  EXPECT_GT(r.slowdown[1], 1.4);   // streamers absorb the stretch
+  EXPECT_LT(r.worst_speed, 0.8);
+}
+
+TEST(ContentionPredictor, AggregateSpeedDecreasesWithLoad) {
+  ContentionPredictor p(cfg());
+  double prev_mean_speed = 2.0;
+  for (double d : {2.0, 8.0, 16.0, 23.6}) {
+    const auto r = p.predict(std::vector<double>{d, d, d, d});
+    const double mean_speed = r.aggregate_speed / 4.0;
+    EXPECT_LE(mean_speed, prev_mean_speed + 1e-9) << d;
+    prev_mean_speed = mean_speed;
+  }
+}
+
+TEST(ElectPredictive, HeadAlwaysElected) {
+  std::vector<Candidate> c{
+      {0, 2, 23.6},  // terrible throughput choice, still the head
+      {1, 1, 0.1},
+      {2, 1, 0.1},
+  };
+  const auto r = elect_predictive(c, 4, cfg());
+  ASSERT_FALSE(r.elected.empty());
+  EXPECT_EQ(r.elected.front(), 0);
+}
+
+TEST(ElectPredictive, ThroughputPacksCompatibleJobs) {
+  // Low-bandwidth jobs cost nothing to co-schedule: all are elected.
+  std::vector<Candidate> c{
+      {0, 1, 0.5}, {1, 1, 0.4}, {2, 1, 0.3}, {3, 1, 0.6}, {4, 1, 0.2},
+  };
+  const auto r =
+      elect_predictive(c, 4, cfg(), PredictiveObjective::kMaxThroughput);
+  EXPECT_EQ(r.elected.size(), 4u);
+  EXPECT_EQ(r.idle_procs, 0);
+}
+
+TEST(ElectPredictive, FairObjectiveLeavesProcessorsIdleAtSaturation) {
+  // A moderate head plus a streamer raises TOTAL progress (throughput
+  // accepts) but drags the streamer's own speed below 1 (fairness
+  // refuses and idles processors — something Eq. 1 structurally never
+  // does).
+  std::vector<Candidate> c{
+      {0, 2, 5.0},   // head: moderate 2-thread app
+      {1, 1, 23.6},  // streamer
+      {2, 1, 23.6},  // streamer
+  };
+  const auto fair =
+      elect_predictive(c, 4, cfg(), PredictiveObjective::kMinSlowdown);
+  EXPECT_EQ(fair.elected.size(), 1u);
+  EXPECT_EQ(fair.idle_procs, 2);
+
+  const auto greedy =
+      elect_predictive(c, 4, cfg(), PredictiveObjective::kMaxThroughput);
+  EXPECT_GT(greedy.elected.size(), fair.elected.size());
+}
+
+TEST(ElectPredictive, ThroughputRefusesCounterproductiveAdditions) {
+  // Adding a saturating streamer to an already bandwidth-heavy gang lowers
+  // aggregate progress, so even the throughput objective idles processors.
+  std::vector<Candidate> c{
+      {0, 2, 11.8},  // head: 2 threads near the per-thread knee
+      {1, 1, 23.6},
+      {2, 1, 23.6},
+  };
+  const auto greedy =
+      elect_predictive(c, 4, cfg(), PredictiveObjective::kMaxThroughput);
+  EXPECT_EQ(greedy.elected.size(), 1u);
+  EXPECT_EQ(greedy.idle_procs, 2);
+}
+
+TEST(ElectPredictive, NeverOversubscribes) {
+  std::vector<Candidate> c{
+      {0, 3, 5.0}, {1, 2, 3.0}, {2, 2, 1.0}, {3, 1, 8.0},
+  };
+  for (auto obj : {PredictiveObjective::kMaxThroughput,
+                   PredictiveObjective::kMinSlowdown}) {
+    const auto r = elect_predictive(c, 4, cfg(), obj);
+    int used = 0;
+    for (int id : r.elected) used += c[static_cast<std::size_t>(id)].nthreads;
+    EXPECT_LE(used, 4);
+    EXPECT_EQ(r.idle_procs, 4 - used);
+  }
+}
+
+TEST(ElectPredictive, ObjectiveNames) {
+  EXPECT_STREQ(to_string(PredictiveObjective::kMaxThroughput),
+               "max-throughput");
+  EXPECT_STREQ(to_string(PredictiveObjective::kMinSlowdown), "min-slowdown");
+}
+
+// Property sweep: predictions are internally consistent for random gangs.
+class PredictorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PredictorPropertyTest, PredictionInvariants) {
+  std::uint64_t state = static_cast<std::uint64_t>(GetParam()) * 40503u + 3;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  ContentionPredictor p(cfg());
+  std::vector<double> demands(1 + next() % 8);
+  for (auto& d : demands) d = static_cast<double>(next() % 240) / 10.0;
+
+  const auto r = p.predict(demands);
+  double agg = 0.0;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_GE(r.slowdown[i], 1.0 - 1e-9);
+    agg += 1.0 / r.slowdown[i];
+  }
+  EXPECT_NEAR(agg, r.aggregate_speed, 1e-9);
+  EXPECT_LE(r.total_rate, cfg().capacity_tps + 1e-6);
+  EXPECT_LE(r.worst_speed, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGangs, PredictorPropertyTest,
+                         ::testing::Range(1, 31));
+
+// Election-rule ablation variants share the core invariants.
+TEST(ElectionRules, AllRulesRespectGangConstraints) {
+  std::vector<Candidate> c{
+      {0, 2, 9.0}, {1, 2, 9.0}, {2, 1, 23.6}, {3, 1, 0.01},
+  };
+  for (auto rule :
+       {ElectionRule::kFitness, ElectionRule::kFirstFit,
+        ElectionRule::kLowestFirst, ElectionRule::kHighestFirst}) {
+    const auto r = elect(c, 4, 29.5, rule);
+    ASSERT_FALSE(r.elected.empty()) << to_string(rule);
+    EXPECT_EQ(r.elected.front(), 0) << to_string(rule);  // head guarantee
+    int used = 0;
+    for (int id : r.elected) used += c[static_cast<std::size_t>(id)].nthreads;
+    EXPECT_LE(used, 4) << to_string(rule);
+  }
+}
+
+TEST(ElectionRules, LowestAndHighestPickOpposites) {
+  std::vector<Candidate> c{
+      {0, 2, 9.0},   // head
+      {1, 1, 23.6},  // hog
+      {2, 1, 0.01},  // quiet
+  };
+  const auto low = elect(c, 3, 29.5, ElectionRule::kLowestFirst);
+  const auto high = elect(c, 3, 29.5, ElectionRule::kHighestFirst);
+  ASSERT_EQ(low.elected.size(), 2u);
+  ASSERT_EQ(high.elected.size(), 2u);
+  EXPECT_EQ(low.elected[1], 2);
+  EXPECT_EQ(high.elected[1], 1);
+}
+
+TEST(ElectionRules, FirstFitFollowsListOrder) {
+  std::vector<Candidate> c{
+      {5, 2, 9.0}, {6, 1, 23.6}, {7, 1, 0.01},
+  };
+  const auto r = elect(c, 4, 29.5, ElectionRule::kFirstFit);
+  ASSERT_EQ(r.elected.size(), 3u);
+  EXPECT_EQ(r.elected[0], 5);
+  EXPECT_EQ(r.elected[1], 6);
+  EXPECT_EQ(r.elected[2], 7);
+}
+
+}  // namespace
+}  // namespace bbsched::core

@@ -1,0 +1,123 @@
+// Tests for the native wire protocol: framed sends, SCM_RIGHTS descriptor
+// passing, and the arena layout contract.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "runtime/arena.h"
+#include "runtime/protocol.h"
+
+namespace bbsched::runtime {
+namespace {
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(Protocol, SendRecvAll) {
+  SocketPair sp;
+  HelloMsg out{};
+  out.pid = 1234;
+  out.leader_tid = 5678;
+  out.nthreads = 3;
+  std::strcpy(out.name, "myapp");
+  ASSERT_TRUE(send_all(sp.a, &out, sizeof(out)));
+
+  HelloMsg in{};
+  ASSERT_TRUE(recv_all(sp.b, &in, sizeof(in)));
+  EXPECT_EQ(in.magic, kProtocolMagic);
+  EXPECT_EQ(in.pid, 1234);
+  EXPECT_EQ(in.leader_tid, 5678);
+  EXPECT_EQ(in.nthreads, 3);
+  EXPECT_STREQ(in.name, "myapp");
+}
+
+TEST(Protocol, RecvAllReportsEof) {
+  SocketPair sp;
+  ::close(sp.a);
+  sp.a = -1;
+  ReadyMsg msg{};
+  EXPECT_FALSE(recv_all(sp.b, &msg, sizeof(msg)));
+}
+
+TEST(Protocol, FdPassingRoundTrip) {
+  SocketPair sp;
+
+  // Create a memfd arena on one side...
+  const int memfd =
+      static_cast<int>(::syscall(SYS_memfd_create, "test-arena", 0U));
+  ASSERT_GE(memfd, 0);
+  ASSERT_EQ(::ftruncate(memfd, sizeof(Arena)), 0);
+  void* mem = ::mmap(nullptr, sizeof(Arena), PROT_READ | PROT_WRITE,
+                     MAP_SHARED, memfd, 0);
+  ASSERT_NE(mem, MAP_FAILED);
+  auto* arena = new (mem) Arena();
+  arena->transactions.store(777, std::memory_order_relaxed);
+
+  HelloAck ack{};
+  ack.update_period_us = 100'000;
+  ack.app_id = 9;
+  ASSERT_TRUE(send_with_fd(sp.a, &ack, sizeof(ack), memfd));
+
+  // ...receive it on the other and verify shared memory works.
+  HelloAck got{};
+  int fd = -1;
+  ASSERT_TRUE(recv_with_fd(sp.b, &got, sizeof(got), &fd));
+  EXPECT_EQ(got.magic, kProtocolMagic);
+  EXPECT_EQ(got.app_id, 9);
+  EXPECT_EQ(got.update_period_us, 100'000u);
+  ASSERT_GE(fd, 0);
+  EXPECT_NE(fd, memfd);  // a genuinely new descriptor
+
+  void* peer = ::mmap(nullptr, sizeof(Arena), PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
+  ASSERT_NE(peer, MAP_FAILED);
+  auto* peer_arena = static_cast<Arena*>(peer);
+  EXPECT_EQ(peer_arena->magic, Arena::kMagic);
+  EXPECT_EQ(peer_arena->transactions.load(), 777u);
+
+  // Writes propagate both ways (it is the same page).
+  peer_arena->transactions.store(1001, std::memory_order_relaxed);
+  EXPECT_EQ(arena->transactions.load(), 1001u);
+
+  ::munmap(peer, sizeof(Arena));
+  ::munmap(mem, sizeof(Arena));
+  ::close(fd);
+  ::close(memfd);
+}
+
+TEST(Protocol, RecvWithoutFdLeavesMinusOne) {
+  SocketPair sp;
+  ReadyMsg msg{};
+  ASSERT_TRUE(send_with_fd(sp.a, &msg, sizeof(msg), -1));
+  ReadyMsg got{};
+  int fd = 123;
+  ASSERT_TRUE(recv_with_fd(sp.b, &got, sizeof(got), &fd));
+  EXPECT_EQ(fd, -1);
+}
+
+TEST(Arena, LayoutContract) {
+  Arena arena;
+  EXPECT_EQ(arena.magic, Arena::kMagic);
+  EXPECT_EQ(arena.transactions.load(), 0u);
+  EXPECT_EQ(arena.heartbeats.load(), 0u);
+  EXPECT_LE(sizeof(Arena), 4096u) << "arena must fit one page";
+}
+
+}  // namespace
+}  // namespace bbsched::runtime

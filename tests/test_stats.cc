@@ -1,0 +1,242 @@
+// Unit tests for the statistics utilities: online accumulators, moving
+// windows (the Quanta-Window policy's estimator), percentiles, RNG, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/moving_window.h"
+#include "stats/online_stats.h"
+#include "stats/percentile.h"
+#include "stats/rng.h"
+#include "stats/table.h"
+
+namespace bbsched::stats {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, MeanAndVarianceMatchClosedForm) {
+  OnlineStats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  // Population variance of 1..100 = (n^2-1)/12 = 833.25.
+  EXPECT_NEAR(s.variance(), 833.25, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 5050.0);
+}
+
+TEST(OnlineStats, MergeEqualsSinglePass) {
+  OnlineStats a, b, whole;
+  for (int i = 0; i < 50; ++i) {
+    a.add(i * 0.7);
+    whole.add(i * 0.7);
+  }
+  for (int i = 50; i < 120; ++i) {
+    b.add(i * 0.7);
+    whole.add(i * 0.7);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(MovingWindow, MeanOverPartialFill) {
+  MovingWindow w(5);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  w.push(10.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 10.0);
+  w.push(20.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 15.0);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_FALSE(w.full());
+}
+
+TEST(MovingWindow, EvictsOldestWhenFull) {
+  MovingWindow w(3);
+  w.push(1.0);
+  w.push(2.0);
+  w.push(3.0);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.push(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.latest(), 10.0);
+}
+
+TEST(MovingWindow, PaperWindowLengthFive) {
+  // §4: the evaluation uses a 5-sample window.
+  MovingWindow w(5);
+  for (double x : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0}) w.push(x);
+  // First sample (2.0) evicted; mean of 4..12 = 8.
+  EXPECT_DOUBLE_EQ(w.mean(), 8.0);
+}
+
+TEST(MovingWindow, SmoothsBurstsBetterThanLatest) {
+  // The motivation for Quanta Window: a one-quantum burst moves the window
+  // mean by at most 1/N of the burst height.
+  MovingWindow w(5);
+  for (int i = 0; i < 5; ++i) w.push(10.0);
+  w.push(60.0);  // burst
+  EXPECT_DOUBLE_EQ(w.latest(), 60.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 20.0);  // (4*10 + 60)/5
+  EXPECT_LT(std::fabs(w.mean() - 10.0), std::fabs(w.latest() - 10.0));
+}
+
+TEST(MovingWindow, ResetClears) {
+  MovingWindow w(4);
+  w.push(1.0);
+  w.push(2.0);
+  w.reset();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+TEST(ExponentialAverage, FirstSampleSeeds) {
+  ExponentialAverage e(0.3);
+  EXPECT_TRUE(e.empty());
+  e.push(10.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 10.0);
+}
+
+TEST(ExponentialAverage, ConvergesToConstantInput) {
+  ExponentialAverage e(0.5);
+  e.push(0.0);
+  for (int i = 0; i < 40; ++i) e.push(8.0);
+  EXPECT_NEAR(e.mean(), 8.0, 1e-9);
+}
+
+TEST(ExponentialAverage, RespondsFasterWithLargerAlpha) {
+  ExponentialAverage slow(0.1), fast(0.9);
+  slow.push(0.0);
+  fast.push(0.0);
+  slow.push(10.0);
+  fast.push(10.0);
+  EXPECT_LT(slow.mean(), fast.mean());
+}
+
+TEST(SampleSet, PercentilesOfKnownDistribution) {
+  SampleSet s;
+  for (int i = 1; i <= 101; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.median(), 51.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 101.0);
+  EXPECT_NEAR(s.percentile(25.0), 26.0, 1e-9);
+  EXPECT_NEAR(s.mean(), 51.0, 1e-9);
+}
+
+TEST(SampleSet, SingleSamplePercentile) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 7.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(5.0, 6.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  Rng rng(99);
+  int counts[5] = {};
+  for (int i = 0; i < 50000; ++i) ++counts[rng.below(5)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table t("demo");
+  t.set_header({"app", "rate", "slowdown"});
+  t.add_row({"CG", Table::num(23.31), Table::num(1.61)});
+  t.add_row({"Radiosity", Table::num(0.48), Table::num(1.02)});
+  std::ostringstream text, csv;
+  t.render(text);
+  t.render_csv(csv);
+  EXPECT_NE(text.str().find("== demo =="), std::string::npos);
+  EXPECT_NE(text.str().find("23.31"), std::string::npos);
+  EXPECT_NE(csv.str().find("app,rate,slowdown"), std::string::npos);
+  EXPECT_NE(csv.str().find("CG,23.31,1.61"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PctFormatsSigned) {
+  EXPECT_EQ(Table::pct(41.0), "+41.0%");
+  EXPECT_EQ(Table::pct(-19.0), "-19.0%");
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t;
+  t.set_header({"name", "value"});
+  t.add_row({"a,b", "1"});
+  std::ostringstream csv;
+  t.render_csv(csv);
+  EXPECT_NE(csv.str().find("\"a,b\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bbsched::stats

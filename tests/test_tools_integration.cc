@@ -1,0 +1,98 @@
+// Multi-process integration test: the bbsched_managerd daemon gang-
+// scheduling real bbsched_kernel processes over the UNIX socket — the
+// paper's actual deployment shape, exercised end to end with fork/exec.
+//
+// The binaries are located via the BBSCHED_BINARY_DIR compile definition
+// (set by tests/CMakeLists.txt). If the tools are missing (unusual), the
+// test skips rather than fails.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <string>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+#ifndef BBSCHED_BINARY_DIR
+#define BBSCHED_BINARY_DIR "."
+#endif
+
+std::string tool(const char* name) {
+  return std::string(BBSCHED_BINARY_DIR) + "/tools/" + name;
+}
+
+bool executable_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && (st.st_mode & S_IXUSR) != 0;
+}
+
+pid_t spawn(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Quiet children: route stdout to /dev/null, keep stderr for failures.
+    ::freopen("/dev/null", "w", stdout);
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  return pid;
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+TEST(ToolsIntegration, DaemonSchedulesKernelProcesses) {
+  const std::string managerd = tool("bbsched_managerd");
+  const std::string kernel = tool("bbsched_kernel");
+  if (!executable_exists(managerd) || !executable_exists(kernel)) {
+    GTEST_SKIP() << "tools not built under " << BBSCHED_BINARY_DIR;
+  }
+
+  const std::string socket_path =
+      "/tmp/bbsched-toolstest-" + std::to_string(::getpid()) + ".sock";
+
+  const pid_t daemon = spawn({managerd, "--socket=" + socket_path,
+                              "--quantum-ms=40", "--procs=1",
+                              "--run-seconds=3", "--status-interval=0"});
+  ASSERT_GT(daemon, 0);
+  ::usleep(300 * 1000);  // let it bind
+
+  const pid_t k1 =
+      spawn({kernel, "--socket=" + socket_path, "--kind=synthetic",
+             "--name=hungry", "--tps=20", "--seconds=1.5"});
+  const pid_t k2 =
+      spawn({kernel, "--socket=" + socket_path, "--kind=nbbma",
+             "--name=quiet", "--seconds=1.5"});
+  ASSERT_GT(k1, 0);
+  ASSERT_GT(k2, 0);
+
+  // Kernels exit 0 iff they connected, ran and disconnected cleanly —
+  // which requires the daemon's block/unblock signals to have left them
+  // runnable at the end.
+  EXPECT_EQ(wait_exit(k1), 0);
+  EXPECT_EQ(wait_exit(k2), 0);
+  EXPECT_EQ(wait_exit(daemon), 0);
+}
+
+TEST(ToolsIntegration, KernelFailsCleanlyWithoutDaemon) {
+  const std::string kernel = tool("bbsched_kernel");
+  if (!executable_exists(kernel)) {
+    GTEST_SKIP() << "tools not built";
+  }
+  const pid_t k = spawn({kernel, "--socket=/tmp/bbsched-no-daemon.sock",
+                         "--kind=nbbma", "--seconds=1"});
+  EXPECT_EQ(wait_exit(k), 1);  // documented exit code: manager unreachable
+}
+
+}  // namespace

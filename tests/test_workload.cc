@@ -1,0 +1,231 @@
+// Tests for workload construction: paper application profiles, demand
+// calibration, microbenchmarks, demand models, and the experiment sets.
+#include <gtest/gtest.h>
+
+#include "sim/bus_model.h"
+#include "workload/demand_models.h"
+#include "workload/workload.h"
+
+namespace bbsched::workload {
+namespace {
+
+const sim::BusConfig kBus{};
+
+TEST(PaperApps, ElevenApplicationsInFig1AOrder) {
+  const auto& apps = paper_applications();
+  ASSERT_EQ(apps.size(), 11u);
+  const std::vector<std::string> expected = {
+      "Radiosity", "Water-nsqr", "Volrend", "Barnes",   "FMM", "LU-CB",
+      "BT",        "SP",         "MG",      "Raytrace", "CG"};
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_EQ(apps[i].name, expected[i]);
+  }
+  // Increasing standalone rates, paper endpoints.
+  for (std::size_t i = 1; i < apps.size(); ++i) {
+    EXPECT_GT(apps[i].standalone_rate_tps, apps[i - 1].standalone_rate_tps);
+  }
+  EXPECT_DOUBLE_EQ(apps.front().standalone_rate_tps, 0.48);
+  EXPECT_DOUBLE_EQ(apps.back().standalone_rate_tps, 23.31);
+}
+
+TEST(PaperApps, LookupByName) {
+  EXPECT_EQ(paper_application("CG").name, "CG");
+  EXPECT_EQ(paper_application("LU-CB").standalone_rate_tps, 7.6);
+}
+
+TEST(PaperApps, MigrationSensitiveCodesFlagged) {
+  // §3: LU-CB (99.53% hit rate) and Water-nsqr are migration-sensitive.
+  const double lu = paper_application("LU-CB").migration_sensitivity;
+  const double water = paper_application("Water-nsqr").migration_sensitivity;
+  for (const auto& app : paper_applications()) {
+    if (app.name == "LU-CB" || app.name == "Water-nsqr") continue;
+    EXPECT_LT(app.migration_sensitivity, lu);
+    EXPECT_LT(app.migration_sensitivity, water);
+  }
+}
+
+TEST(PaperApps, RaytraceIsTheIrregularOne) {
+  const auto& ray = paper_application("Raytrace");
+  EXPECT_EQ(ray.shape, DemandShape::kBursty);
+  for (const auto& app : paper_applications()) {
+    if (app.shape == DemandShape::kBursty) {
+      EXPECT_LE(app.burst_amplitude, ray.burst_amplitude);
+    }
+  }
+}
+
+TEST(Calibration, StandaloneRateReproduced) {
+  // The calibrated per-thread demand, fed back through the bus model, must
+  // reproduce the Fig. 1A standalone rate.
+  const sim::BusModel model(kBus);
+  for (const auto& app : paper_applications()) {
+    const double d = calibrate_per_thread_demand(app.standalone_rate_tps, 2,
+                                                 kBus);
+    const std::vector<double> demands{d, d};
+    const auto r = model.resolve(demands);
+    EXPECT_NEAR(r.total_granted, app.standalone_rate_tps,
+                0.01 * app.standalone_rate_tps + 1e-9)
+        << app.name;
+  }
+}
+
+TEST(Calibration, DemandExceedsMeasuredRate) {
+  // Inversion of self-contention: uncontended demand >= measured/threads.
+  for (const auto& app : paper_applications()) {
+    const double d =
+        calibrate_per_thread_demand(app.standalone_rate_tps, 2, kBus);
+    EXPECT_GE(d, app.standalone_rate_tps / 2.0 - 1e-9) << app.name;
+  }
+}
+
+TEST(Calibration, ZeroTargetGivesZeroDemand) {
+  EXPECT_DOUBLE_EQ(calibrate_per_thread_demand(0.0, 2, kBus), 0.0);
+}
+
+TEST(Microbenchmarks, BbmaMeasures23_6) {
+  const auto spec = make_bbma_job(kBus);
+  EXPECT_EQ(spec.nthreads, 1);
+  EXPECT_TRUE(spec.infinite());
+  EXPECT_GT(spec.bus_priority, 1.0);
+  EXPECT_DOUBLE_EQ(spec.cache.cold_demand_boost, 0.0);
+  // Measured standalone rate = 23.6 under the model.
+  const sim::BusModel model(kBus);
+  const std::vector<double> demands{spec.demand->rate(0, 0.0)};
+  const std::vector<double> weights{spec.bus_priority};
+  const auto r = model.resolve(demands, weights);
+  EXPECT_NEAR(r.total_granted, 23.6, 0.1);
+}
+
+TEST(Microbenchmarks, NbbmaIsNegligible) {
+  const auto spec = make_nbbma_job();
+  EXPECT_EQ(spec.nthreads, 1);
+  EXPECT_TRUE(spec.infinite());
+  EXPECT_DOUBLE_EQ(spec.demand->rate(0, 12345.0), 0.0037);
+}
+
+TEST(DemandModels, SteadyIsConstant) {
+  sim::SteadyDemand d(3.5);
+  EXPECT_DOUBLE_EQ(d.rate(0, 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(d.rate(3, 9.9e9), 3.5);
+}
+
+TEST(DemandModels, BurstyDeterministicAndBounded) {
+  BurstyDemand d(10.0, 0.5, 1000.0, 42);
+  for (double p = 0.0; p < 50'000.0; p += 333.0) {
+    const double r0 = d.rate(0, p);
+    EXPECT_DOUBLE_EQ(r0, d.rate(0, p));  // deterministic
+    EXPECT_GE(r0, 5.0 - 1e-9);
+    EXPECT_LE(r0, 15.0 + 1e-9);
+  }
+}
+
+TEST(DemandModels, BurstyMeanNearBase) {
+  BurstyDemand d(10.0, 0.6, 1000.0, 7);
+  double sum = 0.0;
+  const int cells = 4000;
+  for (int i = 0; i < cells; ++i) {
+    sum += d.rate(0, i * 1000.0 + 0.5);
+  }
+  EXPECT_NEAR(sum / cells, 10.0, 0.3);
+}
+
+TEST(DemandModels, BurstyThreadsDecorrelated) {
+  BurstyDemand d(10.0, 0.6, 1000.0, 7);
+  int diffs = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (std::abs(d.rate(0, i * 1000.0) - d.rate(1, i * 1000.0)) > 0.1) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 50);
+}
+
+TEST(DemandModels, PhasedAlternates) {
+  PhasedDemand d(20.0, 4.0, 1000.0, 0.4);
+  EXPECT_DOUBLE_EQ(d.rate(0, 100.0), 20.0);   // first 40% of the period
+  EXPECT_DOUBLE_EQ(d.rate(0, 500.0), 4.0);    // rest
+  EXPECT_DOUBLE_EQ(d.rate(0, 1100.0), 20.0);  // periodic
+  EXPECT_DOUBLE_EQ(d.mean_tps(), 0.4 * 20.0 + 0.6 * 4.0);
+}
+
+TEST(DemandModels, ScaledWrapsInner) {
+  auto inner = std::make_shared<sim::SteadyDemand>(4.0);
+  ScaledDemand d(inner, 2.5);
+  EXPECT_DOUBLE_EQ(d.rate(0, 0.0), 10.0);
+}
+
+TEST(Workloads, Fig1SetsShape) {
+  const auto& app = paper_application("SP");
+  const auto single = fig1_single(app, kBus);
+  EXPECT_EQ(single.jobs.size(), 1u);
+  EXPECT_EQ(single.measured.size(), 1u);
+
+  const auto dual = fig1_dual(app, kBus);
+  EXPECT_EQ(dual.jobs.size(), 2u);
+  EXPECT_EQ(dual.measured.size(), 2u);
+
+  const auto bbma = fig1_with_bbma(app, kBus);
+  ASSERT_EQ(bbma.jobs.size(), 3u);
+  EXPECT_EQ(bbma.jobs[1].name, "BBMA");
+  EXPECT_TRUE(bbma.jobs[1].infinite());
+  EXPECT_EQ(bbma.measured, (std::vector<std::size_t>{0}));
+
+  const auto nbbma = fig1_with_nbbma(app, kBus);
+  ASSERT_EQ(nbbma.jobs.size(), 3u);
+  EXPECT_EQ(nbbma.jobs[2].name, "nBBMA");
+}
+
+TEST(Workloads, Fig2SetsHaveEightThreads) {
+  const auto& app = paper_application("MG");
+  for (const auto& w :
+       {fig2_saturated(app, kBus), fig2_idle_bus(app, kBus),
+        fig2_mixed(app, kBus)}) {
+    int threads = 0;
+    for (const auto& j : w.jobs) threads += j.nthreads;
+    EXPECT_EQ(threads, 8) << w.name;  // multiprogramming degree 2
+    EXPECT_EQ(w.measured, (std::vector<std::size_t>{0, 1}));
+  }
+}
+
+TEST(Workloads, Fig2MixedComposition) {
+  const auto w = fig2_mixed(paper_application("CG"), kBus);
+  ASSERT_EQ(w.jobs.size(), 6u);
+  EXPECT_EQ(w.jobs[2].name, "BBMA");
+  EXPECT_EQ(w.jobs[3].name, "BBMA");
+  EXPECT_EQ(w.jobs[4].name, "nBBMA");
+  EXPECT_EQ(w.jobs[5].name, "nBBMA");
+}
+
+TEST(Workloads, DualInstancesDecorrelated) {
+  // Two instances of a bursty app must not share a demand seed.
+  const auto w = fig1_dual(paper_application("Raytrace"), kBus);
+  const auto& d0 = *w.jobs[0].demand;
+  const auto& d1 = *w.jobs[1].demand;
+  int diffs = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (std::abs(d0.rate(0, i * 40'000.0) - d1.rate(0, i * 40'000.0)) >
+        0.1) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 25);
+}
+
+TEST(Workloads, RandomMixRespectsCounts) {
+  const auto w = random_mix(3, 2, 1, kBus, 99);
+  EXPECT_EQ(w.jobs.size(), 6u);
+  EXPECT_EQ(w.measured.size(), 3u);
+  EXPECT_EQ(w.jobs[3].name, "BBMA");
+  EXPECT_EQ(w.jobs[5].name, "nBBMA");
+}
+
+TEST(Workloads, RandomMixDeterministicPerSeed) {
+  const auto a = random_mix(4, 1, 1, kBus, 7);
+  const auto b = random_mix(4, 1, 1, kBus, 7);
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].name, b.jobs[i].name);
+  }
+}
+
+}  // namespace
+}  // namespace bbsched::workload

@@ -1,0 +1,111 @@
+// bbsched-kernel — run one of the paper's microbenchmark kernels (or a
+// synthetic application) as its own PROCESS under the bbsched-managerd
+// daemon, mirroring the paper's setup of independent applications
+// connecting to the CPU manager.
+//
+// Usage:
+//   bbsched_kernel --kind=bbma|nbbma|synthetic [--socket=/tmp/bbsched.sock]
+//                  [--name=NAME] [--tps=9.3] [--seconds=10] [--threads=1]
+//
+// Exit code 0: connected, ran, disconnected cleanly.
+// Exit code 1: could not reach the manager.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/client.h"
+#include "runtime/microbench.h"
+
+int main(int argc, char** argv) {
+  using namespace bbsched;
+
+  std::string socket_path = "/tmp/bbsched.sock";
+  std::string kind = "synthetic";
+  std::string name;
+  double tps = 9.3;
+  double seconds = 10.0;
+  int threads = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) socket_path = arg.substr(9);
+    else if (arg.rfind("--kind=", 0) == 0) kind = arg.substr(7);
+    else if (arg.rfind("--name=", 0) == 0) name = arg.substr(7);
+    else if (arg.rfind("--tps=", 0) == 0) tps = std::stod(arg.substr(6));
+    else if (arg.rfind("--seconds=", 0) == 0) seconds = std::stod(arg.substr(10));
+    else if (arg.rfind("--threads=", 0) == 0) threads = std::atoi(arg.c_str() + 10);
+    else if (arg == "--help" || arg == "-h") {
+      std::printf("bbsched_kernel --kind=bbma|nbbma|synthetic "
+                  "[--socket=PATH] [--name=N] [--tps=X] [--seconds=S] "
+                  "[--threads=N]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (name.empty()) name = kind;
+  if (threads < 1) threads = 1;
+
+  runtime::Client client;
+  if (!client.connect(socket_path, name, threads)) {
+    std::fprintf(stderr, "%s: manager unreachable at %s\n", name.c_str(),
+                 socket_path.c_str());
+    return 1;
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  std::vector<runtime::KernelStats> stats(
+      static_cast<std::size_t>(threads));
+
+  auto kernel_main = [&](int slot, std::size_t out_idx, bool leader) {
+    runtime::KernelStats st;
+    if (kind == "bbma") {
+      st = runtime::run_bbma(stop, slot);
+    } else if (kind == "nbbma") {
+      st = runtime::run_nbbma(stop, slot);
+    } else {
+      st = runtime::run_synthetic(stop, slot, tps);
+    }
+    stats[out_idx] = st;
+    if (!leader) client.unregister_worker();
+  };
+
+  // The connecting thread is worker 0; extra workers register themselves.
+  for (int t = 1; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const int slot = client.register_worker();
+      kernel_main(slot, static_cast<std::size_t>(t), false);
+    });
+  }
+  client.ready();
+
+  std::thread timer([&] {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    stop.store(true);
+  });
+  kernel_main(client.leader_counter_slot(), 0, true);
+
+  timer.join();
+  for (auto& w : workers) w.join();
+
+  std::uint64_t tx = 0;
+  std::uint64_t sweeps = 0;
+  for (const auto& st : stats) {
+    tx += st.transactions;
+    sweeps += st.iterations;
+  }
+  std::printf("%s: %llu sweeps, %llu transactions in %.1f s (%.2f trans/us)\n",
+              name.c_str(), static_cast<unsigned long long>(sweeps),
+              static_cast<unsigned long long>(tx), seconds,
+              static_cast<double>(tx) / (seconds * 1e6));
+
+  client.unregister_worker();
+  client.disconnect();
+  return 0;
+}

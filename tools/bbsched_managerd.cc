@@ -1,0 +1,146 @@
+// bbsched-managerd — the user-level CPU manager as a standalone daemon,
+// exactly the deployment the paper describes: "The user-level CPU manager
+// runs as a server process on the target system."
+//
+// Applications link the client runtime (src/runtime/client.h) or use the
+// bbsched_kernel tool and connect through the UNIX socket; the daemon
+// samples their shared arenas twice per quantum and enforces gang elections
+// with SIGUSR1/SIGUSR2.
+//
+// Usage:
+//   bbsched_managerd [--socket=/tmp/bbsched.sock] [--quantum-ms=200]
+//                    [--policy=latest|window|predictive] [--window=5]
+//                    [--procs=N] [--bus-tps=29.5] [--run-seconds=S]
+//                    [--status-interval=2]
+//
+// Without --run-seconds the daemon runs until SIGINT/SIGTERM.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "runtime/manager_server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_stop(int) { g_stop.store(true); }
+
+double arg_double(const std::string& arg, const char* prefix, double fallback) {
+  const std::size_t n = std::strlen(prefix);
+  if (arg.rfind(prefix, 0) == 0) return std::stod(arg.substr(n));
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bbsched;
+
+  runtime::ServerConfig cfg;
+  cfg.socket_path = "/tmp/bbsched.sock";
+  double run_seconds = 0.0;
+  double status_interval = 2.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      cfg.socket_path = arg.substr(9);
+    } else if (arg.rfind("--quantum-ms=", 0) == 0) {
+      cfg.manager.quantum_us =
+          static_cast<sim::SimTime>(std::stoull(arg.substr(13)) * 1000);
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      const std::string p = arg.substr(9);
+      if (p == "latest") {
+        cfg.manager.policy = core::PolicyKind::kLatestQuantum;
+      } else if (p == "window") {
+        cfg.manager.policy = core::PolicyKind::kQuantaWindow;
+      } else if (p == "predictive") {
+        cfg.manager.policy = core::PolicyKind::kQuantaWindow;
+        cfg.manager.use_predictive = true;
+      } else {
+        std::fprintf(stderr, "unknown policy '%s'\n", p.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--window=", 0) == 0) {
+      cfg.manager.window_len = std::stoul(arg.substr(9));
+    } else if (arg.rfind("--procs=", 0) == 0) {
+      cfg.nprocs = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--bus-tps=", 0) == 0) {
+      cfg.manager.total_bus_bw_tps = arg_double(arg, "--bus-tps=", 29.5);
+      cfg.manager.initial_estimate_tps =
+          cfg.manager.total_bus_bw_tps / 4.0;
+    } else if (arg.rfind("--run-seconds=", 0) == 0) {
+      run_seconds = arg_double(arg, "--run-seconds=", 0.0);
+    } else if (arg.rfind("--status-interval=", 0) == 0) {
+      status_interval = arg_double(arg, "--status-interval=", 2.0);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "bbsched-managerd: bus-bandwidth-aware user-level CPU manager\n"
+          "  --socket=PATH       UNIX socket to listen on\n"
+          "  --quantum-ms=N      scheduling quantum (default 200)\n"
+          "  --policy=latest|window|predictive\n"
+          "  --window=N          quanta-window length (default 5)\n"
+          "  --procs=N           processors to allocate (default: online)\n"
+          "  --bus-tps=X         bus capacity in transactions/us\n"
+          "  --run-seconds=S     exit after S seconds (default: on signal)\n"
+          "  --status-interval=S status print period (0 = quiet)\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+
+  runtime::ManagerServer server(cfg);
+  if (!server.start()) {
+    std::fprintf(stderr, "managerd: cannot bind %s\n",
+                 cfg.socket_path.c_str());
+    return 1;
+  }
+  std::printf("managerd: listening on %s (%s, %llu ms quantum, %d procs)\n",
+              cfg.socket_path.c_str(),
+              cfg.manager.use_predictive
+                  ? "predictive"
+                  : core::to_string(cfg.manager.policy),
+              static_cast<unsigned long long>(cfg.manager.quantum_us / 1000),
+              server.config().nprocs);
+  std::fflush(stdout);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto last_status = start;
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const auto now = std::chrono::steady_clock::now();
+    if (run_seconds > 0.0 &&
+        std::chrono::duration<double>(now - start).count() >= run_seconds) {
+      break;
+    }
+    if (status_interval > 0.0 &&
+        std::chrono::duration<double>(now - last_status).count() >=
+            status_interval) {
+      last_status = now;
+      std::printf("managerd: %zu app(s), %llu elections; running:",
+                  server.connected_apps(),
+                  static_cast<unsigned long long>(server.elections()));
+      for (const auto& name : server.running_app_names()) {
+        std::printf(" %s", name.c_str());
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+
+  server.stop();
+  std::printf("managerd: stopped after %llu elections\n",
+              static_cast<unsigned long long>(server.elections()));
+  return 0;
+}
