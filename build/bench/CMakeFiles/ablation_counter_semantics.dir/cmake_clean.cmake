@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_counter_semantics.dir/ablation_counter_semantics.cc.o"
+  "CMakeFiles/ablation_counter_semantics.dir/ablation_counter_semantics.cc.o.d"
+  "ablation_counter_semantics"
+  "ablation_counter_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_counter_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

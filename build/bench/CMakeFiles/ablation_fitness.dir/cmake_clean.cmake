@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fitness.dir/ablation_fitness.cc.o"
+  "CMakeFiles/ablation_fitness.dir/ablation_fitness.cc.o.d"
+  "ablation_fitness"
+  "ablation_fitness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fitness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_open_system.dir/ext_open_system.cc.o"
+  "CMakeFiles/ext_open_system.dir/ext_open_system.cc.o.d"
+  "ext_open_system"
+  "ext_open_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_open_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

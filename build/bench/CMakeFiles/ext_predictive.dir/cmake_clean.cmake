@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_predictive.dir/ext_predictive.cc.o"
+  "CMakeFiles/ext_predictive.dir/ext_predictive.cc.o.d"
+  "ext_predictive"
+  "ext_predictive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_predictive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

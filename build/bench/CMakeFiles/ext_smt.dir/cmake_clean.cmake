@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_smt.dir/ext_smt.cc.o"
+  "CMakeFiles/ext_smt.dir/ext_smt.cc.o.d"
+  "ext_smt"
+  "ext_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_spacesharing.dir/ext_spacesharing.cc.o"
+  "CMakeFiles/ext_spacesharing.dir/ext_spacesharing.cc.o.d"
+  "ext_spacesharing"
+  "ext_spacesharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_spacesharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_bus_transactions.dir/fig1a_bus_transactions.cc.o"
+  "CMakeFiles/fig1a_bus_transactions.dir/fig1a_bus_transactions.cc.o.d"
+  "fig1a_bus_transactions"
+  "fig1a_bus_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_bus_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

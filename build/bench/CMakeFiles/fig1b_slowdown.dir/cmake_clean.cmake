@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_slowdown.dir/fig1b_slowdown.cc.o"
+  "CMakeFiles/fig1b_slowdown.dir/fig1b_slowdown.cc.o.d"
+  "fig1b_slowdown"
+  "fig1b_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

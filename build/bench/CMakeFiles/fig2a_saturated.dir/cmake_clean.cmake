@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_saturated.dir/fig2a_saturated.cc.o"
+  "CMakeFiles/fig2a_saturated.dir/fig2a_saturated.cc.o.d"
+  "fig2a_saturated"
+  "fig2a_saturated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_saturated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

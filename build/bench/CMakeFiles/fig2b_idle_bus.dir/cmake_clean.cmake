@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_idle_bus.dir/fig2b_idle_bus.cc.o"
+  "CMakeFiles/fig2b_idle_bus.dir/fig2b_idle_bus.cc.o.d"
+  "fig2b_idle_bus"
+  "fig2b_idle_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_idle_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2c_mixed.dir/fig2c_mixed.cc.o"
+  "CMakeFiles/fig2c_mixed.dir/fig2c_mixed.cc.o.d"
+  "fig2c_mixed"
+  "fig2c_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_native_manager.dir/native_manager.cpp.o"
+  "CMakeFiles/example_native_manager.dir/native_manager.cpp.o.d"
+  "native_manager"
+  "native_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_native_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

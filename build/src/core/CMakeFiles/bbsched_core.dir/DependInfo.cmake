@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cpu_manager.cc" "src/core/CMakeFiles/bbsched_core.dir/cpu_manager.cc.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/cpu_manager.cc.o.d"
+  "/root/repo/src/core/election.cc" "src/core/CMakeFiles/bbsched_core.dir/election.cc.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/election.cc.o.d"
+  "/root/repo/src/core/managed_scheduler.cc" "src/core/CMakeFiles/bbsched_core.dir/managed_scheduler.cc.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/managed_scheduler.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/bbsched_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/bbsched_core.dir/predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bbsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bbsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bbsched_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

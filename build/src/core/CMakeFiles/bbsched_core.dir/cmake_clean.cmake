@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_core.dir/cpu_manager.cc.o"
+  "CMakeFiles/bbsched_core.dir/cpu_manager.cc.o.d"
+  "CMakeFiles/bbsched_core.dir/election.cc.o"
+  "CMakeFiles/bbsched_core.dir/election.cc.o.d"
+  "CMakeFiles/bbsched_core.dir/managed_scheduler.cc.o"
+  "CMakeFiles/bbsched_core.dir/managed_scheduler.cc.o.d"
+  "CMakeFiles/bbsched_core.dir/predictor.cc.o"
+  "CMakeFiles/bbsched_core.dir/predictor.cc.o.d"
+  "libbbsched_core.a"
+  "libbbsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

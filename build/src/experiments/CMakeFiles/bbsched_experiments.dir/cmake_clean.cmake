@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_experiments.dir/fig1.cc.o"
+  "CMakeFiles/bbsched_experiments.dir/fig1.cc.o.d"
+  "CMakeFiles/bbsched_experiments.dir/fig2.cc.o"
+  "CMakeFiles/bbsched_experiments.dir/fig2.cc.o.d"
+  "CMakeFiles/bbsched_experiments.dir/runner.cc.o"
+  "CMakeFiles/bbsched_experiments.dir/runner.cc.o.d"
+  "CMakeFiles/bbsched_experiments.dir/sweep.cc.o"
+  "CMakeFiles/bbsched_experiments.dir/sweep.cc.o.d"
+  "libbbsched_experiments.a"
+  "libbbsched_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

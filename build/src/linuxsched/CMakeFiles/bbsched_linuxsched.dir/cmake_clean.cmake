@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_linuxsched.dir/linux_sched.cc.o"
+  "CMakeFiles/bbsched_linuxsched.dir/linux_sched.cc.o.d"
+  "libbbsched_linuxsched.a"
+  "libbbsched_linuxsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_linuxsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

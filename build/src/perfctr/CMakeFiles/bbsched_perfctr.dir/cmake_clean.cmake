@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_perfctr.dir/perf_event.cc.o"
+  "CMakeFiles/bbsched_perfctr.dir/perf_event.cc.o.d"
+  "libbbsched_perfctr.a"
+  "libbbsched_perfctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_perfctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

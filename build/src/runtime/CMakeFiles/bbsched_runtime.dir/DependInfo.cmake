@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/client.cc" "src/runtime/CMakeFiles/bbsched_runtime.dir/client.cc.o" "gcc" "src/runtime/CMakeFiles/bbsched_runtime.dir/client.cc.o.d"
+  "/root/repo/src/runtime/manager_server.cc" "src/runtime/CMakeFiles/bbsched_runtime.dir/manager_server.cc.o" "gcc" "src/runtime/CMakeFiles/bbsched_runtime.dir/manager_server.cc.o.d"
+  "/root/repo/src/runtime/microbench.cc" "src/runtime/CMakeFiles/bbsched_runtime.dir/microbench.cc.o" "gcc" "src/runtime/CMakeFiles/bbsched_runtime.dir/microbench.cc.o.d"
+  "/root/repo/src/runtime/protocol.cc" "src/runtime/CMakeFiles/bbsched_runtime.dir/protocol.cc.o" "gcc" "src/runtime/CMakeFiles/bbsched_runtime.dir/protocol.cc.o.d"
+  "/root/repo/src/runtime/signal_gate.cc" "src/runtime/CMakeFiles/bbsched_runtime.dir/signal_gate.cc.o" "gcc" "src/runtime/CMakeFiles/bbsched_runtime.dir/signal_gate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bbsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfctr/CMakeFiles/bbsched_perfctr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bbsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bbsched_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bbsched_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

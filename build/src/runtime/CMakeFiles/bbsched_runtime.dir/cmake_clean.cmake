@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_runtime.dir/client.cc.o"
+  "CMakeFiles/bbsched_runtime.dir/client.cc.o.d"
+  "CMakeFiles/bbsched_runtime.dir/manager_server.cc.o"
+  "CMakeFiles/bbsched_runtime.dir/manager_server.cc.o.d"
+  "CMakeFiles/bbsched_runtime.dir/microbench.cc.o"
+  "CMakeFiles/bbsched_runtime.dir/microbench.cc.o.d"
+  "CMakeFiles/bbsched_runtime.dir/protocol.cc.o"
+  "CMakeFiles/bbsched_runtime.dir/protocol.cc.o.d"
+  "CMakeFiles/bbsched_runtime.dir/signal_gate.cc.o"
+  "CMakeFiles/bbsched_runtime.dir/signal_gate.cc.o.d"
+  "libbbsched_runtime.a"
+  "libbbsched_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

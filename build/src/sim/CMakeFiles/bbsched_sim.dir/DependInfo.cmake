@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bus_model.cc" "src/sim/CMakeFiles/bbsched_sim.dir/bus_model.cc.o" "gcc" "src/sim/CMakeFiles/bbsched_sim.dir/bus_model.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/bbsched_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/bbsched_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/bbsched_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/bbsched_sim.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/bbsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bbsched_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

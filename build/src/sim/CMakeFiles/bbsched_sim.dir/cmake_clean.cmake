@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_sim.dir/bus_model.cc.o"
+  "CMakeFiles/bbsched_sim.dir/bus_model.cc.o.d"
+  "CMakeFiles/bbsched_sim.dir/engine.cc.o"
+  "CMakeFiles/bbsched_sim.dir/engine.cc.o.d"
+  "CMakeFiles/bbsched_sim.dir/machine.cc.o"
+  "CMakeFiles/bbsched_sim.dir/machine.cc.o.d"
+  "libbbsched_sim.a"
+  "libbbsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_spacesched.dir/equipartition.cc.o"
+  "CMakeFiles/bbsched_spacesched.dir/equipartition.cc.o.d"
+  "libbbsched_spacesched.a"
+  "libbbsched_spacesched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_spacesched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bbsched_spacesched.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_stats.dir/table.cc.o"
+  "CMakeFiles/bbsched_stats.dir/table.cc.o.d"
+  "libbbsched_stats.a"
+  "libbbsched_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

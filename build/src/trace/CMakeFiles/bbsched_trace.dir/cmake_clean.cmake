@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_trace.dir/gantt.cc.o"
+  "CMakeFiles/bbsched_trace.dir/gantt.cc.o.d"
+  "CMakeFiles/bbsched_trace.dir/schedule_trace.cc.o"
+  "CMakeFiles/bbsched_trace.dir/schedule_trace.cc.o.d"
+  "libbbsched_trace.a"
+  "libbbsched_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_profile.cc" "src/workload/CMakeFiles/bbsched_workload.dir/app_profile.cc.o" "gcc" "src/workload/CMakeFiles/bbsched_workload.dir/app_profile.cc.o.d"
+  "/root/repo/src/workload/trace_demand.cc" "src/workload/CMakeFiles/bbsched_workload.dir/trace_demand.cc.o" "gcc" "src/workload/CMakeFiles/bbsched_workload.dir/trace_demand.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/bbsched_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/bbsched_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bbsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bbsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bbsched_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

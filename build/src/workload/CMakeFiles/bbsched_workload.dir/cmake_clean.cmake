@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_workload.dir/app_profile.cc.o"
+  "CMakeFiles/bbsched_workload.dir/app_profile.cc.o.d"
+  "CMakeFiles/bbsched_workload.dir/trace_demand.cc.o"
+  "CMakeFiles/bbsched_workload.dir/trace_demand.cc.o.d"
+  "CMakeFiles/bbsched_workload.dir/workload.cc.o"
+  "CMakeFiles/bbsched_workload.dir/workload.cc.o.d"
+  "libbbsched_workload.a"
+  "libbbsched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_manager.dir/test_cpu_manager.cc.o"
+  "CMakeFiles/test_cpu_manager.dir/test_cpu_manager.cc.o.d"
+  "test_cpu_manager"
+  "test_cpu_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equipartition.dir/test_equipartition.cc.o"
+  "CMakeFiles/test_equipartition.dir/test_equipartition.cc.o.d"
+  "test_equipartition"
+  "test_equipartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equipartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fitness_election.dir/test_fitness_election.cc.o"
+  "CMakeFiles/test_fitness_election.dir/test_fitness_election.cc.o.d"
+  "test_fitness_election"
+  "test_fitness_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fitness_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

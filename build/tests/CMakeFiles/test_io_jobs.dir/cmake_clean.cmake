@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_jobs.dir/test_io_jobs.cc.o"
+  "CMakeFiles/test_io_jobs.dir/test_io_jobs.cc.o.d"
+  "test_io_jobs"
+  "test_io_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

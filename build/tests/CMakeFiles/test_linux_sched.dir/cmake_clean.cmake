@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linux_sched.dir/test_linux_sched.cc.o"
+  "CMakeFiles/test_linux_sched.dir/test_linux_sched.cc.o.d"
+  "test_linux_sched"
+  "test_linux_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linux_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_managed_scheduler.dir/test_managed_scheduler.cc.o"
+  "CMakeFiles/test_managed_scheduler.dir/test_managed_scheduler.cc.o.d"
+  "test_managed_scheduler"
+  "test_managed_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_managed_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manager_server.dir/test_manager_server.cc.o"
+  "CMakeFiles/test_manager_server.dir/test_manager_server.cc.o.d"
+  "test_manager_server"
+  "test_manager_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manager_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

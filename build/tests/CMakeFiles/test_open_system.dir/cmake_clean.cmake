@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_open_system.dir/test_open_system.cc.o"
+  "CMakeFiles/test_open_system.dir/test_open_system.cc.o.d"
+  "test_open_system"
+  "test_open_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_open_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_apps_sweep.dir/test_paper_apps_sweep.cc.o"
+  "CMakeFiles/test_paper_apps_sweep.dir/test_paper_apps_sweep.cc.o.d"
+  "test_paper_apps_sweep"
+  "test_paper_apps_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_apps_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfctr.dir/test_perfctr.cc.o"
+  "CMakeFiles/test_perfctr.dir/test_perfctr.cc.o.d"
+  "test_perfctr"
+  "test_perfctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_properties.dir/test_policy_properties.cc.o"
+  "CMakeFiles/test_policy_properties.dir/test_policy_properties.cc.o.d"
+  "test_policy_properties"
+  "test_policy_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_protocol.dir/test_runtime_protocol.cc.o"
+  "CMakeFiles/test_runtime_protocol.dir/test_runtime_protocol.cc.o.d"
+  "test_runtime_protocol"
+  "test_runtime_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signal_gate.dir/test_signal_gate.cc.o"
+  "CMakeFiles/test_signal_gate.dir/test_signal_gate.cc.o.d"
+  "test_signal_gate"
+  "test_signal_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signal_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

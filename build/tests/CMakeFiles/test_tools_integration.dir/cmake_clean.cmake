@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tools_integration.dir/test_tools_integration.cc.o"
+  "CMakeFiles/test_tools_integration.dir/test_tools_integration.cc.o.d"
+  "test_tools_integration"
+  "test_tools_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tools_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_kernel.dir/bbsched_kernel.cc.o"
+  "CMakeFiles/bbsched_kernel.dir/bbsched_kernel.cc.o.d"
+  "bbsched_kernel"
+  "bbsched_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

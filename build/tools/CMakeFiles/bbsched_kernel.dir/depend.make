@@ -1,0 +1,2 @@
+# Empty dependencies file for bbsched_kernel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsched_managerd.dir/bbsched_managerd.cc.o"
+  "CMakeFiles/bbsched_managerd.dir/bbsched_managerd.cc.o.d"
+  "bbsched_managerd"
+  "bbsched_managerd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsched_managerd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
