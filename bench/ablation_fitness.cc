@@ -13,11 +13,13 @@
 // representative applications, showing how much of the win is gang
 // scheduling per se and how much is Eq. 1's bandwidth matching.
 //
-// Usage: ablation_fitness [--fast] [--csv]
+// Usage: ablation_fitness [--fast] [--csv] [--jobs=N]
 #include <iostream>
+#include <vector>
 
 #include "experiments/cli.h"
 #include "experiments/fig2.h"
+#include "experiments/parallel.h"
 #include "stats/table.h"
 
 int main(int argc, char** argv) {
@@ -34,6 +36,8 @@ int main(int argc, char** argv) {
       core::ElectionRule::kFitness, core::ElectionRule::kFirstFit,
       core::ElectionRule::kLowestFirst, core::ElectionRule::kHighestFirst};
 
+  experiments::ParallelExecutor executor(opt.jobs);
+
   for (auto set : {experiments::Fig2Set::kSaturated,
                    experiments::Fig2Set::kIdleBus,
                    experiments::Fig2Set::kMixed}) {
@@ -44,19 +48,30 @@ int main(int argc, char** argv) {
     for (auto rule : rules) header.emplace_back(core::to_string(rule));
     table.set_header(header);
 
+    // One batch for the whole set: per app, the Linux baseline followed by
+    // one run per election rule (stride = 1 + rules.size()).
+    std::vector<experiments::RunRequest> requests;
     for (const auto& name : app_names) {
       const auto& app = workload::paper_application(name);
       const auto w =
           experiments::make_fig2_workload(set, app, cfg.machine.bus);
-      const auto linux_run =
-          run_workload(w, experiments::SchedulerKind::kLinux, cfg);
-
-      std::vector<std::string> row = {name};
+      requests.push_back({w, experiments::SchedulerKind::kLinux, cfg});
       for (auto rule : rules) {
         experiments::ExperimentConfig rcfg = cfg;
         rcfg.managed.manager.election_rule = rule;
-        const auto run = run_workload(
-            w, experiments::SchedulerKind::kQuantaWindow, rcfg);
+        requests.push_back({w, experiments::SchedulerKind::kQuantaWindow,
+                            rcfg});
+      }
+    }
+    const auto runs =
+        experiments::run_workloads_parallel(requests, executor);
+
+    const std::size_t stride = 1 + rules.size();
+    for (std::size_t a = 0; a < app_names.size(); ++a) {
+      const auto& linux_run = runs[a * stride];
+      std::vector<std::string> row = {app_names[a]};
+      for (std::size_t r = 0; r < rules.size(); ++r) {
+        const auto& run = runs[a * stride + 1 + r];
         const double imp = 100.0 *
                            (linux_run.measured_mean_turnaround_us -
                             run.measured_mean_turnaround_us) /

@@ -8,11 +8,13 @@
 // share of machine time lost to manager overhead (which is charged per
 // quantum boundary, so it grows as quanta shrink).
 //
-// Usage: ablation_quantum [--fast] [--csv] [--app=NAME]
+// Usage: ablation_quantum [--fast] [--csv] [--app=NAME] [--jobs=N]
 #include <iostream>
+#include <vector>
 
 #include "experiments/cli.h"
 #include "experiments/fig2.h"
+#include "experiments/parallel.h"
 #include "stats/table.h"
 
 int main(int argc, char** argv) {
@@ -32,17 +34,26 @@ int main(int argc, char** argv) {
   const auto w = experiments::make_fig2_workload(
       experiments::Fig2Set::kMixed, app, cfg.machine.bus);
 
-  const auto linux_run =
-      run_workload(w, experiments::SchedulerKind::kLinux, cfg);
+  const std::vector<sim::SimTime> quanta_ms = {50, 100, 200, 400, 800};
+
+  // Request 0 is the Linux baseline; request 1+i the i-th quantum setting.
+  std::vector<experiments::RunRequest> requests;
+  requests.push_back({w, experiments::SchedulerKind::kLinux, cfg});
+  for (sim::SimTime q_ms : quanta_ms) {
+    experiments::ExperimentConfig qcfg = cfg;
+    qcfg.managed.manager.quantum_us = q_ms * sim::kUsPerMs;
+    requests.push_back({w, experiments::SchedulerKind::kQuantaWindow, qcfg});
+  }
+  const auto runs = experiments::run_workloads_parallel(requests, opt.jobs);
+  const auto& linux_run = runs[0];
 
   stats::Table table("Manager quantum sweep (workload: " + w.name + ")");
   table.set_header({"quantum", "T_app(s)", "vs linux", "elections",
                     "migrations", "overhead share"});
-  for (sim::SimTime q_ms : {50u, 100u, 200u, 400u, 800u}) {
-    experiments::ExperimentConfig qcfg = cfg;
-    qcfg.managed.manager.quantum_us = q_ms * sim::kUsPerMs;
-    const auto run =
-        run_workload(w, experiments::SchedulerKind::kQuantaWindow, qcfg);
+  for (std::size_t i = 0; i < quanta_ms.size(); ++i) {
+    const sim::SimTime q_ms = quanta_ms[i];
+    const auto& qcfg = requests[i + 1].cfg;
+    const auto& run = runs[i + 1];
     const double imp = 100.0 *
                        (linux_run.measured_mean_turnaround_us -
                         run.measured_mean_turnaround_us) /

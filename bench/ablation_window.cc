@@ -13,13 +13,15 @@
 // Part 2 shows the end-to-end effect: Fig.-2B improvement for Raytrace as a
 // function of the window length (length 1 == 'Latest Quantum').
 //
-// Usage: ablation_window [--fast] [--csv]
+// Usage: ablation_window [--fast] [--csv] [--jobs=N]
 #include <cmath>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "experiments/cli.h"
 #include "experiments/fig2.h"
+#include "experiments/parallel.h"
 #include "stats/moving_window.h"
 #include "stats/table.h"
 #include "workload/demand_models.h"
@@ -100,30 +102,44 @@ int main(int argc, char** argv) {
   e2e.set_header({"window", "improvement vs linux"});
   const auto w = experiments::make_fig2_workload(
       experiments::Fig2Set::kIdleBus, ray, cfg.machine.bus);
-  const auto linux_run =
-      run_workload(w, experiments::SchedulerKind::kLinux, cfg);
-  auto improvement = [&](const experiments::ExperimentConfig& wcfg) {
-    const auto run =
-        run_workload(w, experiments::SchedulerKind::kManagedCustom, wcfg);
+
+  // Batch the baseline and every window/ewma variant in one parallel run:
+  // request 0 = Linux, then one kManagedCustom run per table row.
+  const std::vector<std::size_t> window_lens = {1, 3, 5, 8, 12};
+  const std::vector<double> ewma_alphas = {0.33, 0.15};
+  std::vector<experiments::RunRequest> requests;
+  requests.push_back({w, experiments::SchedulerKind::kLinux, cfg});
+  for (std::size_t len : window_lens) {
+    experiments::ExperimentConfig wcfg = cfg;
+    wcfg.managed.manager.policy = core::PolicyKind::kQuantaWindow;
+    wcfg.managed.manager.window_len = len;
+    requests.push_back({w, experiments::SchedulerKind::kManagedCustom, wcfg});
+  }
+  // §4's wider-window suggestion: exponentially decaying weights instead of
+  // a longer flat window.
+  for (double alpha : ewma_alphas) {
+    experiments::ExperimentConfig wcfg = cfg;
+    wcfg.managed.manager.policy = core::PolicyKind::kExponential;
+    wcfg.managed.manager.ewma_alpha = alpha;
+    requests.push_back({w, experiments::SchedulerKind::kManagedCustom, wcfg});
+  }
+  const auto runs = experiments::run_workloads_parallel(requests, opt.jobs);
+
+  const auto& linux_run = runs[0];
+  auto improvement = [&](const experiments::RunResult& run) {
     return 100.0 *
            (linux_run.measured_mean_turnaround_us -
             run.measured_mean_turnaround_us) /
            linux_run.measured_mean_turnaround_us;
   };
-  for (std::size_t len : {1u, 3u, 5u, 8u, 12u}) {
-    experiments::ExperimentConfig wcfg = cfg;
-    wcfg.managed.manager.policy = core::PolicyKind::kQuantaWindow;
-    wcfg.managed.manager.window_len = len;
-    e2e.add_row({std::to_string(len), stats::Table::pct(improvement(wcfg))});
+  for (std::size_t i = 0; i < window_lens.size(); ++i) {
+    e2e.add_row({std::to_string(window_lens[i]),
+                 stats::Table::pct(improvement(runs[1 + i]))});
   }
-  // §4's wider-window suggestion: exponentially decaying weights instead of
-  // a longer flat window.
-  for (double alpha : {0.33, 0.15}) {
-    experiments::ExperimentConfig wcfg = cfg;
-    wcfg.managed.manager.policy = core::PolicyKind::kExponential;
-    wcfg.managed.manager.ewma_alpha = alpha;
-    e2e.add_row({"ewma a=" + stats::Table::num(alpha, 2),
-                 stats::Table::pct(improvement(wcfg))});
+  for (std::size_t i = 0; i < ewma_alphas.size(); ++i) {
+    e2e.add_row({"ewma a=" + stats::Table::num(ewma_alphas[i], 2),
+                 stats::Table::pct(
+                     improvement(runs[1 + window_lens.size() + i]))});
   }
   e2e.render(std::cout);
   if (opt.csv) {

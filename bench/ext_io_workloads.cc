@@ -11,10 +11,12 @@
 // memory-intensive application and two nBBMA, and reports each scheduler's
 // mean application turnaround plus the server's request throughput.
 //
-// Usage: ext_io_workloads [--fast] [--csv] [--app=NAME]
+// Usage: ext_io_workloads [--fast] [--csv] [--app=NAME] [--jobs=N]
 #include <iostream>
+#include <vector>
 
 #include "experiments/cli.h"
+#include "experiments/parallel.h"
 #include "experiments/runner.h"
 #include "stats/table.h"
 #include "workload/workload.h"
@@ -36,7 +38,10 @@ int main(int argc, char** argv) {
   table.set_header({"server DMA", "Latest", "Window", "T_linux(s)",
                     "server tx (linux)", "server tx (window)"});
 
-  for (double dma_tps : {0.0, 4.0, 10.0, 18.0}) {
+  // One batch across DMA intensities: per intensity (linux, latest, window).
+  const std::vector<double> dma_rates = {0.0, 4.0, 10.0, 18.0};
+  std::vector<experiments::RunRequest> requests;
+  for (double dma_tps : dma_rates) {
     workload::Workload w;
     w.name = "io mix";
     w.jobs.push_back(workload::make_app_job(app, cfg.machine.bus, 2, 11));
@@ -50,12 +55,17 @@ int main(int argc, char** argv) {
     w.jobs.push_back(workload::make_nbbma_job());
     w.jobs.push_back(workload::make_nbbma_job());
 
-    const auto linux_run =
-        run_workload(w, experiments::SchedulerKind::kLinux, cfg);
-    const auto latest_run =
-        run_workload(w, experiments::SchedulerKind::kLatestQuantum, cfg);
-    const auto window_run =
-        run_workload(w, experiments::SchedulerKind::kQuantaWindow, cfg);
+    requests.push_back({w, experiments::SchedulerKind::kLinux, cfg});
+    requests.push_back({w, experiments::SchedulerKind::kLatestQuantum, cfg});
+    requests.push_back({w, experiments::SchedulerKind::kQuantaWindow, cfg});
+  }
+  const auto runs = experiments::run_workloads_parallel(requests, opt.jobs);
+
+  for (std::size_t d = 0; d < dma_rates.size(); ++d) {
+    const double dma_tps = dma_rates[d];
+    const auto& linux_run = runs[3 * d];
+    const auto& latest_run = runs[3 * d + 1];
+    const auto& window_run = runs[3 * d + 2];
 
     auto pct = [&](const experiments::RunResult& r) {
       return 100.0 *

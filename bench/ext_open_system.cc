@@ -7,10 +7,12 @@
 // apps, 2 threads each) over a background of one BBMA and one nBBMA, and
 // reports mean turnaround and tail percentiles per scheduler.
 //
-// Usage: ext_open_system [--fast] [--csv] [--seed=N]
+// Usage: ext_open_system [--fast] [--csv] [--seed=N] [--jobs=N]
 #include <iostream>
+#include <vector>
 
 #include "experiments/cli.h"
+#include "experiments/parallel.h"
 #include "experiments/runner.h"
 #include "stats/percentile.h"
 #include "stats/rng.h"
@@ -56,12 +58,17 @@ int main(int argc, char** argv) {
   table.set_header({"scheduler", "mean turnaround(s)", "p50(s)", "p95(s)",
                     "worst(s)"});
 
-  for (const auto kind : {experiments::SchedulerKind::kLinux,
-                          experiments::SchedulerKind::kEquipartition,
-                          experiments::SchedulerKind::kLatestQuantum,
-                          experiments::SchedulerKind::kQuantaWindow}) {
+  // Each scheduler's open-system run is an independent engine (same arrival
+  // stream); fan the four schedulers out through the executor.
+  const std::vector<experiments::SchedulerKind> kinds = {
+      experiments::SchedulerKind::kLinux,
+      experiments::SchedulerKind::kEquipartition,
+      experiments::SchedulerKind::kLatestQuantum,
+      experiments::SchedulerKind::kQuantaWindow};
+  experiments::ParallelExecutor executor(opt.jobs);
+  const auto per_kind = executor.map(kinds.size(), [&](std::size_t k) {
     sim::Engine eng(cfg.machine, cfg.engine,
-                    experiments::make_scheduler(kind, cfg));
+                    experiments::make_scheduler(kinds[k], cfg));
     eng.add_job(workload::make_bbma_job(cfg.machine.bus));
     eng.add_job(workload::make_nbbma_job());
     for (const auto& a : arrivals) eng.submit_job(a.spec, a.when);
@@ -73,8 +80,13 @@ int main(int argc, char** argv) {
       if (!job.completed) continue;
       turnarounds.add(static_cast<double>(job.turnaround_us()) / 1e6);
     }
+    return turnarounds;
+  });
+
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    auto turnarounds = per_kind[k];
     if (turnarounds.empty()) continue;
-    table.add_row({experiments::to_string(kind),
+    table.add_row({experiments::to_string(kinds[k]),
                    stats::Table::num(turnarounds.mean()),
                    stats::Table::num(turnarounds.median()),
                    stats::Table::num(turnarounds.percentile(95.0)),

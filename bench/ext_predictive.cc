@@ -7,11 +7,13 @@
 //   predictive-fair       — maximize the slowest thread's speed (may leave
 //                           processors idle rather than saturate the bus).
 //
-// Usage: ext_predictive [--fast] [--csv] [--app=NAME]
+// Usage: ext_predictive [--fast] [--csv] [--app=NAME] [--jobs=N]
 #include <iostream>
+#include <vector>
 
 #include "experiments/cli.h"
 #include "experiments/fig2.h"
+#include "experiments/parallel.h"
 #include "stats/table.h"
 
 int main(int argc, char** argv) {
@@ -25,6 +27,14 @@ int main(int argc, char** argv) {
   std::vector<std::string> names = {"Water-nsqr", "LU-CB", "SP", "CG"};
   if (!opt.app.empty()) names = {opt.app};
 
+  const std::vector<experiments::SchedulerKind> kinds = {
+      experiments::SchedulerKind::kLinux,
+      experiments::SchedulerKind::kQuantaWindow,
+      experiments::SchedulerKind::kPredictiveThroughput,
+      experiments::SchedulerKind::kPredictiveFair};
+
+  experiments::ParallelExecutor executor(opt.jobs);
+
   for (auto set : {experiments::Fig2Set::kSaturated,
                    experiments::Fig2Set::kIdleBus,
                    experiments::Fig2Set::kMixed}) {
@@ -33,27 +43,29 @@ int main(int argc, char** argv) {
                        " (improvement vs Linux)");
     table.set_header({"app", "window (Eq. 1)", "pred-throughput",
                       "pred-fair"});
+    // Per app: one run per kind (Linux baseline first), all in one batch.
+    std::vector<experiments::RunRequest> requests;
     for (const auto& name : names) {
       const auto& app = workload::paper_application(name);
       const auto w =
           experiments::make_fig2_workload(set, app, cfg.machine.bus);
-      const auto linux_run =
-          run_workload(w, experiments::SchedulerKind::kLinux, cfg);
-      auto improvement = [&](experiments::SchedulerKind kind) {
-        const auto run = run_workload(w, kind, cfg);
+      for (auto kind : kinds) requests.push_back({w, kind, cfg});
+    }
+    const auto runs =
+        experiments::run_workloads_parallel(requests, executor);
+
+    for (std::size_t a = 0; a < names.size(); ++a) {
+      const auto& linux_run = runs[a * kinds.size()];
+      auto improvement = [&](std::size_t kind_idx) {
+        const auto& run = runs[a * kinds.size() + kind_idx];
         return 100.0 *
                (linux_run.measured_mean_turnaround_us -
                 run.measured_mean_turnaround_us) /
                linux_run.measured_mean_turnaround_us;
       };
-      table.add_row(
-          {name,
-           stats::Table::pct(
-               improvement(experiments::SchedulerKind::kQuantaWindow)),
-           stats::Table::pct(improvement(
-               experiments::SchedulerKind::kPredictiveThroughput)),
-           stats::Table::pct(
-               improvement(experiments::SchedulerKind::kPredictiveFair))});
+      table.add_row({names[a], stats::Table::pct(improvement(1)),
+                     stats::Table::pct(improvement(2)),
+                     stats::Table::pct(improvement(3))});
     }
     table.render(std::cout);
     if (opt.csv) table.render_csv(std::cout);

@@ -12,11 +12,13 @@
 // processor count — more agents on a relatively slower bus make oblivious
 // scheduling increasingly costly.
 //
-// Usage: ext_scalability [--fast] [--csv] [--app=NAME]
+// Usage: ext_scalability [--fast] [--csv] [--app=NAME] [--jobs=N]
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "experiments/cli.h"
+#include "experiments/parallel.h"
 #include "experiments/runner.h"
 #include "stats/table.h"
 #include "workload/workload.h"
@@ -32,7 +34,10 @@ int main(int argc, char** argv) {
   table.set_header({"CPUs", "bus (trans/us)", "Latest", "Window",
                     "T_linux(s)", "T_window(s)"});
 
-  for (int ncpus : {2, 4, 8, 16}) {
+  // One batch across all machine sizes: per size, (linux, latest, window).
+  const std::vector<int> cpu_counts = {2, 4, 8, 16};
+  std::vector<experiments::RunRequest> requests;
+  for (int ncpus : cpu_counts) {
     experiments::ExperimentConfig cfg;
     cfg.time_scale = opt.time_scale;
     cfg.engine.seed = opt.seed;
@@ -56,12 +61,17 @@ int main(int argc, char** argv) {
       w.jobs.push_back(workload::make_nbbma_job());
     }
 
-    const auto linux_run =
-        run_workload(w, experiments::SchedulerKind::kLinux, cfg);
-    const auto latest_run =
-        run_workload(w, experiments::SchedulerKind::kLatestQuantum, cfg);
-    const auto window_run =
-        run_workload(w, experiments::SchedulerKind::kQuantaWindow, cfg);
+    requests.push_back({w, experiments::SchedulerKind::kLinux, cfg});
+    requests.push_back({w, experiments::SchedulerKind::kLatestQuantum, cfg});
+    requests.push_back({w, experiments::SchedulerKind::kQuantaWindow, cfg});
+  }
+  const auto runs = experiments::run_workloads_parallel(requests, opt.jobs);
+
+  for (std::size_t c = 0; c < cpu_counts.size(); ++c) {
+    const auto& linux_run = runs[3 * c];
+    const auto& latest_run = runs[3 * c + 1];
+    const auto& window_run = runs[3 * c + 2];
+    const auto& cfg = requests[3 * c].cfg;
 
     auto pct = [&](const experiments::RunResult& r) {
       return 100.0 *
@@ -70,7 +80,7 @@ int main(int argc, char** argv) {
              linux_run.measured_mean_turnaround_us;
     };
     table.add_row(
-        {std::to_string(ncpus),
+        {std::to_string(cpu_counts[c]),
          stats::Table::num(cfg.machine.bus.capacity_tps, 1),
          stats::Table::pct(pct(latest_run)), stats::Table::pct(pct(window_run)),
          stats::Table::num(linux_run.measured_mean_turnaround_us / 1e6),

@@ -13,11 +13,13 @@
 // cores before doubling contexts up (symbiosis-aware placement), which the
 // 2.4 baseline — historically SMT-oblivious — does not.
 //
-// Usage: ext_smt [--fast] [--csv] [--app=NAME]
+// Usage: ext_smt [--fast] [--csv] [--app=NAME] [--jobs=N]
 #include <iostream>
+#include <vector>
 
 #include "experiments/cli.h"
 #include "experiments/fig2.h"
+#include "experiments/parallel.h"
 #include "stats/table.h"
 
 int main(int argc, char** argv) {
@@ -33,6 +35,9 @@ int main(int argc, char** argv) {
   table.set_header({"app", "Latest", "Window", "T_linux HT(s)",
                     "T_window HT(s)", "T_window HT-off(s)"});
 
+  // Per app: linux/latest/window on the HT machine + the HT-off reference —
+  // 4 requests per app, all batched through the pool.
+  std::vector<experiments::RunRequest> requests;
   for (const auto& name : names) {
     const auto& app = workload::paper_application(name);
 
@@ -54,12 +59,11 @@ int main(int argc, char** argv) {
       if (i < 2) w.measured.push_back(w.jobs.size() - 1);
     }
 
-    const auto linux_run =
-        run_workload(w, experiments::SchedulerKind::kLinux, smt_cfg);
-    const auto latest_run =
-        run_workload(w, experiments::SchedulerKind::kLatestQuantum, smt_cfg);
-    const auto window_run =
-        run_workload(w, experiments::SchedulerKind::kQuantaWindow, smt_cfg);
+    requests.push_back({w, experiments::SchedulerKind::kLinux, smt_cfg});
+    requests.push_back({w, experiments::SchedulerKind::kLatestQuantum,
+                        smt_cfg});
+    requests.push_back({w, experiments::SchedulerKind::kQuantaWindow,
+                        smt_cfg});
 
     // Reference: the same per-context load on the HT-off machine.
     experiments::ExperimentConfig off_cfg = smt_cfg;
@@ -67,9 +71,16 @@ int main(int argc, char** argv) {
     off_cfg.machine.threads_per_core = 1;
     const auto off_w = experiments::make_fig2_workload(
         experiments::Fig2Set::kMixed, app, off_cfg.machine.bus);
-    const auto off_run =
-        run_workload(off_w, experiments::SchedulerKind::kQuantaWindow,
-                     off_cfg);
+    requests.push_back({off_w, experiments::SchedulerKind::kQuantaWindow,
+                        off_cfg});
+  }
+  const auto runs = experiments::run_workloads_parallel(requests, opt.jobs);
+
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    const auto& linux_run = runs[4 * a];
+    const auto& latest_run = runs[4 * a + 1];
+    const auto& window_run = runs[4 * a + 2];
+    const auto& off_run = runs[4 * a + 3];
 
     auto pct = [&](const experiments::RunResult& r) {
       return 100.0 *
@@ -78,7 +89,7 @@ int main(int argc, char** argv) {
              linux_run.measured_mean_turnaround_us;
     };
     table.add_row(
-        {name, stats::Table::pct(pct(latest_run)),
+        {names[a], stats::Table::pct(pct(latest_run)),
          stats::Table::pct(pct(window_run)),
          stats::Table::num(linux_run.measured_mean_turnaround_us / 1e6),
          stats::Table::num(window_run.measured_mean_turnaround_us / 1e6),

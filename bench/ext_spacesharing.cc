@@ -9,11 +9,13 @@
 // saturating the bus under different partitions. The table quantifies both
 // effects against the bandwidth-aware gang policies.
 //
-// Usage: ext_spacesharing [--fast] [--csv] [--app=NAME]
+// Usage: ext_spacesharing [--fast] [--csv] [--app=NAME] [--jobs=N]
 #include <iostream>
+#include <vector>
 
 #include "experiments/cli.h"
 #include "experiments/fig2.h"
+#include "experiments/parallel.h"
 #include "stats/table.h"
 
 int main(int argc, char** argv) {
@@ -27,6 +29,14 @@ int main(int argc, char** argv) {
   std::vector<std::string> names = {"Radiosity", "LU-CB", "SP", "CG"};
   if (!opt.app.empty()) names = {opt.app};
 
+  const std::vector<experiments::SchedulerKind> kinds = {
+      experiments::SchedulerKind::kLinux,
+      experiments::SchedulerKind::kEquipartition,
+      experiments::SchedulerKind::kLatestQuantum,
+      experiments::SchedulerKind::kQuantaWindow};
+
+  experiments::ParallelExecutor executor(opt.jobs);
+
   for (auto set : {experiments::Fig2Set::kSaturated,
                    experiments::Fig2Set::kIdleBus,
                    experiments::Fig2Set::kMixed}) {
@@ -36,19 +46,27 @@ int main(int argc, char** argv) {
     table.set_header(
         {"app", "linux", "equipartition", "latest", "window",
          "window vs equi"});
+    // Per app: one run per kind, whole set batched through the pool.
+    std::vector<experiments::RunRequest> requests;
     for (const auto& name : names) {
       const auto& app = workload::paper_application(name);
       const auto w =
           experiments::make_fig2_workload(set, app, cfg.machine.bus);
-      auto secs = [&](experiments::SchedulerKind kind) {
-        return run_workload(w, kind, cfg).measured_mean_turnaround_us / 1e6;
+      for (auto kind : kinds) requests.push_back({w, kind, cfg});
+    }
+    const auto runs =
+        experiments::run_workloads_parallel(requests, executor);
+
+    for (std::size_t a = 0; a < names.size(); ++a) {
+      auto secs = [&](std::size_t kind_idx) {
+        return runs[a * kinds.size() + kind_idx].measured_mean_turnaround_us /
+               1e6;
       };
-      const double t_linux = secs(experiments::SchedulerKind::kLinux);
-      const double t_equi = secs(experiments::SchedulerKind::kEquipartition);
-      const double t_latest =
-          secs(experiments::SchedulerKind::kLatestQuantum);
-      const double t_window = secs(experiments::SchedulerKind::kQuantaWindow);
-      table.add_row({name, stats::Table::num(t_linux),
+      const double t_linux = secs(0);
+      const double t_equi = secs(1);
+      const double t_latest = secs(2);
+      const double t_window = secs(3);
+      table.add_row({names[a], stats::Table::num(t_linux),
                      stats::Table::num(t_equi), stats::Table::num(t_latest),
                      stats::Table::num(t_window),
                      stats::Table::pct(100.0 * (t_equi - t_window) / t_equi)});

@@ -3,13 +3,15 @@
 // slice jitter and burst patterns all vary). The paper reports single
 // measurements; this bench shows how sensitive each number is.
 //
-// Usage: fig2_sweep [--fast] [--csv] [--app=NAME] [--seeds=N]   (default 5)
+// Usage: fig2_sweep [--fast] [--csv] [--app=NAME] [--seeds=N] [--jobs=N]
+//   (default 5 seeds; sweeps fan out over the parallel harness)
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "experiments/cli.h"
 #include "experiments/fig2.h"
+#include "experiments/parallel.h"
 #include "experiments/sweep.h"
 #include "stats/table.h"
 
@@ -34,6 +36,8 @@ int main(int argc, char** argv) {
            stats::Table::num(s.ci95_pct, 1);
   };
 
+  experiments::ParallelExecutor executor(opt.jobs);
+
   for (auto set : {experiments::Fig2Set::kSaturated,
                    experiments::Fig2Set::kIdleBus,
                    experiments::Fig2Set::kMixed}) {
@@ -45,12 +49,12 @@ int main(int argc, char** argv) {
       const auto& app = workload::paper_application(name);
       const auto w =
           experiments::make_fig2_workload(set, app, cfg.machine.bus);
-      const auto latest = experiments::sweep_improvement(
+      const auto latest = experiments::parallel_sweep_improvement(
           w, experiments::SchedulerKind::kLatestQuantum,
-          experiments::SchedulerKind::kLinux, cfg, seeds);
-      const auto window = experiments::sweep_improvement(
+          experiments::SchedulerKind::kLinux, cfg, seeds, executor);
+      const auto window = experiments::parallel_sweep_improvement(
           w, experiments::SchedulerKind::kQuantaWindow,
-          experiments::SchedulerKind::kLinux, cfg, seeds);
+          experiments::SchedulerKind::kLinux, cfg, seeds, executor);
       table.add_row({name, fmt(latest), fmt(window),
                      "[" + stats::Table::pct(window.min_pct) + ", " +
                          stats::Table::pct(window.max_pct) + "]"});

@@ -1,0 +1,227 @@
+// Performance tracking bench for the simulation hot path and the parallel
+// experiment harness. Emits one JSON object on stdout:
+//
+//   {
+//     "hardware_threads": ...,
+//     "tick_bench": { ticks, wall_s, ticks_per_sec, allocs, allocs_per_tick },
+//     "sweep":      { seeds, runs, serial_wall_s, parallel_wall_s, workers,
+//                     speedup, results_identical }
+//   }
+//
+// * tick_bench drives a single engine for N ticks (barriered application +
+//   two streaming microbenchmarks) and reports throughput plus heap
+//   allocations per tick, counted by a global operator-new override. After
+//   the workspace refactor the steady-state tick path performs no heap
+//   allocation, and --smoke asserts it stays that way.
+// * sweep runs the same multi-seed improvement sweep twice — through the
+//   serial reference path and through the ThreadPool-backed harness — and
+//   reports both wall clocks. The two must produce bit-identical statistics
+//   (also asserted under --smoke); the speedup tracks how well the harness
+//   scales on the host. With >= 4 hardware threads expect >= 2x.
+//
+// Usage: perf_ticks [--ticks=N] [--seeds=N] [--workers=N] [--scale=X]
+//                   [--smoke]
+//   --smoke  tiny iteration counts + hard assertions (ctest label
+//            perf_smoke runs this so the bench stays green under tier-1)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "experiments/cli.h"
+#include "experiments/parallel.h"
+#include "experiments/runner.h"
+#include "experiments/sweep.h"
+#include "runtime/thread_pool.h"
+#include "sim/engine.h"
+#include "workload/workload.h"
+
+// ---- global allocation counter -------------------------------------------
+// Replaces the default (unaligned) global new/delete with malloc/free plus a
+// relaxed atomic count. Only the *difference* around a measured region is
+// reported, so unrelated startup allocations don't pollute the numbers.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace bbsched;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct TickBench {
+  std::uint64_t ticks = 0;
+  double wall_s = 0.0;
+  double ticks_per_sec = 0.0;
+  std::uint64_t allocs = 0;
+  double allocs_per_tick = 0.0;
+};
+
+/// Single-engine microbench: one barriered application + two BBMA streamers
+/// (the Fig.-1 contention set) stepped `ticks` times with OS noise active,
+/// so the barrier, saturation and noise paths all run.
+TickBench bench_ticks(std::uint64_t ticks) {
+  experiments::ExperimentConfig cfg;
+  const auto w = workload::fig1_with_bbma(
+      workload::paper_application("Raytrace"), cfg.machine.bus);
+  sim::Engine engine(
+      cfg.machine, cfg.engine,
+      experiments::make_scheduler(experiments::SchedulerKind::kPinned, cfg));
+  for (const auto& spec : w.jobs) engine.add_job(spec);
+
+  // Warm up: scratch buffers reach steady-state capacity, placements settle.
+  for (int i = 0; i < 512; ++i) engine.step();
+
+  const std::uint64_t allocs_before =
+      g_allocs.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < ticks; ++i) engine.step();
+  TickBench out;
+  out.ticks = ticks;
+  out.wall_s = seconds_since(start);
+  out.allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  out.ticks_per_sec =
+      out.wall_s > 0.0 ? static_cast<double>(ticks) / out.wall_s : 0.0;
+  out.allocs_per_tick =
+      ticks > 0 ? static_cast<double>(out.allocs) / static_cast<double>(ticks)
+                : 0.0;
+  return out;
+}
+
+struct SweepBench {
+  int seeds = 0;
+  int runs = 0;
+  int workers = 0;
+  double serial_wall_s = 0.0;
+  double parallel_wall_s = 0.0;
+  double speedup = 0.0;
+  bool results_identical = false;
+};
+
+bool identical(const experiments::ImprovementStats& a,
+               const experiments::ImprovementStats& b) {
+  return a.n == b.n && a.mean_pct == b.mean_pct &&
+         a.stddev_pct == b.stddev_pct && a.min_pct == b.min_pct &&
+         a.max_pct == b.max_pct && a.ci95_pct == b.ci95_pct;
+}
+
+/// Multi-seed Fig.-2 improvement sweep, serial vs parallel wall clock.
+SweepBench bench_sweep(int seeds, int workers, double time_scale) {
+  experiments::ExperimentConfig cfg;
+  cfg.time_scale = time_scale;
+  const auto w = workload::fig2_mixed(
+      workload::paper_application("Volrend"), cfg.machine.bus);
+
+  SweepBench out;
+  out.seeds = seeds;
+  out.runs = 2 * seeds;
+
+  const auto serial_start = Clock::now();
+  const auto serial = experiments::sweep_improvement(
+      w, experiments::SchedulerKind::kQuantaWindow,
+      experiments::SchedulerKind::kLinux, cfg, seeds);
+  out.serial_wall_s = seconds_since(serial_start);
+
+  experiments::ParallelExecutor executor(workers);
+  out.workers = executor.workers();
+  const auto parallel_start = Clock::now();
+  const auto parallel = experiments::parallel_sweep_improvement(
+      w, experiments::SchedulerKind::kQuantaWindow,
+      experiments::SchedulerKind::kLinux, cfg, seeds, executor);
+  out.parallel_wall_s = seconds_since(parallel_start);
+
+  out.speedup = out.parallel_wall_s > 0.0
+                    ? out.serial_wall_s / out.parallel_wall_s
+                    : 0.0;
+  out.results_identical = identical(serial, parallel);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = experiments::parse_cli(argc, argv);
+  std::uint64_t ticks = 200'000;
+  int seeds = 6;
+  bool smoke = false;
+  double sweep_scale = opt.time_scale != 1.0 ? opt.time_scale : 0.1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--ticks=", 0) == 0) ticks = std::stoull(arg.substr(8));
+    if (arg.rfind("--seeds=", 0) == 0) seeds = std::stoi(arg.substr(8));
+    if (arg == "--smoke") smoke = true;
+  }
+  if (smoke) {
+    ticks = 5'000;
+    seeds = 2;
+    sweep_scale = 0.03;
+  }
+
+  const TickBench tb = bench_ticks(ticks);
+  const SweepBench sb = bench_sweep(seeds, opt.jobs, sweep_scale);
+
+  std::printf(
+      "{\n"
+      "  \"hardware_threads\": %d,\n"
+      "  \"tick_bench\": {\"ticks\": %llu, \"wall_s\": %.6f, "
+      "\"ticks_per_sec\": %.1f, \"allocs\": %llu, "
+      "\"allocs_per_tick\": %.6f},\n"
+      "  \"sweep\": {\"seeds\": %d, \"runs\": %d, \"serial_wall_s\": %.6f, "
+      "\"parallel_wall_s\": %.6f, \"workers\": %d, \"speedup\": %.3f, "
+      "\"results_identical\": %s}\n"
+      "}\n",
+      runtime::ThreadPool::hardware_workers(),
+      static_cast<unsigned long long>(tb.ticks), tb.wall_s, tb.ticks_per_sec,
+      static_cast<unsigned long long>(tb.allocs), tb.allocs_per_tick,
+      sb.seeds, sb.runs, sb.serial_wall_s, sb.parallel_wall_s, sb.workers,
+      sb.speedup, sb.results_identical ? "true" : "false");
+
+  if (smoke) {
+    bool ok = true;
+    if (tb.allocs_per_tick > 0.01) {
+      std::fprintf(stderr,
+                   "FAIL: tick path allocates (%.4f allocs/tick, want ~0)\n",
+                   tb.allocs_per_tick);
+      ok = false;
+    }
+    if (!sb.results_identical) {
+      std::fprintf(stderr,
+                   "FAIL: parallel sweep differs from serial reference\n");
+      ok = false;
+    }
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

@@ -217,12 +217,11 @@ bench/CMakeFiles/ablation_window.dir/ablation_window.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/experiments/cli.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/experiments/fig2.h \
- /root/repo/src/experiments/runner.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/experiments/cli.h \
+ /root/repo/src/experiments/fig2.h /root/repo/src/experiments/runner.h \
  /root/repo/src/core/managed_scheduler.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -250,4 +249,25 @@ bench/CMakeFiles/ablation_window.dir/ablation_window.cc.o: \
  /root/repo/src/sim/bus_model.h /root/repo/src/stats/online_stats.h \
  /root/repo/src/spacesched/equipartition.h \
  /root/repo/src/workload/workload.h /root/repo/src/workload/app_profile.h \
- /root/repo/src/stats/table.h /root/repo/src/workload/demand_models.h
+ /root/repo/src/experiments/parallel.h /usr/include/c++/12/future \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/experiments/sweep.h \
+ /root/repo/src/stats/percentile.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/runtime/thread_pool.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/stats/table.h \
+ /root/repo/src/workload/demand_models.h

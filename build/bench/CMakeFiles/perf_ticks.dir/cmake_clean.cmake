@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_ticks.dir/perf_ticks.cc.o"
+  "CMakeFiles/perf_ticks.dir/perf_ticks.cc.o.d"
+  "perf_ticks"
+  "perf_ticks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_ticks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(perf_ticks_smoke "/root/repo/build/bench/perf_ticks" "--smoke")
+set_tests_properties(perf_ticks_smoke PROPERTIES  LABELS "perf_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/experiments/fig1.cc" "src/experiments/CMakeFiles/bbsched_experiments.dir/fig1.cc.o" "gcc" "src/experiments/CMakeFiles/bbsched_experiments.dir/fig1.cc.o.d"
   "/root/repo/src/experiments/fig2.cc" "src/experiments/CMakeFiles/bbsched_experiments.dir/fig2.cc.o" "gcc" "src/experiments/CMakeFiles/bbsched_experiments.dir/fig2.cc.o.d"
+  "/root/repo/src/experiments/parallel.cc" "src/experiments/CMakeFiles/bbsched_experiments.dir/parallel.cc.o" "gcc" "src/experiments/CMakeFiles/bbsched_experiments.dir/parallel.cc.o.d"
   "/root/repo/src/experiments/runner.cc" "src/experiments/CMakeFiles/bbsched_experiments.dir/runner.cc.o" "gcc" "src/experiments/CMakeFiles/bbsched_experiments.dir/runner.cc.o.d"
   "/root/repo/src/experiments/sweep.cc" "src/experiments/CMakeFiles/bbsched_experiments.dir/sweep.cc.o" "gcc" "src/experiments/CMakeFiles/bbsched_experiments.dir/sweep.cc.o.d"
   )
@@ -22,6 +23,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/workload/CMakeFiles/bbsched_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/bbsched_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/bbsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bbsched_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfctr/CMakeFiles/bbsched_perfctr.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/bbsched_trace.dir/DependInfo.cmake"
   )
 

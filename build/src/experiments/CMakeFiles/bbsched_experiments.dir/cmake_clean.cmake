@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/bbsched_experiments.dir/fig1.cc.o.d"
   "CMakeFiles/bbsched_experiments.dir/fig2.cc.o"
   "CMakeFiles/bbsched_experiments.dir/fig2.cc.o.d"
+  "CMakeFiles/bbsched_experiments.dir/parallel.cc.o"
+  "CMakeFiles/bbsched_experiments.dir/parallel.cc.o.d"
   "CMakeFiles/bbsched_experiments.dir/runner.cc.o"
   "CMakeFiles/bbsched_experiments.dir/runner.cc.o.d"
   "CMakeFiles/bbsched_experiments.dir/sweep.cc.o"

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/runtime/microbench.cc" "src/runtime/CMakeFiles/bbsched_runtime.dir/microbench.cc.o" "gcc" "src/runtime/CMakeFiles/bbsched_runtime.dir/microbench.cc.o.d"
   "/root/repo/src/runtime/protocol.cc" "src/runtime/CMakeFiles/bbsched_runtime.dir/protocol.cc.o" "gcc" "src/runtime/CMakeFiles/bbsched_runtime.dir/protocol.cc.o.d"
   "/root/repo/src/runtime/signal_gate.cc" "src/runtime/CMakeFiles/bbsched_runtime.dir/signal_gate.cc.o" "gcc" "src/runtime/CMakeFiles/bbsched_runtime.dir/signal_gate.cc.o.d"
+  "/root/repo/src/runtime/thread_pool.cc" "src/runtime/CMakeFiles/bbsched_runtime.dir/thread_pool.cc.o" "gcc" "src/runtime/CMakeFiles/bbsched_runtime.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/bbsched_runtime.dir/protocol.cc.o.d"
   "CMakeFiles/bbsched_runtime.dir/signal_gate.cc.o"
   "CMakeFiles/bbsched_runtime.dir/signal_gate.cc.o.d"
+  "CMakeFiles/bbsched_runtime.dir/thread_pool.cc.o"
+  "CMakeFiles/bbsched_runtime.dir/thread_pool.cc.o.d"
   "libbbsched_runtime.a"
   "libbbsched_runtime.pdb"
 )

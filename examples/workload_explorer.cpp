@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "experiments/parallel.h"
 #include "experiments/runner.h"
 #include "workload/workload.h"
 
@@ -79,10 +80,16 @@ int main(int argc, char** argv) {
   std::printf("%-16s %14s %12s %11s %11s %11s\n", "scheduler",
               "app turnaround", "bus util", "saturated", "elections",
               "migrations");
+  // All scheduler comparisons are independent runs — fan them out through
+  // the parallel harness (results land in request order).
+  std::vector<experiments::RunRequest> requests;
   for (const auto kind : {experiments::SchedulerKind::kLinux,
                           experiments::SchedulerKind::kLatestQuantum,
                           experiments::SchedulerKind::kQuantaWindow}) {
-    const auto r = experiments::run_workload(w, kind, cfg);
+    requests.push_back({w, kind, cfg});
+  }
+  const auto runs = experiments::run_workloads_parallel(requests);
+  for (const auto& r : runs) {
     std::printf("%-16s %12.2f s %11.1f%% %10.1f%% %11llu %11llu\n",
                 r.scheduler.c_str(), r.measured_mean_turnaround_us / 1e6,
                 100.0 * r.engine_stats.bus_utilization.mean(),
@@ -94,8 +101,7 @@ int main(int argc, char** argv) {
 
   std::printf(
       "\nPer-job turnarounds under quanta-window (0 = background job):\n");
-  const auto r = experiments::run_workload(
-      w, experiments::SchedulerKind::kQuantaWindow, cfg);
+  const auto& r = runs[2];
   for (std::size_t i = 0; i < w.jobs.size(); ++i) {
     std::printf("  %-12s %8.2f s   %12.0f transactions\n",
                 w.jobs[i].name.c_str(), r.turnaround_us[i] / 1e6,

@@ -6,6 +6,8 @@
 //   --csv         additionally print tables as CSV
 //   --app=NAME    restrict to one application
 //   --seed=N      engine seed
+//   --jobs=N      worker threads for parallel experiment batches
+//                 (0 = hardware thread count, the default)
 #pragma once
 
 #include <cstdint>
@@ -19,6 +21,7 @@ struct CliOptions {
   bool csv = false;
   std::string app;  ///< empty = all applications
   std::uint64_t seed = 42;
+  int jobs = 0;  ///< parallel harness workers; 0 = hardware threads
 };
 
 [[nodiscard]] inline CliOptions parse_cli(int argc, char** argv) {
@@ -35,6 +38,8 @@ struct CliOptions {
       opt.app = arg.substr(6);
     } else if (arg.rfind("--seed=", 0) == 0) {
       opt.seed = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      opt.jobs = std::stoi(arg.substr(7));
     }
     // Unknown flags are ignored so google-benchmark style flags pass through.
   }

@@ -1,0 +1,60 @@
+#include "experiments/parallel.h"
+
+#include "stats/percentile.h"
+
+namespace bbsched::experiments {
+
+std::vector<RunResult> run_workloads_parallel(
+    std::span<const RunRequest> requests, ParallelExecutor& executor) {
+  return executor.map(requests.size(), [&](std::size_t i) {
+    const RunRequest& r = requests[i];
+    return run_workload(r.workload, r.kind, r.cfg);
+  });
+}
+
+std::vector<RunResult> run_workloads_parallel(
+    std::span<const RunRequest> requests, int workers) {
+  ParallelExecutor executor(workers);
+  return run_workloads_parallel(requests, executor);
+}
+
+ImprovementStats parallel_sweep_improvement(const workload::Workload& workload,
+                                            SchedulerKind policy,
+                                            SchedulerKind baseline,
+                                            const ExperimentConfig& cfg,
+                                            int seeds,
+                                            ParallelExecutor& executor) {
+  // Task 2s is seed s under the baseline, task 2s+1 under the policy —
+  // exactly the runs the serial loop performs, in a fixed index layout.
+  const auto runs = executor.map(
+      static_cast<std::size_t>(seeds) * 2, [&](std::size_t task) {
+        const ExperimentConfig run_cfg =
+            seed_shifted(cfg, static_cast<int>(task / 2));
+        const SchedulerKind kind = (task % 2 == 0) ? baseline : policy;
+        return run_workload(workload, kind, run_cfg);
+      });
+
+  // Fold in seed order, mirroring the serial accumulation exactly.
+  stats::SampleSet samples;
+  for (int s = 0; s < seeds; ++s) {
+    const auto& base = runs[static_cast<std::size_t>(s) * 2];
+    const auto& pol = runs[static_cast<std::size_t>(s) * 2 + 1];
+    samples.add(100.0 *
+                (base.measured_mean_turnaround_us -
+                 pol.measured_mean_turnaround_us) /
+                base.measured_mean_turnaround_us);
+  }
+  return summarize_samples(samples);
+}
+
+ImprovementStats parallel_sweep_improvement(const workload::Workload& workload,
+                                            SchedulerKind policy,
+                                            SchedulerKind baseline,
+                                            const ExperimentConfig& cfg,
+                                            int seeds, int workers) {
+  ParallelExecutor executor(workers);
+  return parallel_sweep_improvement(workload, policy, baseline, cfg, seeds,
+                                    executor);
+}
+
+}  // namespace bbsched::experiments

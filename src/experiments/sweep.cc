@@ -22,16 +22,21 @@ ImprovementStats summarize_samples(const stats::SampleSet& samples) {
   return out;
 }
 
+ExperimentConfig seed_shifted(const ExperimentConfig& cfg, int s) {
+  ExperimentConfig run_cfg = cfg;
+  run_cfg.engine.seed = cfg.engine.seed + static_cast<std::uint64_t>(s);
+  run_cfg.linux_sched.seed =
+      cfg.linux_sched.seed + static_cast<std::uint64_t>(s);
+  return run_cfg;
+}
+
 ImprovementStats sweep_improvement(const workload::Workload& workload,
                                    SchedulerKind policy,
                                    SchedulerKind baseline,
                                    const ExperimentConfig& cfg, int seeds) {
   stats::SampleSet samples;
   for (int s = 0; s < seeds; ++s) {
-    ExperimentConfig run_cfg = cfg;
-    run_cfg.engine.seed = cfg.engine.seed + static_cast<std::uint64_t>(s);
-    run_cfg.linux_sched.seed =
-        cfg.linux_sched.seed + static_cast<std::uint64_t>(s);
+    const ExperimentConfig run_cfg = seed_shifted(cfg, s);
     const auto base = run_workload(workload, baseline, run_cfg);
     const auto pol = run_workload(workload, policy, run_cfg);
     samples.add(100.0 *

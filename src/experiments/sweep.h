@@ -23,9 +23,18 @@ struct ImprovementStats {
   double ci95_pct = 0.0;
 };
 
+/// `cfg` with every per-run seed shifted by seed index `s` (engine and
+/// Linux-scheduler seeds move together). Both the serial and the parallel
+/// sweep derive their per-seed configs through this helper, which is what
+/// keeps the two paths bit-identical.
+[[nodiscard]] ExperimentConfig seed_shifted(const ExperimentConfig& cfg,
+                                            int s);
+
 /// Runs `workload` under `policy` and `baseline` across `seeds` consecutive
 /// seeds (starting at cfg.engine.seed) and returns the distribution of
 ///   100 * (T_baseline - T_policy) / T_baseline.
+/// This is the serial reference path; experiments::parallel_sweep_improvement
+/// (experiments/parallel.h) produces bit-identical results on a thread pool.
 [[nodiscard]] ImprovementStats sweep_improvement(
     const workload::Workload& workload, SchedulerKind policy,
     SchedulerKind baseline, const ExperimentConfig& cfg, int seeds);

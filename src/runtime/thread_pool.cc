@@ -1,0 +1,54 @@
+#include "runtime/thread_pool.h"
+
+#include <cassert>
+
+namespace bbsched::runtime {
+
+int ThreadPool::hardware_workers() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers <= 0) workers = hardware_workers();
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(!stopping_ && "submit after destruction began");
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // A task that throws would std::terminate here were it not for
+    // packaged_task, which routes the exception into the future.
+    fn();
+  }
+}
+
+}  // namespace bbsched::runtime

@@ -1,0 +1,70 @@
+// A small fixed-size worker pool for fanning independent tasks across
+// hardware threads.
+//
+// Deliberately minimal: one shared FIFO queue, no work stealing, no task
+// priorities. The experiment harness submits coarse-grained tasks (whole
+// simulations, tens to hundreds of milliseconds each), so queue contention
+// is negligible and a single mutex-protected deque is the simplest thing
+// that is obviously correct. Results and exceptions travel through
+// std::future, so a task that throws surfaces its exception at the caller's
+// future.get() instead of killing a worker.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace bbsched::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; `workers <= 0` uses hardware_workers().
+  explicit ThreadPool(int workers = 0);
+
+  /// Drains the queue (every submitted task still runs) and joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+
+  /// Number of hardware threads, with a floor of 1 (the standard allows
+  /// hardware_concurrency() to return 0 when unknown).
+  [[nodiscard]] static int hardware_workers() noexcept;
+
+  /// Enqueues `fn` for execution on some worker. The returned future yields
+  /// fn's result; if fn throws, future.get() rethrows the exception.
+  template <class F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only; std::function requires copyable targets,
+    // so the task rides in a shared_ptr.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+ private:
+  void enqueue(std::function<void()> fn);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace bbsched::runtime

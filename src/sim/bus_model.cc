@@ -10,6 +10,10 @@ double BusModel::alpha(double demand_tps) const {
   if (demand_tps <= 0.0) return 0.0;
   const double ratio =
       std::min(1.0, demand_tps / cfg_.per_thread_peak_tps);
+  // Linear alpha needs no pow(); this is the hot shape for configs that set
+  // alpha_exponent = 1.0 (and pow(x, 1.0) costs a libm call per agent per
+  // tick otherwise).
+  if (cfg_.alpha_exponent == 1.0) return ratio;
   return std::pow(ratio, cfg_.alpha_exponent);
 }
 
@@ -22,16 +26,31 @@ double BusModel::effective_capacity(int demanding_agents) const {
 
 BusResolution BusModel::resolve(std::span<const double> demands,
                                 std::span<const double> weights) const {
-  BusResolution out;
+  BusWorkspace ws;
+  resolve(demands, weights, ws);
+  return std::move(ws.result);
+}
+
+const BusResolution& BusModel::resolve(std::span<const double> demands,
+                                       std::span<const double> weights,
+                                       BusWorkspace& ws) const {
+  BusResolution& out = ws.result;
   const std::size_t n = demands.size();
   assert(weights.empty() || weights.size() == n);
   out.slowdown.assign(n, 1.0);
   out.granted.assign(n, 0.0);
+  out.stretch = 1.0;
+  out.offered_rho = 0.0;
+  out.saturated = false;
+  out.total_granted = 0.0;
+
+  std::vector<double>& alphas = ws.alphas;
+  std::vector<double>& inv_w = ws.inv_w;
+  alphas.assign(n, 0.0);
+  inv_w.assign(n, 1.0);
 
   double total_demand = 0.0;
   int demanding = 0;
-  std::vector<double> alphas(n, 0.0);
-  std::vector<double> inv_w(n, 1.0);
   for (std::size_t i = 0; i < n; ++i) {
     assert(demands[i] >= 0.0 && "bus demand must be non-negative");
     total_demand += demands[i];
@@ -45,8 +64,6 @@ BusResolution BusModel::resolve(std::span<const double> demands,
 
   out.effective_capacity = effective_capacity(demanding);
   if (total_demand <= 0.0) {
-    out.stretch = 1.0;
-    out.total_granted = 0.0;
     return out;
   }
   out.offered_rho = total_demand / out.effective_capacity;

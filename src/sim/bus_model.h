@@ -68,6 +68,22 @@ struct BusResolution {
   double total_granted = 0.0;
 };
 
+/// Reusable scratch state for resolve(). A caller that resolves every tick
+/// (the engine) keeps one workspace alive so the per-agent vectors — and
+/// the result's slowdown/granted arrays — are allocated once and reused,
+/// making the steady-state tick path allocation-free.
+struct BusWorkspace {
+  /// Per-agent memory-boundedness, filled by resolve(). Exposed so callers
+  /// that need alphas after resolution (the engine's SMT penalty) can reuse
+  /// them instead of recomputing the pow() per agent.
+  std::vector<double> alphas;
+  /// Per-agent inverse arbitration weight, filled by resolve().
+  std::vector<double> inv_w;
+  /// The resolution resolve() returned; valid until the next resolve()
+  /// into the same workspace.
+  BusResolution result;
+};
+
 /// Stateless solver for the contention model; one instance per machine.
 class BusModel {
  public:
@@ -87,6 +103,13 @@ class BusModel {
   [[nodiscard]] BusResolution resolve(
       std::span<const double> demands,
       std::span<const double> weights = {}) const;
+
+  /// Allocation-free variant: resolves into `ws`, reusing its buffers, and
+  /// returns a reference to ws.result. `demands`/`weights` must not alias
+  /// the workspace's own vectors.
+  const BusResolution& resolve(std::span<const double> demands,
+                               std::span<const double> weights,
+                               BusWorkspace& ws) const;
 
   [[nodiscard]] const BusConfig& config() const noexcept { return cfg_; }
 

@@ -41,10 +41,7 @@ int Engine::add_job(const JobSpec& spec) {
 void Engine::submit_job(const JobSpec& spec, SimTime when) {
   assert(!started_ && "submit arrivals before the run starts");
   pending_.push_back({when, spec});
-  std::sort(pending_.begin(), pending_.end(),
-            [](const PendingJob& a, const PendingJob& b) {
-              return a.when < b.when;
-            });
+  pending_sorted_ = pending_.size() <= 1;
 }
 
 SimTime Engine::run() { return run_until(ecfg_.max_time_us); }
@@ -57,7 +54,7 @@ SimTime Engine::run_until(SimTime until) {
   // Run until `until`, stopping early only once every finite job (if any
   // exist) has completed; all-infinite workloads run the full span.
   while (now_ < until &&
-         !(pending_.empty() && machine_.has_finite_jobs() &&
+         !(pending_next_ >= pending_.size() && machine_.has_finite_jobs() &&
            machine_.all_finite_jobs_done())) {
     step();
   }
@@ -69,10 +66,20 @@ void Engine::step() {
     scheduler_->start(machine_, trace_);
     started_ = true;
   }
-  // Open-system arrivals whose release time has come.
-  while (!pending_.empty() && pending_.front().when <= now_) {
-    machine_.add_job(pending_.front().spec, now_);
-    pending_.erase(pending_.begin());
+  // Open-system arrivals whose release time has come. The vector is sorted
+  // once here (submissions only append) and drained by cursor; ties release
+  // in submission order.
+  if (!pending_sorted_) {
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const PendingJob& a, const PendingJob& b) {
+                       return a.when < b.when;
+                     });
+    pending_sorted_ = true;
+  }
+  while (pending_next_ < pending_.size() &&
+         pending_[pending_next_].when <= now_) {
+    machine_.add_job(pending_[pending_next_].spec, now_);
+    ++pending_next_;
   }
   scheduler_->tick(machine_, now_, trace_);
   execute_tick();
@@ -84,21 +91,12 @@ void Engine::execute_tick() {
   const double tick = static_cast<double>(ecfg_.tick_us);
   const auto& cache_cfg = mcfg_.cache;
 
-  // Barrier front per job, computed once at tick start so sibling updates
-  // within the tick are order-independent.
-  std::vector<double> min_prog(machine_.jobs().size(), 0.0);
-  for (const auto& j : machine_.jobs()) {
-    min_prog[static_cast<std::size_t>(j.id)] = machine_.job_min_progress(j);
-  }
+  // Barrier front per job, needed once at tick start so sibling updates
+  // within the tick are order-independent. The cache is maintained at the
+  // end of every tick (barrier_transitions); only job admissions invalidate
+  // it between ticks.
+  if (job_front_.size() != machine_.jobs().size()) refresh_job_fronts();
 
-  // Gather placed threads and their demands.
-  struct Placed {
-    int cpu;
-    int tid;
-    double limit;          // progress bound this tick (barrier/end of work)
-    bool spinning;         // already at the bound => pure spin
-    bool barrier_limited;  // bound comes from a barrier, not end of work
-  };
   // OS-noise bookkeeping: open new steal windows whose start time passed.
   if (ecfg_.os_noise_interval_us > 0) {
     for (std::size_t c = 0; c < noise_next_.size(); ++c) {
@@ -116,10 +114,11 @@ void Engine::execute_tick() {
     }
   }
 
-  std::vector<Placed> placed;
-  std::vector<double> demands;
-  std::vector<double> weights;
-  placed.reserve(machine_.cpus().size());
+  // Gather placed threads and their demands (into reusable scratch).
+  placed_.clear();
+  demands_.clear();
+  weights_.clear();
+  placed_.reserve(machine_.cpus().size());
   for (std::size_t c = 0; c < machine_.cpus().size(); ++c) {
     const int tid = machine_.cpus()[c].thread;
     if (tid == Cpu::kIdle) continue;
@@ -138,7 +137,7 @@ void Engine::execute_tick() {
     bool barrier_limited = false;
     if (j.spec.barrier_interval_us > 0.0) {
       const double barrier_limit =
-          min_prog[static_cast<std::size_t>(j.id)] +
+          job_front_[static_cast<std::size_t>(j.id)] +
           j.spec.barrier_interval_us;
       if (barrier_limit < limit) {
         limit = barrier_limit;
@@ -158,60 +157,63 @@ void Engine::execute_tick() {
       // Cold caches refill from memory: extra uncontended demand.
       demand *= 1.0 + j.spec.cache.cold_demand_boost * (1.0 - t.warmth);
     }
-    placed.push_back(
+    placed_.push_back(
         {static_cast<int>(c), tid, limit, spinning, barrier_limited});
-    demands.push_back(demand);
-    weights.push_back(j.spec.bus_priority);
+    demands_.push_back(demand);
+    weights_.push_back(j.spec.bus_priority);
   }
 
   // I/O DMA agents: devices transferring on behalf of blocked threads are
   // additional bus masters; their demand entries follow the placed ones.
-  std::vector<int> dma_tids;
+  dma_tids_.clear();
   for (const auto& t : machine_.threads()) {
     if (t.state != ThreadState::kIoWait) continue;
     const auto& io = machine_.job(t.app_id).spec.io;
     if (io.dma_tps <= 0.0) continue;
-    dma_tids.push_back(t.id);
-    demands.push_back(io.dma_tps);
-    weights.push_back(mcfg_.bus.dma_arbitration_weight);
+    dma_tids_.push_back(t.id);
+    demands_.push_back(io.dma_tps);
+    weights_.push_back(mcfg_.bus.dma_arbitration_weight);
   }
 
-  const BusResolution bus = bus_.resolve(demands, weights);
+  // Resolve into the engine's workspace: slowdown/granted/alphas buffers are
+  // reused tick over tick, never reallocated in steady state.
+  const BusResolution& bus = bus_.resolve(demands_, weights_, bus_ws_);
 
   // SMT: per-context penalty when a sibling context on the same core is
   // actively executing (see SmtConfig). Spinning siblings are excluded —
   // a spin loop leaves the core's execution resources mostly free.
-  std::vector<double> smt_penalty(placed.size(), 1.0);
+  smt_penalty_.assign(placed_.size(), 1.0);
   if (mcfg_.threads_per_core > 1) {
-    std::vector<int> placed_idx_by_cpu(machine_.cpus().size(), -1);
-    for (std::size_t i = 0; i < placed.size(); ++i) {
-      placed_idx_by_cpu[static_cast<std::size_t>(placed[i].cpu)] =
+    placed_idx_by_cpu_.assign(machine_.cpus().size(), -1);
+    for (std::size_t i = 0; i < placed_.size(); ++i) {
+      placed_idx_by_cpu_[static_cast<std::size_t>(placed_[i].cpu)] =
           static_cast<int>(i);
     }
-    for (std::size_t i = 0; i < placed.size(); ++i) {
-      if (placed[i].spinning) continue;
-      const int core = mcfg_.core_of(placed[i].cpu);
+    for (std::size_t i = 0; i < placed_.size(); ++i) {
+      if (placed_[i].spinning) continue;
+      const int core = mcfg_.core_of(placed_[i].cpu);
       double max_sibling_alpha = -1.0;
       for (int c = core * mcfg_.threads_per_core;
            c < (core + 1) * mcfg_.threads_per_core; ++c) {
-        if (c == placed[i].cpu) continue;
-        const int j = placed_idx_by_cpu[static_cast<std::size_t>(c)];
-        if (j < 0 || placed[static_cast<std::size_t>(j)].spinning) continue;
-        max_sibling_alpha =
-            std::max(max_sibling_alpha,
-                     bus_.alpha(demands[static_cast<std::size_t>(j)]));
+        if (c == placed_[i].cpu) continue;
+        const int j = placed_idx_by_cpu_[static_cast<std::size_t>(c)];
+        if (j < 0 || placed_[static_cast<std::size_t>(j)].spinning) continue;
+        // resolve() already derived every agent's alpha; reuse instead of
+        // paying the pow() again.
+        max_sibling_alpha = std::max(
+            max_sibling_alpha, bus_ws_.alphas[static_cast<std::size_t>(j)]);
       }
       if (max_sibling_alpha >= 0.0) {
-        const double own_alpha = bus_.alpha(demands[i]);
-        smt_penalty[i] = 1.0 + mcfg_.smt.base_penalty +
-                         mcfg_.smt.memory_overlap_penalty *
-                             std::min(own_alpha, max_sibling_alpha);
+        const double own_alpha = bus_ws_.alphas[i];
+        smt_penalty_[i] = 1.0 + mcfg_.smt.base_penalty +
+                          mcfg_.smt.memory_overlap_penalty *
+                              std::min(own_alpha, max_sibling_alpha);
       }
     }
   }
 
   ++stats_.total_ticks;
-  if (!demands.empty()) {
+  if (!demands_.empty()) {
     stats_.bus_utilization.add(bus.total_granted / bus.effective_capacity);
     stats_.stretch.add(bus.stretch);
     if (bus.saturated) ++stats_.saturated_ticks;
@@ -219,8 +221,8 @@ void Engine::execute_tick() {
   }
 
   // Advance placed threads.
-  for (std::size_t i = 0; i < placed.size(); ++i) {
-    const Placed& p = placed[i];
+  for (std::size_t i = 0; i < placed_.size(); ++i) {
+    const PlacedThread& p = placed_[i];
     ThreadCtx& t = machine_.thread(p.tid);
     const Job& j = machine_.job(t.app_id);
     const bool coupled = j.spec.barrier_interval_us > 0.0;
@@ -243,7 +245,7 @@ void Engine::execute_tick() {
     const double affinity_penalty =
         1.0 + j.spec.cache.migration_sensitivity * (1.0 - t.warmth);
     const double total_slowdown =
-        bus.slowdown[i] * affinity_penalty * smt_penalty[i];
+        bus.slowdown[i] * affinity_penalty * smt_penalty_[i];
     assert(total_slowdown >= 1.0 - kEps);
 
     const double delta = tick / total_slowdown;
@@ -253,7 +255,7 @@ void Engine::execute_tick() {
     t.progress_us += delta * frac;
     t.run_us += tick * frac;
     t.bus_transactions += bus.granted[i] * tick * frac;
-    t.bus_attempts += demands[i] * tick * frac;
+    t.bus_attempts += demands_[i] * tick * frac;
     if (frac < 1.0 && p.barrier_limited) {
       // Ran into the barrier mid-tick: the remainder was spent spinning.
       t.spin_us += tick * (1.0 - frac);
@@ -297,11 +299,11 @@ void Engine::execute_tick() {
 
   // Credit DMA traffic to the blocked threads' jobs (the counters see the
   // device transfers, which is why I/O "stresses the bus").
-  for (std::size_t k = 0; k < dma_tids.size(); ++k) {
-    const std::size_t idx = placed.size() + k;
-    auto& t = machine_.thread(dma_tids[k]);
+  for (std::size_t k = 0; k < dma_tids_.size(); ++k) {
+    const std::size_t idx = placed_.size() + k;
+    auto& t = machine_.thread(dma_tids_[k]);
     t.bus_transactions += bus.granted[idx] * tick;
-    t.bus_attempts += demands[idx] * tick;
+    t.bus_attempts += demands_[idx] * tick;
   }
 
   // I/O completions.
@@ -343,14 +345,14 @@ void Engine::apply_cache_disturbance(double tick) {
 }
 
 void Engine::account_unplaced(double tick) {
-  std::vector<bool> is_placed(machine_.threads().size(), false);
+  is_placed_.assign(machine_.threads().size(), 0);
   for (const auto& c : machine_.cpus()) {
     if (c.thread != Cpu::kIdle) {
-      is_placed[static_cast<std::size_t>(c.thread)] = true;
+      is_placed_[static_cast<std::size_t>(c.thread)] = 1;
     }
   }
   for (auto& t : machine_.threads()) {
-    if (is_placed[static_cast<std::size_t>(t.id)]) continue;
+    if (is_placed_[static_cast<std::size_t>(t.id)]) continue;
     switch (t.state) {
       case ThreadState::kReady:
         t.ready_wait_us += tick;
@@ -371,9 +373,13 @@ void Engine::account_unplaced(double tick) {
 }
 
 void Engine::barrier_transitions() {
+  // Progress advanced this tick: rebuild the cached fronts once, then both
+  // this wake-up pass and the next tick's barrier-limit computation read
+  // the cache instead of re-scanning siblings per job.
+  refresh_job_fronts();
   for (const auto& j : machine_.jobs()) {
     if (j.completed || j.spec.barrier_interval_us <= 0.0) continue;
-    const double front = machine_.job_min_progress(j);
+    const double front = job_front_[static_cast<std::size_t>(j.id)];
     for (int tid : j.thread_ids) {
       ThreadCtx& t = machine_.thread(tid);
       if (t.state == ThreadState::kBarrierWait &&
@@ -381,6 +387,15 @@ void Engine::barrier_transitions() {
         t.state = ThreadState::kReady;
       }
     }
+  }
+}
+
+void Engine::refresh_job_fronts() {
+  job_front_.assign(machine_.jobs().size(),
+                    std::numeric_limits<double>::infinity());
+  for (const auto& t : machine_.threads()) {
+    double& front = job_front_[static_cast<std::size_t>(t.app_id)];
+    front = std::min(front, t.progress_us);
   }
 }
 

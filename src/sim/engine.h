@@ -73,6 +73,10 @@ class Engine {
   void apply_cache_disturbance(double tick);
   void barrier_transitions();
 
+  /// Recomputes the cached per-job barrier front (min progress over the
+  /// job's threads) in one pass over all threads.
+  void refresh_job_fronts();
+
   MachineConfig mcfg_;
   EngineConfig ecfg_;
   Machine machine_;
@@ -90,12 +94,42 @@ class Engine {
   std::vector<SimTime> noise_until_;
   std::vector<SimTime> noise_next_;
 
-  /// Pending open-system arrivals, sorted by release time.
+  /// Pending open-system arrivals. Sorted lazily at run start (submit_job
+  /// only appends); drained with the `pending_next_` cursor so arrivals
+  /// cost amortized O(1) instead of O(n) front-erases.
   struct PendingJob {
     SimTime when;
     JobSpec spec;
   };
   std::vector<PendingJob> pending_;
+  std::size_t pending_next_ = 0;
+  bool pending_sorted_ = true;
+
+  // ---- per-tick scratch (reused across ticks: the steady-state tick path
+  // performs no heap allocation) ----
+
+  /// One placed thread's tick-local view.
+  struct PlacedThread {
+    int cpu;
+    int tid;
+    double limit;          // progress bound this tick (barrier/end of work)
+    bool spinning;         // already at the bound => pure spin
+    bool barrier_limited;  // bound comes from a barrier, not end of work
+  };
+  std::vector<PlacedThread> placed_;
+  std::vector<double> demands_;
+  std::vector<double> weights_;
+  std::vector<double> smt_penalty_;
+  std::vector<int> placed_idx_by_cpu_;
+  std::vector<int> dma_tids_;
+  std::vector<char> is_placed_;
+  BusWorkspace bus_ws_;
+
+  /// Cached barrier front per job, kept current by refresh_job_fronts() at
+  /// the end of every tick (and re-derived when jobs arrive). Avoids the
+  /// per-job min scans the tick-start loop and barrier_transitions() used
+  /// to duplicate.
+  std::vector<double> job_front_;
 };
 
 }  // namespace bbsched::sim

@@ -1,0 +1,87 @@
+// Tests for the runtime thread pool: task completion, result and exception
+// propagation, and reuse across batches.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace bbsched::runtime {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsResults) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must survive for later batches.
+  auto after = pool.submit([] { return 11; });
+  EXPECT_EQ(after.get(), 11);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 5; ++batch) {
+    std::atomic<int> sum{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 20; ++i) {
+      futs.push_back(pool.submit([&sum, i] { sum += i; }));
+    }
+    for (auto& f : futs) f.get();
+    EXPECT_EQ(sum.load(), 190);  // 0 + 1 + ... + 19
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++count;
+      });
+    }
+    // Destructor must run all 10, not drop queued work.
+  }
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, DefaultSizeUsesHardware) {
+  ThreadPool pool;
+  EXPECT_EQ(pool.size(), ThreadPool::hardware_workers());
+  EXPECT_GE(pool.size(), 1);
+}
+
+}  // namespace
+}  // namespace bbsched::runtime
