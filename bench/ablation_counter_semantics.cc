@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "experiments/cli.h"
+#include "experiments/observe.h"
 #include "experiments/parallel.h"
 #include "experiments/runner.h"
 #include "stats/table.h"
@@ -90,5 +91,12 @@ int main(int argc, char** argv) {
                "reproduces above-capacity readings for the saturated\n"
                "high-bandwidth codes; completed transfers never exceed "
                "capacity.\n";
+
+  // Representative traced run: two SP instances under Latest-Quantum.
+  (void)experiments::maybe_dump_observability(
+      opt,
+      workload::fig1_dual(workload::paper_application("SP"),
+                          cfg.machine.bus),
+      experiments::SchedulerKind::kLatestQuantum, cfg);
   return 0;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "experiments/cli.h"
+#include "experiments/observe.h"
 #include "experiments/fig2.h"
 #include "experiments/parallel.h"
 #include "stats/table.h"
@@ -88,5 +89,13 @@ int main(int argc, char** argv) {
   }
   std::cout << "first-fit isolates the gang-scheduling benefit; the gap to "
                "'fitness' is Eq. 1's bandwidth-matching contribution.\n";
+
+  // Representative traced run: SP saturated set under the full fitness rule.
+  (void)experiments::maybe_dump_observability(
+      opt,
+      experiments::make_fig2_workload(experiments::Fig2Set::kSaturated,
+                                      workload::paper_application("SP"),
+                                      cfg.machine.bus),
+      experiments::SchedulerKind::kLatestQuantum, cfg);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "experiments/cli.h"
+#include "experiments/observe.h"
 #include "experiments/parallel.h"
 #include "experiments/runner.h"
 #include "stats/table.h"
@@ -94,5 +95,10 @@ int main(int argc, char** argv) {
     std::cout << '\n';
     table.render_csv(std::cout);
   }
+
+  // Representative traced run: the first zero-overhead request.
+  (void)experiments::maybe_dump_observability(opt, requests[0].workload,
+                                              requests[0].kind,
+                                              requests[0].cfg);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "experiments/cli.h"
+#include "experiments/observe.h"
 #include "experiments/fig2.h"
 #include "experiments/parallel.h"
 #include "stats/table.h"
@@ -79,5 +80,9 @@ int main(int argc, char** argv) {
     std::cout << '\n';
     table.render_csv(std::cout);
   }
+
+  // Representative traced run: the swept workload at the default quantum.
+  (void)experiments::maybe_dump_observability(
+      opt, w, experiments::SchedulerKind::kLatestQuantum, cfg);
   return 0;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "experiments/cli.h"
+#include "experiments/observe.h"
 #include "experiments/fig2.h"
 #include "experiments/parallel.h"
 #include "stats/moving_window.h"
@@ -147,5 +148,9 @@ int main(int argc, char** argv) {
     tracking.render_csv(std::cout);
     e2e.render_csv(std::cout);
   }
+
+  // Representative traced run: the swept workload at the default window.
+  (void)experiments::maybe_dump_observability(
+      opt, w, experiments::SchedulerKind::kQuantaWindow, cfg);
   return 0;
 }

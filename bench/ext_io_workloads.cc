@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "experiments/cli.h"
+#include "experiments/observe.h"
 #include "experiments/parallel.h"
 #include "experiments/runner.h"
 #include "stats/table.h"
@@ -97,5 +98,10 @@ int main(int argc, char** argv) {
                "so the policies must\naccount for traffic they cannot "
                "deschedule — the headroom they can recover\nshrinks as the "
                "server's DMA share grows.\n";
+
+  // Representative traced run: the first Latest-Quantum request.
+  (void)experiments::maybe_dump_observability(opt, requests[1].workload,
+                                              requests[1].kind,
+                                              requests[1].cfg);
   return 0;
 }

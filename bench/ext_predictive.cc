@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "experiments/cli.h"
+#include "experiments/observe.h"
 #include "experiments/fig2.h"
 #include "experiments/parallel.h"
 #include "stats/table.h"
@@ -76,5 +77,13 @@ int main(int argc, char** argv) {
          "the bus,\nwhich Eq. 1 structurally never does — the comparison "
          "quantifies what the paper's\nproposed model-driven reformulation "
          "could buy.\n";
+
+  // Representative traced run: SP saturated set under predictive-throughput.
+  (void)experiments::maybe_dump_observability(
+      opt,
+      experiments::make_fig2_workload(experiments::Fig2Set::kSaturated,
+                                      workload::paper_application("SP"),
+                                      cfg.machine.bus),
+      experiments::SchedulerKind::kPredictiveThroughput, cfg);
   return 0;
 }

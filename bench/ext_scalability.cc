@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "experiments/cli.h"
+#include "experiments/observe.h"
 #include "experiments/parallel.h"
 #include "experiments/runner.h"
 #include "stats/table.h"
@@ -91,5 +92,10 @@ int main(int argc, char** argv) {
     std::cout << '\n';
     table.render_csv(std::cout);
   }
+
+  // Representative traced run: the first Latest-Quantum request.
+  (void)experiments::maybe_dump_observability(opt, requests[1].workload,
+                                              requests[1].kind,
+                                              requests[1].cfg);
   return 0;
 }

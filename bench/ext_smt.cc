@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "experiments/cli.h"
+#include "experiments/observe.h"
 #include "experiments/fig2.h"
 #include "experiments/parallel.h"
 #include "stats/table.h"
@@ -103,5 +104,18 @@ int main(int argc, char** argv) {
   std::cout << "\nThe policies' advantage persists under SMT: bandwidth "
                "matching composes with\nsymbiosis-aware core placement, "
                "while the 2.4 baseline is SMT-oblivious.\n";
+
+  // Representative traced run: SP saturated set under Latest-Quantum.
+  {
+    experiments::ExperimentConfig ocfg;
+    ocfg.time_scale = opt.time_scale;
+    ocfg.engine.seed = opt.seed;
+    (void)experiments::maybe_dump_observability(
+        opt,
+        experiments::make_fig2_workload(experiments::Fig2Set::kSaturated,
+                                        workload::paper_application("SP"),
+                                        ocfg.machine.bus),
+        experiments::SchedulerKind::kLatestQuantum, ocfg);
+  }
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "experiments/cli.h"
+#include "experiments/observe.h"
 #include "experiments/fig2.h"
 #include "experiments/parallel.h"
 #include "stats/table.h"
@@ -78,5 +79,13 @@ int main(int argc, char** argv) {
   std::cout << "Space sharing avoids Linux's slice-misalignment waste but "
                "folds gangs and\nignores the bus; the last column is the "
                "bandwidth-aware win over it.\n";
+
+  // Representative traced run: SP saturated set under equipartition.
+  (void)experiments::maybe_dump_observability(
+      opt,
+      experiments::make_fig2_workload(experiments::Fig2Set::kSaturated,
+                                      workload::paper_application("SP"),
+                                      cfg.machine.bus),
+      experiments::SchedulerKind::kEquipartition, cfg);
   return 0;
 }

@@ -4,10 +4,12 @@
 // nBBMA rates).
 //
 // Usage: fig1a_bus_transactions [--fast] [--scale=X] [--csv] [--app=NAME]
+//                               [--trace-out=FILE] [--metrics-out=FILE]
 #include <iostream>
 
 #include "experiments/cli.h"
 #include "experiments/fig1.h"
+#include "experiments/observe.h"
 #include "stats/table.h"
 
 int main(int argc, char** argv) {
@@ -53,5 +55,10 @@ int main(int argc, char** argv) {
                "(close to saturation);\n"
                "1 App + 2 nBBMA rates are nearly identical to the "
                "standalone run.\n";
+
+  // Representative traced run: first app + 2 BBMA under static placement.
+  (void)experiments::maybe_dump_observability(
+      opt, workload::fig1_with_bbma(apps[0], cfg.machine.bus),
+      experiments::SchedulerKind::kPinned, cfg);
   return 0;
 }

@@ -6,10 +6,12 @@
 // 2-55% (18% avg) with BBMA; nBBMA leaves everyone near 1.0x.
 //
 // Usage: fig1b_slowdown [--fast] [--scale=X] [--csv] [--app=NAME]
+//                       [--trace-out=FILE] [--metrics-out=FILE]
 #include <iostream>
 
 #include "experiments/cli.h"
 #include "experiments/fig1.h"
+#include "experiments/observe.h"
 #include "stats/table.h"
 
 int main(int argc, char** argv) {
@@ -44,5 +46,11 @@ int main(int argc, char** argv) {
                "four high-bandwidth codes;\n+2 BBMA slowdown 2-3x for "
                "memory-intensive codes, 2-55% (18% avg) for moderate ones;\n"
                "+2 nBBMA execution nearly identical to uniprogrammed.\n";
+
+  // Representative traced run: two instances of the first app (the
+  // bandwidth-twin set that produces the 41-61% slowdowns).
+  (void)experiments::maybe_dump_observability(
+      opt, workload::fig1_dual(apps[0], cfg.machine.bus),
+      experiments::SchedulerKind::kPinned, cfg);
   return 0;
 }

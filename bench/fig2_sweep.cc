@@ -4,6 +4,7 @@
 // measurements; this bench shows how sensitive each number is.
 //
 // Usage: fig2_sweep [--fast] [--csv] [--app=NAME] [--seeds=N] [--jobs=N]
+//                   [--trace-out=FILE] [--metrics-out=FILE]
 //   (default 5 seeds; sweeps fan out over the parallel harness)
 #include <cstdlib>
 #include <iostream>
@@ -11,6 +12,7 @@
 
 #include "experiments/cli.h"
 #include "experiments/fig2.h"
+#include "experiments/observe.h"
 #include "experiments/parallel.h"
 #include "experiments/sweep.h"
 #include "stats/table.h"
@@ -63,5 +65,14 @@ int main(int argc, char** argv) {
     if (opt.csv) table.render_csv(std::cout);
     std::cout << '\n';
   }
+
+  // One representative traced run: the first app's saturated-bus workload
+  // under the Latest-Quantum policy (the paper's headline configuration).
+  (void)experiments::maybe_dump_observability(
+      opt,
+      experiments::make_fig2_workload(experiments::Fig2Set::kSaturated,
+                                      workload::paper_application(names[0]),
+                                      cfg.machine.bus),
+      experiments::SchedulerKind::kLatestQuantum, cfg);
   return 0;
 }

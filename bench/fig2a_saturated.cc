@@ -7,10 +7,12 @@
 // 'Quanta Window' 2-53% (31% average).
 //
 // Usage: fig2a_saturated [--fast] [--scale=X] [--csv] [--app=NAME]
+//                        [--trace-out=FILE] [--metrics-out=FILE]
 #include <iostream>
 
 #include "experiments/cli.h"
 #include "experiments/fig2.h"
+#include "experiments/observe.h"
 #include "stats/table.h"
 
 int main(int argc, char** argv) {
@@ -55,5 +57,13 @@ int main(int argc, char** argv) {
             << ", range [" << stats::Table::pct(s.window_min_pct) << ", "
             << stats::Table::pct(s.window_max_pct) << "]\n"
             << "Paper:    Latest 4..68% (avg 41%), Window 2..53% (avg 31%).\n";
+
+  // Representative traced run: the first app's workload for this set under
+  // the Latest-Quantum policy.
+  (void)experiments::maybe_dump_observability(
+      opt,
+      experiments::make_fig2_workload(experiments::Fig2Set::kSaturated, apps[0],
+                                      cfg.machine.bus),
+      experiments::SchedulerKind::kLatestQuantum, cfg);
   return 0;
 }

@@ -7,10 +7,12 @@
 // estimate); 'Quanta Window' up to 64% (avg 21%), Raytrace only -1%.
 //
 // Usage: fig2b_idle_bus [--fast] [--scale=X] [--csv] [--app=NAME]
+//                       [--trace-out=FILE] [--metrics-out=FILE]
 #include <iostream>
 
 #include "experiments/cli.h"
 #include "experiments/fig2.h"
+#include "experiments/observe.h"
 #include "stats/table.h"
 
 int main(int argc, char** argv) {
@@ -56,5 +58,13 @@ int main(int argc, char** argv) {
             << stats::Table::pct(s.window_max_pct) << "]\n"
             << "Paper:    Latest up to 60% (avg 13%, Raytrace -19%); "
                "Window up to 64% (avg 21%, Raytrace -1%).\n";
+
+  // Representative traced run: the first app's workload for this set under
+  // the Latest-Quantum policy.
+  (void)experiments::maybe_dump_observability(
+      opt,
+      experiments::make_fig2_workload(experiments::Fig2Set::kIdleBus, apps[0],
+                                      cfg.machine.bus),
+      experiments::SchedulerKind::kLatestQuantum, cfg);
   return 0;
 }

@@ -6,10 +6,12 @@
 // 'Quanta Window' up to 47% (avg 25%, Water-nsqr -2% and LU -5%).
 //
 // Usage: fig2c_mixed [--fast] [--scale=X] [--csv] [--app=NAME]
+//                    [--trace-out=FILE] [--metrics-out=FILE]
 #include <iostream>
 
 #include "experiments/cli.h"
 #include "experiments/fig2.h"
+#include "experiments/observe.h"
 #include "stats/table.h"
 
 int main(int argc, char** argv) {
@@ -55,5 +57,13 @@ int main(int argc, char** argv) {
             << stats::Table::pct(s.window_max_pct) << "]\n"
             << "Paper:    Latest up to 50% (avg 26%, LU -7%); "
                "Window up to 47% (avg 25%).\n";
+
+  // Representative traced run: the first app's workload for this set under
+  // the Latest-Quantum policy.
+  (void)experiments::maybe_dump_observability(
+      opt,
+      experiments::make_fig2_workload(experiments::Fig2Set::kMixed, apps[0],
+                                      cfg.machine.bus),
+      experiments::SchedulerKind::kLatestQuantum, cfg);
   return 0;
 }

@@ -4,6 +4,7 @@
 //   {
 //     "hardware_threads": ...,
 //     "tick_bench": { ticks, wall_s, ticks_per_sec, allocs, allocs_per_tick },
+//     "tick_bench_traced": { ..., events, dropped, overhead_pct },
 //     "sweep":      { seeds, runs, serial_wall_s, parallel_wall_s, workers,
 //                     speedup, results_identical }
 //   }
@@ -12,7 +13,11 @@
 //   two streaming microbenchmarks) and reports throughput plus heap
 //   allocations per tick, counted by a global operator-new override. After
 //   the workspace refactor the steady-state tick path performs no heap
-//   allocation, and --smoke asserts it stays that way.
+//   allocation, and --smoke asserts it stays that way. The baseline run has
+//   a *disabled* obs::Tracer attached, so the zero-alloc assertion also
+//   covers the tracing-off hook; tick_bench_traced repeats the bench with
+//   the tracer enabled (events land in the preallocated ring, so it must
+//   stay allocation-free too) and reports the wall-clock overhead.
 // * sweep runs the same multi-seed improvement sweep twice — through the
 //   serial reference path and through the ThreadPool-backed harness — and
 //   reports both wall clocks. The two must produce bit-identical statistics
@@ -35,6 +40,7 @@
 #include "experiments/parallel.h"
 #include "experiments/runner.h"
 #include "experiments/sweep.h"
+#include "obs/tracer.h"
 #include "runtime/thread_pool.h"
 #include "sim/engine.h"
 #include "workload/workload.h"
@@ -87,18 +93,24 @@ struct TickBench {
   double ticks_per_sec = 0.0;
   std::uint64_t allocs = 0;
   double allocs_per_tick = 0.0;
+  std::uint64_t events = 0;   ///< traced variant only
+  std::uint64_t dropped = 0;  ///< traced variant only
 };
 
 /// Single-engine microbench: one barriered application + two BBMA streamers
 /// (the Fig.-1 contention set) stepped `ticks` times with OS noise active,
-/// so the barrier, saturation and noise paths all run.
-TickBench bench_ticks(std::uint64_t ticks) {
+/// so the barrier, saturation and noise paths all run. The tracer (disabled
+/// or enabled) is attached before the measured region; its ring is
+/// preallocated, so neither mode may allocate per tick.
+TickBench bench_ticks(std::uint64_t ticks, bool trace_enabled) {
   experiments::ExperimentConfig cfg;
   const auto w = workload::fig1_with_bbma(
       workload::paper_application("Raytrace"), cfg.machine.bus);
   sim::Engine engine(
       cfg.machine, cfg.engine,
       experiments::make_scheduler(experiments::SchedulerKind::kPinned, cfg));
+  obs::Tracer tracer({.enabled = trace_enabled});
+  engine.set_tracer(&tracer);
   for (const auto& spec : w.jobs) engine.add_job(spec);
 
   // Warm up: scratch buffers reach steady-state capacity, placements settle.
@@ -117,6 +129,8 @@ TickBench bench_ticks(std::uint64_t ticks) {
   out.allocs_per_tick =
       ticks > 0 ? static_cast<double>(out.allocs) / static_cast<double>(ticks)
                 : 0.0;
+  out.events = tracer.events().size();
+  out.dropped = tracer.dropped();
   return out;
 }
 
@@ -189,8 +203,12 @@ int main(int argc, char** argv) {
     sweep_scale = 0.03;
   }
 
-  const TickBench tb = bench_ticks(ticks);
+  const TickBench tb = bench_ticks(ticks, /*trace_enabled=*/false);
+  const TickBench tt = bench_ticks(ticks, /*trace_enabled=*/true);
   const SweepBench sb = bench_sweep(seeds, opt.jobs, sweep_scale);
+
+  const double overhead_pct =
+      tb.wall_s > 0.0 ? (tt.wall_s - tb.wall_s) / tb.wall_s * 100.0 : 0.0;
 
   std::printf(
       "{\n"
@@ -198,6 +216,10 @@ int main(int argc, char** argv) {
       "  \"tick_bench\": {\"ticks\": %llu, \"wall_s\": %.6f, "
       "\"ticks_per_sec\": %.1f, \"allocs\": %llu, "
       "\"allocs_per_tick\": %.6f},\n"
+      "  \"tick_bench_traced\": {\"ticks\": %llu, \"wall_s\": %.6f, "
+      "\"ticks_per_sec\": %.1f, \"allocs\": %llu, "
+      "\"allocs_per_tick\": %.6f, \"events\": %llu, \"dropped\": %llu, "
+      "\"overhead_pct\": %.2f},\n"
       "  \"sweep\": {\"seeds\": %d, \"runs\": %d, \"serial_wall_s\": %.6f, "
       "\"parallel_wall_s\": %.6f, \"workers\": %d, \"speedup\": %.3f, "
       "\"results_identical\": %s}\n"
@@ -205,6 +227,10 @@ int main(int argc, char** argv) {
       runtime::ThreadPool::hardware_workers(),
       static_cast<unsigned long long>(tb.ticks), tb.wall_s, tb.ticks_per_sec,
       static_cast<unsigned long long>(tb.allocs), tb.allocs_per_tick,
+      static_cast<unsigned long long>(tt.ticks), tt.wall_s, tt.ticks_per_sec,
+      static_cast<unsigned long long>(tt.allocs), tt.allocs_per_tick,
+      static_cast<unsigned long long>(tt.events),
+      static_cast<unsigned long long>(tt.dropped), overhead_pct,
       sb.seeds, sb.runs, sb.serial_wall_s, sb.parallel_wall_s, sb.workers,
       sb.speedup, sb.results_identical ? "true" : "false");
 
@@ -214,6 +240,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "FAIL: tick path allocates (%.4f allocs/tick, want ~0)\n",
                    tb.allocs_per_tick);
+      ok = false;
+    }
+    if (tt.allocs_per_tick > 0.01) {
+      std::fprintf(stderr,
+                   "FAIL: traced tick path allocates (%.4f allocs/tick; the "
+                   "ring is preallocated, want ~0)\n",
+                   tt.allocs_per_tick);
+      ok = false;
+    }
+    if (tt.events == 0) {
+      std::fprintf(stderr, "FAIL: traced tick bench recorded no events\n");
       ok = false;
     }
     if (!sb.results_identical) {

@@ -49,7 +49,8 @@ double CpuManager::policy_estimate(int app_id) const {
   return 0.0;
 }
 
-ElectionResult CpuManager::schedule_quantum(int nprocs) {
+ElectionResult CpuManager::schedule_quantum(int nprocs,
+                                            std::uint64_t now_us) {
   const double quantum = static_cast<double>(cfg_.quantum_us);
 
   // (1) Update statistics of the jobs that ran during the ending quantum.
@@ -75,12 +76,52 @@ ElectionResult CpuManager::schedule_quantum(int nprocs) {
     const ManagedApp& app = apps_.at(id);
     candidates.push_back({id, app.nthreads, policy_estimate(id)});
   }
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
   ElectionResult result =
       cfg_.use_predictive
           ? elect_predictive(candidates, nprocs, cfg_.predictor,
                              cfg_.predictive_objective)
           : elect(candidates, nprocs, cfg_.total_bus_bw_tps,
-                  cfg_.election_rule);
+                  cfg_.election_rule, tracing ? &audit_ : nullptr);
+
+  if (tracing) {
+    tracer_->quantum_start(
+        now_us, {quantum_index_, nprocs, static_cast<std::int32_t>(
+                                             candidates.size())});
+    if (cfg_.use_predictive) {
+      // The predictive election has no per-round fitness scores; audit the
+      // outcome only so the trace still explains who ran.
+      audit_.resize(candidates.size());
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        audit_[i] = CandidateDecision{};
+        audit_[i].app_id = candidates[i].app_id;
+        audit_[i].nthreads = candidates[i].nthreads;
+        audit_[i].bbw_per_thread = candidates[i].bbw_per_thread;
+        const auto pos = std::find(result.elected.begin(),
+                                   result.elected.end(),
+                                   candidates[i].app_id);
+        if (pos != result.elected.end()) {
+          audit_[i].elected = true;
+          audit_[i].alloc_order =
+              static_cast<int>(pos - result.elected.begin());
+        }
+      }
+    }
+    for (const CandidateDecision& d : audit_) {
+      obs::ElectionDecisionPayload p;
+      p.quantum = quantum_index_;
+      p.app_id = d.app_id;
+      p.nthreads = d.nthreads;
+      p.bbw_per_thread = d.bbw_per_thread;
+      p.abbw_per_proc = d.abbw_per_proc;
+      p.score = d.score;
+      p.alloc_order = static_cast<std::int16_t>(d.alloc_order);
+      p.elected = d.elected ? 1 : 0;
+      p.head_default = d.head_default ? 1 : 0;
+      tracer_->election_decision(now_us, p);
+    }
+  }
+  ++quantum_index_;
 
   running_ = result.elected;
   for (auto& [id, app] : apps_) {

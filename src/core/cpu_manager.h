@@ -22,6 +22,7 @@
 #include "core/bandwidth_stats.h"
 #include "core/election.h"
 #include "core/predictor.h"
+#include "obs/tracer.h"
 #include "sim/time.h"
 
 namespace bbsched::core {
@@ -113,8 +114,10 @@ class CpuManager {
   ///  * folds pending samples of the apps that ran into their trackers,
   ///  * moves previously running apps to the end of the list,
   ///  * runs the fitness election for `nprocs` processors.
-  /// Returns elected app ids (allocation order).
-  ElectionResult schedule_quantum(int nprocs);
+  /// Returns elected app ids (allocation order). `now_us` timestamps the
+  /// observability events of this election (simulated time in the
+  /// simulator, monotonic wall time in the native runtime).
+  ElectionResult schedule_quantum(int nprocs, std::uint64_t now_us = 0);
 
   /// BBW/thread estimate the active policy would use right now.
   [[nodiscard]] double policy_estimate(int app_id) const;
@@ -134,12 +137,27 @@ class CpuManager {
     return running_;
   }
 
+  /// Attaches a structured event tracer (non-owning; nullptr detaches).
+  /// Every election then records one kQuantumStart plus one
+  /// kElectionDecision per candidate. Costs nothing when the tracer is
+  /// disabled or absent.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Elections performed so far (the quantum index of the next election).
+  [[nodiscard]] std::uint64_t quantum_index() const noexcept {
+    return quantum_index_;
+  }
+
  private:
   ManagerConfig cfg_;
   std::unordered_map<int, ManagedApp> apps_;
   std::list<int> order_;       ///< circular applications list (head = front)
   std::vector<int> running_;   ///< elected in the current quantum
   int next_id_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;        ///< non-owning
+  std::uint64_t quantum_index_ = 0;      ///< elections performed
+  std::vector<CandidateDecision> audit_;  ///< reused election audit buffer
 };
 
 }  // namespace bbsched::core

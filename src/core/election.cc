@@ -15,16 +15,31 @@ const char* to_string(ElectionRule rule) {
 }
 
 ElectionResult elect(const std::vector<Candidate>& candidates, int nprocs,
-                     double total_bus_bw, ElectionRule rule) {
+                     double total_bus_bw, ElectionRule rule,
+                     std::vector<CandidateDecision>* audit) {
   assert(nprocs >= 0);
   ElectionResult out;
   out.idle_procs = nprocs;
+
+  if (audit) {
+    audit->resize(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      (*audit)[i] = CandidateDecision{};
+      (*audit)[i].app_id = candidates[i].app_id;
+      (*audit)[i].nthreads = candidates[i].nthreads;
+      (*audit)[i].bbw_per_thread = candidates[i].bbw_per_thread;
+    }
+  }
 
   std::vector<bool> taken(candidates.size(), false);
 
   auto allocate = [&](std::size_t idx) {
     const Candidate& c = candidates[idx];
     taken[idx] = true;
+    if (audit) {
+      (*audit)[idx].elected = true;
+      (*audit)[idx].alloc_order = static_cast<int>(out.elected.size());
+    }
     out.elected.push_back(c.app_id);
     out.idle_procs -= c.nthreads;
     out.allocated_bw += c.bbw_per_thread * static_cast<double>(c.nthreads);
@@ -34,13 +49,17 @@ ElectionResult elect(const std::vector<Candidate>& candidates, int nprocs,
   // is the first application that fits at all.
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (candidates[i].nthreads <= out.idle_procs) {
+      if (audit) (*audit)[i].head_default = true;
       allocate(i);
       break;
     }
   }
 
   // Step 2: repeated full-list traversals, allocating the best candidate
-  // under the active rule each time, until no candidate fits.
+  // under the active rule each time, until no candidate fits. Each round
+  // refreshes the audit entries of every candidate it scores, so a
+  // passed-over candidate's record holds its score from the last round in
+  // which it competed.
   while (out.idle_procs > 0) {
     const double abbw =
         abbw_per_proc(total_bus_bw, out.allocated_bw, out.idle_procs);
@@ -62,6 +81,10 @@ ElectionResult elect(const std::vector<Candidate>& candidates, int nprocs,
         case ElectionRule::kHighestFirst:
           score = candidates[i].bbw_per_thread;
           break;
+      }
+      if (audit) {
+        (*audit)[i].score = score;
+        (*audit)[i].abbw_per_proc = abbw;
       }
       if (score > best_score) {
         best_score = score;

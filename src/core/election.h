@@ -40,6 +40,26 @@ struct ElectionResult {
   double allocated_bw = 0.0;
 };
 
+/// Per-candidate audit record of one election (observability). One entry
+/// per candidate, in candidate-list order, elected or not — this is what
+/// makes a "why did the election pass over job X?" question answerable
+/// from a trace.
+struct CandidateDecision {
+  int app_id = -1;
+  int nthreads = 1;
+  double bbw_per_thread = 0.0;
+  /// ABBW/proc at the moment the candidate was last scored (for the winner
+  /// of a round: the round it won). Meaningless for head_default entries.
+  double abbw_per_proc = 0.0;
+  /// Score under the active rule at that moment. The head-of-list default
+  /// allocation is unconditional: its score stays 0 and head_default is set.
+  double score = 0.0;
+  bool elected = false;
+  bool head_default = false;
+  /// Position in the allocation order; -1 when not elected.
+  int alloc_order = -1;
+};
+
 /// Selection rule used after the head-of-list default allocation. The paper
 /// uses kFitness (Eq. 1/2); the others exist for the design ablation in
 /// bench/ablation_fitness.
@@ -54,8 +74,15 @@ enum class ElectionRule {
 
 /// Runs the election over `candidates` (in applications-list order) for
 /// `nprocs` processors and a bus of `total_bus_bw` transactions/µs.
+///
+/// When `audit` is non-null it is resized to candidates.size() and filled
+/// with one CandidateDecision per candidate (same order). The vector is
+/// reused across calls by the CPU manager, so filling it allocates only
+/// until its capacity reaches the list length.
 [[nodiscard]] ElectionResult elect(const std::vector<Candidate>& candidates,
                                    int nprocs, double total_bus_bw,
-                                   ElectionRule rule = ElectionRule::kFitness);
+                                   ElectionRule rule = ElectionRule::kFitness,
+                                   std::vector<CandidateDecision>* audit =
+                                       nullptr);
 
 }  // namespace bbsched::core

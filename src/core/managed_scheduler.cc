@@ -38,12 +38,17 @@ void ManagedScheduler::take_sample(Machine& m, SimTime now,
     last_read_[app] = cum;
     manager_.record_sample(app, delta);
     trace.event({now, trace::EventKind::kSample, jit->second, -1, -1, delta});
+    if (tracer_ && tracer_->enabled()) {
+      tracer_->counter_sample(
+          now, {app, delta, manager_.policy_estimate(app)});
+    }
   }
 }
 
 void ManagedScheduler::run_election(Machine& m, SimTime now,
                                     trace::ScheduleTrace& trace) {
-  const ElectionResult result = manager_.schedule_quantum(m.num_cpus());
+  const ElectionResult result =
+      manager_.schedule_quantum(m.num_cpus(), now);
   ++elections_;
   quantum_start_ = now;
   samples_taken_ = 0;
@@ -88,9 +93,19 @@ void ManagedScheduler::apply_block_states(Machine& m,
       if (elected && t.state == ThreadState::kManagerBlocked) {
         t.state = ThreadState::kReady;
         trace.event({now, trace::EventKind::kUnblock, job.id, tid, -1, 0.0});
+        if (tracer_ && tracer_->enabled()) {
+          tracer_->job_state_change(
+              now, {ait->second, tid, obs::JobState::kManagerBlocked,
+                    obs::JobState::kReady});
+        }
       } else if (!elected && t.state == ThreadState::kReady) {
         t.state = ThreadState::kManagerBlocked;
         trace.event({now, trace::EventKind::kBlock, job.id, tid, -1, 0.0});
+        if (tracer_ && tracer_->enabled()) {
+          tracer_->job_state_change(
+              now, {ait->second, tid, obs::JobState::kReady,
+                    obs::JobState::kManagerBlocked});
+        }
       }
     }
   }
@@ -148,6 +163,10 @@ void ManagedScheduler::handle_completions(Machine& m, SimTime now,
     if (!job.completed) continue;
     auto ait = job_to_app_.find(job.id);
     if (ait == job_to_app_.end()) continue;
+    if (tracer_ && tracer_->enabled()) {
+      tracer_->job_state_change(now, {ait->second, -1, obs::JobState::kDone,
+                                      obs::JobState::kDisconnected});
+    }
     manager_.disconnect(ait->second);
     app_to_job_.erase(ait->second);
     last_read_.erase(ait->second);
@@ -171,6 +190,10 @@ void ManagedScheduler::tick(Machine& m, SimTime now,
     job_to_app_[job.id] = app;
     app_to_job_[app] = job.id;
     last_read_[app] = read_counters(m, job.id);
+    if (tracer_ && tracer_->enabled()) {
+      tracer_->job_state_change(now, {app, -1, obs::JobState::kConnected,
+                                      obs::JobState::kReady});
+    }
   }
 
   handle_completions(m, now, trace);

@@ -64,6 +64,15 @@ class ManagedScheduler final : public sim::Scheduler {
   [[nodiscard]] CpuManager& manager() noexcept { return manager_; }
   [[nodiscard]] const CpuManager& manager() const noexcept { return manager_; }
 
+  /// Attaches a structured event tracer (non-owning): elections are
+  /// recorded by the embedded CpuManager; counter samples and manager
+  /// block/unblock transitions are recorded here, where simulated time and
+  /// job ids are at hand.
+  void set_tracer(obs::Tracer* tracer) noexcept {
+    tracer_ = tracer;
+    manager_.set_tracer(tracer);
+  }
+
   /// Completed gang context switches (elections applied); for tests and the
   /// quantum-length ablation.
   [[nodiscard]] std::uint64_t elections() const noexcept { return elections_; }
@@ -87,6 +96,7 @@ class ManagedScheduler final : public sim::Scheduler {
 
   ManagedSchedulerConfig cfg_;
   CpuManager manager_;
+  obs::Tracer* tracer_ = nullptr;  ///< non-owning
 
   /// job id -> manager app id (identity in practice, but kept explicit).
   std::unordered_map<int, int> job_to_app_;

@@ -1,13 +1,20 @@
 // Tiny flag parsing shared by the bench binaries.
 //
 // Flags:
-//   --fast        scale job durations to 20% (quick smoke runs)
-//   --scale=X     explicit duration scale factor
-//   --csv         additionally print tables as CSV
-//   --app=NAME    restrict to one application
-//   --seed=N      engine seed
-//   --jobs=N      worker threads for parallel experiment batches
-//                 (0 = hardware thread count, the default)
+//   --fast             scale job durations to 20% (quick smoke runs)
+//   --scale=X          explicit duration scale factor
+//   --csv              additionally print tables as CSV
+//   --app=NAME         restrict to one application
+//   --seed=N           engine seed
+//   --jobs=N           worker threads for parallel experiment batches
+//                      (0 = hardware thread count, the default)
+//   --trace-out=FILE   after the bench, rerun one representative workload
+//                      with the structured tracer attached and write the
+//                      events to FILE — Chrome trace_event JSON (load in
+//                      chrome://tracing or https://ui.perfetto.dev) unless
+//                      FILE ends in .jsonl, which selects lossless JSONL
+//   --metrics-out=FILE write the metrics-registry snapshot of that traced
+//                      run as JSON to FILE
 #pragma once
 
 #include <cstdint>
@@ -22,6 +29,8 @@ struct CliOptions {
   std::string app;  ///< empty = all applications
   std::uint64_t seed = 42;
   int jobs = 0;  ///< parallel harness workers; 0 = hardware threads
+  std::string trace_out;    ///< empty = no trace export
+  std::string metrics_out;  ///< empty = no metrics export
 };
 
 [[nodiscard]] inline CliOptions parse_cli(int argc, char** argv) {
@@ -40,6 +49,10 @@ struct CliOptions {
       opt.seed = std::stoull(arg.substr(7));
     } else if (arg.rfind("--jobs=", 0) == 0) {
       opt.jobs = std::stoi(arg.substr(7));
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      opt.trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      opt.metrics_out = arg.substr(14);
     }
     // Unknown flags are ignored so google-benchmark style flags pass through.
   }

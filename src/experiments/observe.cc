@@ -1,0 +1,55 @@
+#include "experiments/observe.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/export.h"
+
+namespace bbsched::experiments {
+
+std::optional<TracedRun> maybe_dump_observability(
+    const CliOptions& opt, const workload::Workload& workload,
+    SchedulerKind kind, ExperimentConfig cfg) {
+  if (opt.trace_out.empty() && opt.metrics_out.empty()) return std::nullopt;
+
+  obs::Tracer tracer({.enabled = true});
+  obs::MetricsRegistry metrics;
+  cfg.tracer = &tracer;
+  cfg.metrics = &metrics;
+  cfg.engine.trace = true;  // ScheduleTrace feeds the per-CPU Chrome tracks
+
+  auto engine = make_engine(workload, kind, cfg);
+  (void)engine->run();
+
+  TracedRun out;
+  out.run = collect_result(*engine, workload, kind, cfg);
+  out.events = tracer.events().size();
+  out.dropped = tracer.dropped();
+
+  if (!opt.trace_out.empty()) {
+    if (obs::write_trace_file(opt.trace_out, tracer, &engine->trace())) {
+      std::fprintf(stderr,
+                   "[obs] %s run traced: %llu events (%llu dropped) -> %s\n",
+                   to_string(kind),
+                   static_cast<unsigned long long>(out.events),
+                   static_cast<unsigned long long>(out.dropped),
+                   opt.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] cannot open %s\n", opt.trace_out.c_str());
+    }
+  }
+  if (!opt.metrics_out.empty()) {
+    std::ofstream os(opt.metrics_out);
+    if (os) {
+      metrics.write_json(os);
+      os << '\n';
+      std::fprintf(stderr, "[obs] metrics snapshot -> %s\n",
+                   opt.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] cannot open %s\n", opt.metrics_out.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace bbsched::experiments

@@ -1,0 +1,36 @@
+// Shared --trace-out / --metrics-out handling for the bench binaries.
+//
+// The benches measure first and observe afterwards: when either flag is
+// given, maybe_dump_observability() reruns ONE representative workload
+// serially with the structured tracer and the metrics registry attached and
+// writes the requested files. The measured (often parallel) bench runs are
+// never traced, so observability can never perturb the numbers a bench
+// reports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "experiments/cli.h"
+#include "experiments/runner.h"
+
+namespace bbsched::experiments {
+
+/// Result of one traced run (returned so benches can print context).
+struct TracedRun {
+  RunResult run;
+  std::uint64_t events = 0;   ///< events retained in the ring
+  std::uint64_t dropped = 0;  ///< events lost to ring wraparound
+};
+
+/// Reruns `workload` under `kind` with tracing + metrics enabled and writes
+/// opt.trace_out (Chrome trace JSON, or JSONL for *.jsonl paths) and
+/// opt.metrics_out (metrics snapshot JSON). Paths left empty are skipped;
+/// when both are empty this is a no-op and returns std::nullopt. Prints a
+/// one-line note per file written to stderr.
+std::optional<TracedRun> maybe_dump_observability(
+    const CliOptions& opt, const workload::Workload& workload,
+    SchedulerKind kind, ExperimentConfig cfg);
+
+}  // namespace bbsched::experiments

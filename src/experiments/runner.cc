@@ -55,21 +55,34 @@ std::unique_ptr<sim::Scheduler> make_scheduler(SchedulerKind kind,
   return nullptr;
 }
 
-RunResult run_workload(const workload::Workload& workload, SchedulerKind kind,
-                       const ExperimentConfig& cfg) {
-  sim::Engine engine(cfg.machine, cfg.engine, make_scheduler(kind, cfg));
+std::unique_ptr<sim::Engine> make_engine(const workload::Workload& workload,
+                                         SchedulerKind kind,
+                                         const ExperimentConfig& cfg) {
+  auto engine = std::make_unique<sim::Engine>(cfg.machine, cfg.engine,
+                                              make_scheduler(kind, cfg));
+  engine->set_tracer(cfg.tracer);
+  engine->set_metrics(cfg.metrics);
+  if (auto* managed =
+          dynamic_cast<core::ManagedScheduler*>(&engine->scheduler())) {
+    managed->set_tracer(cfg.tracer);
+  }
 
   for (const auto& spec : workload.jobs) {
     sim::JobSpec scaled = spec;
     if (!scaled.infinite() && cfg.time_scale != 1.0) {
       scaled.work_us *= cfg.time_scale;
     }
-    engine.add_job(scaled);
+    engine->add_job(scaled);
   }
+  return engine;
+}
 
+RunResult collect_result(sim::Engine& engine,
+                         const workload::Workload& workload,
+                         SchedulerKind kind, const ExperimentConfig& cfg) {
   RunResult out;
   out.scheduler = to_string(kind);
-  out.end_time_us = engine.run();
+  out.end_time_us = engine.now();
 
   const auto& machine = engine.machine();
   out.turnaround_us.reserve(machine.jobs().size());
@@ -103,7 +116,26 @@ RunResult run_workload(const workload::Workload& workload, SchedulerKind kind,
           &engine.scheduler())) {
     out.elections = managed->elections();
   }
+
+  if (cfg.metrics != nullptr) {
+    cfg.metrics->counter("run.elections")
+        .inc(static_cast<double>(out.elections));
+    cfg.metrics->counter("run.migrations")
+        .inc(static_cast<double>(out.migrations));
+    cfg.metrics->gauge("run.end_time_ms")
+        .set(static_cast<double>(out.end_time_us) / 1000.0);
+    cfg.metrics->gauge("run.machine_rate_tps").set(out.machine_rate_tps);
+    cfg.metrics->gauge("run.mean_turnaround_ms")
+        .set(out.measured_mean_turnaround_us / 1000.0);
+  }
   return out;
+}
+
+RunResult run_workload(const workload::Workload& workload, SchedulerKind kind,
+                       const ExperimentConfig& cfg) {
+  auto engine = make_engine(workload, kind, cfg);
+  (void)engine->run();
+  return collect_result(*engine, workload, kind, cfg);
 }
 
 }  // namespace bbsched::experiments

@@ -9,6 +9,8 @@
 
 #include "core/managed_scheduler.h"
 #include "linuxsched/linux_sched.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/engine.h"
 #include "spacesched/equipartition.h"
 #include "workload/workload.h"
@@ -37,6 +39,12 @@ struct ExperimentConfig {
   /// Scales every finite job's work (uniprogrammed duration) — quick modes
   /// for tests (< 1.0) without touching rates or policy dynamics.
   double time_scale = 1.0;
+
+  /// Optional observability sinks (non-owning; keep alive across the run).
+  /// When set, the engine and — for managed schedulers — the CPU manager
+  /// record structured events / metrics into them. Null = zero overhead.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything measured in one run.
@@ -70,7 +78,24 @@ struct RunResult {
 [[nodiscard]] std::unique_ptr<sim::Scheduler> make_scheduler(
     SchedulerKind kind, const ExperimentConfig& cfg);
 
+/// Builds an engine loaded with `workload` (jobs scaled by cfg.time_scale)
+/// and with cfg.tracer / cfg.metrics attached. Callers that need the live
+/// engine afterwards — e.g. to export its ScheduleTrace — use this plus
+/// collect_result(); everyone else calls run_workload().
+[[nodiscard]] std::unique_ptr<sim::Engine> make_engine(
+    const workload::Workload& workload, SchedulerKind kind,
+    const ExperimentConfig& cfg);
+
+/// Harvests the measurements from an engine that already ran. Also records
+/// run-level metrics (run.elections, run.migrations, ...) into cfg.metrics
+/// when attached.
+[[nodiscard]] RunResult collect_result(sim::Engine& engine,
+                                       const workload::Workload& workload,
+                                       SchedulerKind kind,
+                                       const ExperimentConfig& cfg);
+
 /// Runs `workload` to completion of all finite jobs (or engine max time).
+/// Equivalent to make_engine() + engine.run() + collect_result().
 [[nodiscard]] RunResult run_workload(const workload::Workload& workload,
                                      SchedulerKind kind,
                                      const ExperimentConfig& cfg);

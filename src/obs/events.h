@@ -1,0 +1,150 @@
+// Typed observability events (see docs/OBSERVABILITY.md for the schema).
+//
+// Every event is a fixed-size POD — a timestamp, a discriminator, and a
+// union of per-type payloads — so a trace is a flat preallocated ring of
+// TraceEvent and recording one is a couple of stores, never an allocation.
+// The vocabulary mirrors the paper's feedback loop: a quantum starts
+// (kQuantumStart), the election scores every candidate (kElectionDecision,
+// one event per candidate so passed-over applications are just as visible
+// as elected ones), the bus resolves contention every tick
+// (kBusResolution), threads change state (kJobStateChange), and the manager
+// reads the performance counters (kCounterSample).
+#pragma once
+
+#include <cstdint>
+
+namespace bbsched::obs {
+
+enum class EventType : std::uint8_t {
+  kQuantumStart,
+  kElectionDecision,
+  kBusResolution,
+  kJobStateChange,
+  kCounterSample,
+};
+
+[[nodiscard]] const char* to_string(EventType type);
+
+/// Coarse application/thread lifecycle states, the union of the states the
+/// simulator and the native manager can put a thread in.
+enum class JobState : std::uint8_t {
+  kConnected,       ///< registered with the scheduler/manager
+  kReady,           ///< runnable
+  kManagerBlocked,  ///< de-scheduled by a manager election (SIGUSR1)
+  kBarrierWait,     ///< blocked at a barrier (spin grace expired)
+  kIoWait,          ///< blocked on an I/O burst (DMA in flight)
+  kDone,            ///< all work finished
+  kDisconnected,    ///< removed from the manager's applications list
+};
+
+[[nodiscard]] const char* to_string(JobState state);
+
+/// A scheduling quantum began: the manager ran an election.
+struct QuantumStartPayload {
+  std::uint64_t index = 0;  ///< 0-based election counter
+  std::int32_t nprocs = 0;  ///< processors the election allocated
+  std::int32_t candidates = 0;  ///< applications-list length at election time
+};
+
+/// One candidate's outcome in one election. Emitted for *every* candidate,
+/// elected or not, so a trace explains both who ran and who was passed over.
+struct ElectionDecisionPayload {
+  std::uint64_t quantum = 0;   ///< index of the election (QuantumStart.index)
+  std::int32_t app_id = -1;    ///< manager app id
+  std::int32_t nthreads = 0;
+  double bbw_per_thread = 0.0;  ///< policy estimate fed to the election
+  double abbw_per_proc = 0.0;   ///< available bw/proc when the app was scored
+  double score = 0.0;           ///< fitness under the active rule (0 for the
+                                ///< unconditional head-of-list allocation)
+  std::int16_t alloc_order = -1;  ///< allocation position; -1 = not elected
+  std::uint8_t elected = 0;
+  std::uint8_t head_default = 0;  ///< elected by the starvation-freedom rule
+};
+
+/// One tick of the analytic bus model: offered demand vs granted traffic.
+struct BusResolutionPayload {
+  double demand_tps = 0.0;    ///< sum of uncontended demands (trans/µs)
+  double granted_tps = 0.0;   ///< sum of granted rates (trans/µs)
+  double capacity_tps = 0.0;  ///< effective capacity after arbitration loss
+  double utilization = 0.0;   ///< granted / effective capacity
+  double stretch = 1.0;       ///< common memory-stretch factor (>= 1)
+  std::int32_t agents = 0;    ///< bus masters this tick (threads + DMA)
+  std::uint8_t saturated = 0;
+};
+
+/// A thread (or whole application, thread_id = -1) changed lifecycle state.
+struct JobStateChangePayload {
+  std::int32_t app_id = -1;
+  std::int32_t thread_id = -1;
+  JobState from = JobState::kReady;
+  JobState to = JobState::kReady;
+};
+
+/// The manager read an application's bus-transaction counters.
+struct CounterSamplePayload {
+  std::int32_t app_id = -1;
+  double delta_transactions = 0.0;  ///< transactions since the last read
+  double estimate_tps = 0.0;        ///< policy BBW/thread estimate afterwards
+};
+
+/// One trace record. `time_us` is simulated time in the simulator and
+/// monotonic wall time in the native runtime.
+struct TraceEvent {
+  std::uint64_t time_us = 0;
+  EventType type = EventType::kQuantumStart;
+  union {
+    QuantumStartPayload quantum_start;
+    ElectionDecisionPayload election;
+    BusResolutionPayload bus;
+    JobStateChangePayload job;
+    CounterSamplePayload sample;
+  };
+
+  // The variant members have default member initializers (so they are not
+  // trivially default-constructible), which would delete the implicit
+  // default constructor; pick the first alternative explicitly instead.
+  TraceEvent() : quantum_start() {}
+
+  [[nodiscard]] static TraceEvent make_quantum_start(
+      std::uint64_t t, const QuantumStartPayload& p) {
+    TraceEvent e;
+    e.time_us = t;
+    e.type = EventType::kQuantumStart;
+    e.quantum_start = p;
+    return e;
+  }
+  [[nodiscard]] static TraceEvent make_election(
+      std::uint64_t t, const ElectionDecisionPayload& p) {
+    TraceEvent e;
+    e.time_us = t;
+    e.type = EventType::kElectionDecision;
+    e.election = p;
+    return e;
+  }
+  [[nodiscard]] static TraceEvent make_bus(std::uint64_t t,
+                                           const BusResolutionPayload& p) {
+    TraceEvent e;
+    e.time_us = t;
+    e.type = EventType::kBusResolution;
+    e.bus = p;
+    return e;
+  }
+  [[nodiscard]] static TraceEvent make_job_state(
+      std::uint64_t t, const JobStateChangePayload& p) {
+    TraceEvent e;
+    e.time_us = t;
+    e.type = EventType::kJobStateChange;
+    e.job = p;
+    return e;
+  }
+  [[nodiscard]] static TraceEvent make_sample(
+      std::uint64_t t, const CounterSamplePayload& p) {
+    TraceEvent e;
+    e.time_us = t;
+    e.type = EventType::kCounterSample;
+    e.sample = p;
+    return e;
+  }
+};
+
+}  // namespace bbsched::obs

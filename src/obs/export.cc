@@ -1,0 +1,171 @@
+#include "obs/export.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "trace/schedule_trace.h"
+
+namespace bbsched::obs {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kQuantumStart: return "QuantumStart";
+    case EventType::kElectionDecision: return "ElectionDecision";
+    case EventType::kBusResolution: return "BusResolution";
+    case EventType::kJobStateChange: return "JobStateChange";
+    case EventType::kCounterSample: return "CounterSample";
+  }
+  return "unknown";
+}
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kConnected: return "connected";
+    case JobState::kReady: return "ready";
+    case JobState::kManagerBlocked: return "manager-blocked";
+    case JobState::kBarrierWait: return "barrier-wait";
+    case JobState::kIoWait: return "io-wait";
+    case JobState::kDone: return "done";
+    case JobState::kDisconnected: return "disconnected";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Emits the event-specific members (no braces) shared by both exporters'
+/// args payloads.
+void write_payload_fields(std::ostream& os, const TraceEvent& e) {
+  switch (e.type) {
+    case EventType::kQuantumStart:
+      os << "\"quantum\": " << e.quantum_start.index
+         << ", \"nprocs\": " << e.quantum_start.nprocs
+         << ", \"candidates\": " << e.quantum_start.candidates;
+      break;
+    case EventType::kElectionDecision:
+      os << "\"quantum\": " << e.election.quantum
+         << ", \"app\": " << e.election.app_id
+         << ", \"nthreads\": " << e.election.nthreads
+         << ", \"bbw_per_thread\": " << e.election.bbw_per_thread
+         << ", \"abbw_per_proc\": " << e.election.abbw_per_proc
+         << ", \"score\": " << e.election.score
+         << ", \"elected\": " << (e.election.elected ? "true" : "false")
+         << ", \"head_default\": "
+         << (e.election.head_default ? "true" : "false")
+         << ", \"alloc_order\": " << e.election.alloc_order;
+      break;
+    case EventType::kBusResolution:
+      os << "\"demand_tps\": " << e.bus.demand_tps
+         << ", \"granted_tps\": " << e.bus.granted_tps
+         << ", \"capacity_tps\": " << e.bus.capacity_tps
+         << ", \"utilization\": " << e.bus.utilization
+         << ", \"stretch\": " << e.bus.stretch
+         << ", \"agents\": " << e.bus.agents
+         << ", \"saturated\": " << (e.bus.saturated ? "true" : "false");
+      break;
+    case EventType::kJobStateChange:
+      os << "\"app\": " << e.job.app_id << ", \"thread\": " << e.job.thread_id
+         << ", \"from\": \"" << to_string(e.job.from) << "\", \"to\": \""
+         << to_string(e.job.to) << '"';
+      break;
+    case EventType::kCounterSample:
+      os << "\"app\": " << e.sample.app_id
+         << ", \"delta_transactions\": " << e.sample.delta_transactions
+         << ", \"estimate_tps\": " << e.sample.estimate_tps;
+      break;
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer,
+                        const trace::ScheduleTrace* schedule,
+                        const std::string& process_name) {
+  const auto old_precision = os.precision(12);
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  const char* sep = "";
+  auto emit_sep = [&] {
+    os << sep;
+    sep = ",\n";
+  };
+
+  // Process / track naming metadata. tid 0 is the manager's decision track;
+  // tid c+1 is CPU c.
+  emit_sep();
+  os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"args\": {\"name\": \""
+     << process_name << "\"}}";
+  emit_sep();
+  os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+        "\"args\": {\"name\": \"manager\"}}";
+
+  if (schedule) {
+    int max_cpu = -1;
+    for (const auto& iv : schedule->intervals()) {
+      if (iv.cpu > max_cpu) max_cpu = iv.cpu;
+    }
+    for (int c = 0; c <= max_cpu; ++c) {
+      emit_sep();
+      os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+            "\"tid\": "
+         << c + 1 << ", \"args\": {\"name\": \"CPU " << c << "\"}}";
+    }
+    // Occupancy: one complete ("X") slice per merged run interval.
+    for (const auto& iv : schedule->intervals()) {
+      emit_sep();
+      os << "{\"name\": \"app " << iv.app_id << " t" << iv.thread_id
+         << "\", \"ph\": \"X\", \"ts\": " << iv.start_us
+         << ", \"dur\": " << iv.end_us - iv.start_us
+         << ", \"pid\": 1, \"tid\": " << iv.cpu + 1 << ", \"args\": {\"app\": "
+         << iv.app_id << ", \"thread\": " << iv.thread_id << "}}";
+    }
+  }
+
+  tracer.events().for_each([&](const TraceEvent& e) {
+    emit_sep();
+    if (e.type == EventType::kBusResolution) {
+      // Counter track: each numeric arg renders as one series.
+      os << "{\"name\": \"BusResolution\", \"ph\": \"C\", \"ts\": "
+         << e.time_us
+         << ", \"pid\": 1, \"args\": {\"utilization\": " << e.bus.utilization
+         << ", \"demand_tps\": " << e.bus.demand_tps
+         << ", \"granted_tps\": " << e.bus.granted_tps << "}}";
+      return;
+    }
+    os << "{\"name\": \"" << to_string(e.type)
+       << "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " << e.time_us
+       << ", \"pid\": 1, \"tid\": 0, \"args\": {";
+    write_payload_fields(os, e);
+    os << "}}";
+  });
+
+  os << "\n]}\n";
+  os.precision(old_precision);
+}
+
+void write_jsonl(std::ostream& os, const Tracer& tracer) {
+  const auto old_precision = os.precision(12);
+  tracer.events().for_each([&](const TraceEvent& e) {
+    os << "{\"t\": " << e.time_us << ", \"type\": \"" << to_string(e.type)
+       << "\", ";
+    write_payload_fields(os, e);
+    os << "}\n";
+  });
+  os.precision(old_precision);
+}
+
+bool write_trace_file(const std::string& path, const Tracer& tracer,
+                      const trace::ScheduleTrace* schedule) {
+  std::ofstream os(path);
+  if (!os) return false;
+  const bool jsonl =
+      path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+  if (jsonl) {
+    write_jsonl(os, tracer);
+  } else {
+    write_chrome_trace(os, tracer, schedule);
+  }
+  return static_cast<bool>(os);
+}
+
+}  // namespace bbsched::obs

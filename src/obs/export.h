@@ -1,0 +1,44 @@
+// Trace exporters.
+//
+// * write_chrome_trace: Chrome trace_event JSON ("JSON Object Format"),
+//   loadable in chrome://tracing and https://ui.perfetto.dev. Layout: one
+//   track per CPU built from the engine's schedule trace (who ran where,
+//   "X" complete events), a "BusResolution" counter track (utilization /
+//   demand / granted series), and instant events on the manager track for
+//   elections, quantum starts, state changes and counter samples.
+//   Timestamps are already in microseconds, which is exactly trace_event's
+//   "ts" unit.
+// * write_jsonl: one self-describing JSON object per line with every payload
+//   field — the lossless format examples/trace_inspect replays.
+//
+// Exporting is an offline operation (after the run): it allocates freely
+// and never touches the recording hot path.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/tracer.h"
+
+namespace bbsched::trace {
+class ScheduleTrace;
+}
+
+namespace bbsched::obs {
+
+/// Writes the Chrome trace_event document. `schedule` (optional) supplies
+/// the per-CPU occupancy tracks; the tracer supplies everything else.
+void write_chrome_trace(std::ostream& os, const Tracer& tracer,
+                        const trace::ScheduleTrace* schedule = nullptr,
+                        const std::string& process_name = "bbsched");
+
+/// Writes the lossless JSONL form (one event object per line).
+void write_jsonl(std::ostream& os, const Tracer& tracer);
+
+/// Convenience: writes to `path`, choosing JSONL when the path ends in
+/// ".jsonl" and Chrome trace JSON otherwise. Returns false when the file
+/// cannot be opened.
+bool write_trace_file(const std::string& path, const Tracer& tracer,
+                      const trace::ScheduleTrace* schedule = nullptr);
+
+}  // namespace bbsched::obs

@@ -1,0 +1,241 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace bbsched::obs::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Value::number_or(std::string_view key, double dflt) const {
+  const Value* v = find(key);
+  return v && v->is_number() ? v->number : dflt;
+}
+
+std::string Value::string_or(std::string_view key,
+                             std::string_view dflt) const {
+  const Value* v = find(key);
+  return v && v->is_string() ? v->string : std::string(dflt);
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse_document(Value& out, std::string* err) {
+    skip_ws();
+    if (!parse_value(out, 0)) {
+      if (err) *err = error_ + " at offset " + std::to_string(pos_);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (err) {
+        *err = "trailing content at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* msg) {
+    if (error_.empty()) error_ = msg;
+    return false;
+  }
+
+  [[nodiscard]] bool at(char c) const {
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return fail("bad literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out.type = Value::Type::kString;
+        return parse_string(out.string);
+      case 't':
+        out.type = Value::Type::kBool;
+        out.boolean = true;
+        return consume_literal("true");
+      case 'f':
+        out.type = Value::Type::kBool;
+        out.boolean = false;
+        return consume_literal("false");
+      case 'n':
+        out.type = Value::Type::kNull;
+        return consume_literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out, int depth) {
+    out.type = Value::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (at('}')) {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!at('"')) return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!at(':')) return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      Value member;
+      if (!parse_value(member, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (at(',')) {
+        ++pos_;
+        continue;
+      }
+      if (at('}')) {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(Value& out, int depth) {
+    out.type = Value::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (at(']')) {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      Value elem;
+      if (!parse_value(elem, depth + 1)) return false;
+      out.array.push_back(std::move(elem));
+      skip_ws();
+      if (at(',')) {
+        ++pos_;
+        continue;
+      }
+      if (at(']')) {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("bad escape");
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // \uXXXX: decoded as a raw code point truncated to one byte for
+            // ASCII, '?' otherwise — the traces this parser reads emit only
+            // ASCII.
+            if (pos_ + 4 >= text_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                return fail("bad \\u escape");
+              }
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         std::isdigit(static_cast<unsigned char>(h))
+                             ? h - '0'
+                             : (std::tolower(h) - 'a' + 10));
+            }
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            pos_ += 4;
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        ++pos_;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (at('-')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("bad number");
+    out.type = Value::Type::kNumber;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool parse(std::string_view text, Value& out, std::string* err) {
+  return Parser(text).parse_document(out, err);
+}
+
+}  // namespace bbsched::obs::json

@@ -1,0 +1,56 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// Exists so the observability layer can *validate its own output* without an
+// external dependency: tools/trace_validate checks emitted Chrome traces,
+// examples/trace_inspect replays JSONL traces, and tests round-trip metrics
+// snapshots. It parses the full JSON grammar (objects, arrays, strings with
+// escapes, numbers, booleans, null) but is tuned for trust-worthy
+// machine-generated input, not adversarial data: recursion depth is bounded
+// and errors carry a byte offset.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bbsched::obs::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  /// Insertion-ordered members (duplicate keys keep the first).
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return type == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type == Type::kString;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Convenience accessors with defaults (for optional members).
+  [[nodiscard]] double number_or(std::string_view key, double dflt) const;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string_view dflt) const;
+};
+
+/// Parses `text` (one complete JSON document, trailing whitespace allowed)
+/// into `out`. On failure returns false and, when `err` is non-null, stores
+/// a message with the byte offset of the problem.
+[[nodiscard]] bool parse(std::string_view text, Value& out,
+                         std::string* err = nullptr);
+
+}  // namespace bbsched::obs::json

@@ -1,0 +1,113 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace bbsched::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         "histogram bounds must ascend");
+}
+
+void Histogram::observe(double x) noexcept {
+  std::size_t i = 0;
+  while (i < bounds_.size() && x > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += x;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+// Metric names are code-controlled identifiers (dotted ASCII); escaping
+// still guards the JSON against a stray quote or backslash.
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  // Full double precision so a parsed snapshot reproduces the instruments
+  // exactly (tests/test_obs.cc round-trips it).
+  const auto old_precision = os.precision(17);
+  os << "{\n  \"counters\": {";
+  const char* sep = "";
+  for (const auto& [name, c] : counters_) {
+    os << sep << "\n    ";
+    write_escaped(os, name);
+    os << ": " << c->value();
+    sep = ",";
+  }
+  os << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  sep = "";
+  for (const auto& [name, g] : gauges_) {
+    os << sep << "\n    ";
+    write_escaped(os, name);
+    os << ": " << g->value();
+    sep = ",";
+  }
+  os << (gauges_.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  sep = "";
+  for (const auto& [name, h] : histograms_) {
+    os << sep << "\n    ";
+    write_escaped(os, name);
+    os << ": {\"bounds\": [";
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      os << (i ? ", " : "") << h->bounds()[i];
+    }
+    os << "], \"counts\": [";
+    for (std::size_t i = 0; i < h->counts().size(); ++i) {
+      os << (i ? ", " : "") << h->counts()[i];
+    }
+    os << "], \"count\": " << h->count() << ", \"sum\": " << h->sum() << "}";
+    sep = ",";
+  }
+  os << (histograms_.empty() ? "" : "\n  ") << "}\n}\n";
+  os.precision(old_precision);
+}
+
+}  // namespace bbsched::obs

@@ -1,0 +1,98 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms,
+// snapshotable as JSON (docs/OBSERVABILITY.md lists the catalog).
+//
+// Registration (name lookup) allocates and is meant for setup time; the
+// instruments themselves are allocation-free to update, so a hot loop holds
+// `Counter*`/`Histogram*` and pays an increment per event. Instrument
+// references stay valid for the registry's lifetime (node-stable storage).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bbsched::obs {
+
+/// Monotonically increasing value. Double-valued because the natural
+/// counters of this system (bus transactions) are fractional rates × time.
+class Counter {
+ public:
+  void inc(double n = 1.0) noexcept { value_ += n; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. observe() is a linear scan
+/// over a handful of preallocated buckets — no allocation, no branching on
+/// size.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// counts().size() == bounds().size() + 1 (last = overflow).
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Name → instrument registry. Lookups by name return the existing
+/// instrument when already registered (histograms keep their original
+/// buckets). Ordered storage makes the JSON snapshot deterministic.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> upper_bounds);
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace bbsched::obs

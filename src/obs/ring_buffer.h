@@ -1,0 +1,60 @@
+// Fixed-capacity ring buffer: all storage is allocated at construction and
+// push() never allocates, which is what lets the tracer sit inside the
+// engine's allocation-free tick path. When full, the oldest element is
+// overwritten — a trace keeps the most recent history and reports how much
+// it dropped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bbsched::obs {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity ? capacity : 1) {}
+
+  /// Appends `v`, overwriting the oldest element when full. Never allocates.
+  void push(const T& v) noexcept {
+    buf_[head_] = v;
+    head_ = (head_ + 1) % buf_.size();
+    if (size_ < buf_.size()) ++size_;
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  /// Elements ever pushed (retained + overwritten).
+  [[nodiscard]] std::uint64_t total_pushed() const noexcept { return total_; }
+  /// Elements lost to wraparound.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_ - size_;
+  }
+
+  /// Indexed access in age order: [0] is the oldest retained element.
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return buf_[(head_ + buf_.size() - size_ + i) % buf_.size()];
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) fn((*this)[i]);
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace bbsched::obs

@@ -40,6 +40,7 @@ ManagerServer::ManagerServer(const ServerConfig& cfg)
     const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
     cfg_.nprocs = n > 0 ? static_cast<int>(n) : 1;
   }
+  manager_.set_tracer(cfg_.tracer);
 }
 
 ManagerServer::~ManagerServer() { stop(); }
@@ -205,7 +206,7 @@ void ManagerServer::drop_client(std::size_t idx) {
   apps_.erase(apps_.begin() + static_cast<std::ptrdiff_t>(idx));
 }
 
-void ManagerServer::sample_running(std::uint64_t /*now_us*/) {
+void ManagerServer::sample_running(std::uint64_t now_us) {
   std::lock_guard<std::mutex> lk(mu_);
   const auto& running = manager_.running();
   for (auto& app : apps_) {
@@ -219,12 +220,18 @@ void ManagerServer::sample_running(std::uint64_t /*now_us*/) {
     const std::uint64_t delta = cum - app->last_read;
     app->last_read = cum;
     manager_.record_sample(app->manager_id, static_cast<double>(delta));
+    if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+      cfg_.tracer->counter_sample(
+          now_us, {app->manager_id, static_cast<double>(delta),
+                   manager_.policy_estimate(app->manager_id)});
+    }
   }
 }
 
 void ManagerServer::quantum_boundary(std::uint64_t now_us) {
   std::lock_guard<std::mutex> lk(mu_);
-  const core::ElectionResult result = manager_.schedule_quantum(cfg_.nprocs);
+  const core::ElectionResult result =
+      manager_.schedule_quantum(cfg_.nprocs, now_us);
   ++elections_;
   quantum_start_us_ = now_us;
   samples_taken_ = 0;
@@ -234,6 +241,14 @@ void ManagerServer::quantum_boundary(std::uint64_t now_us) {
     const bool elected =
         std::find(result.elected.begin(), result.elected.end(),
                   app->manager_id) != result.elected.end();
+    if (cfg_.tracer != nullptr && cfg_.tracer->enabled() &&
+        app->blocked == elected) {  // state is about to flip
+      cfg_.tracer->job_state_change(
+          now_us,
+          {app->manager_id, -1,
+           elected ? obs::JobState::kManagerBlocked : obs::JobState::kReady,
+           elected ? obs::JobState::kReady : obs::JobState::kManagerBlocked});
+    }
     set_blocked(*app, !elected);
     if (elected) {
       // Fresh baseline so the first sample excludes older quanta.

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/cpu_manager.h"
+#include "obs/tracer.h"
 #include "runtime/arena.h"
 
 namespace bbsched::runtime {
@@ -35,6 +36,10 @@ struct ServerConfig {
   std::string socket_path = "/tmp/bbsched-manager.sock";
   /// Processors to allocate (defaults to the host's online CPUs).
   int nprocs = 0;
+  /// Optional structured event tracer (non-owning). The manager thread is
+  /// the only writer; export the trace after stop(). Timestamps are
+  /// monotonic wall-clock microseconds (monotonic_now_us()).
+  obs::Tracer* tracer = nullptr;
 };
 
 class ManagerServer {

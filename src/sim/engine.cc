@@ -44,6 +44,26 @@ void Engine::submit_job(const JobSpec& spec, SimTime when) {
   pending_sorted_ = pending_.size() <= 1;
 }
 
+void Engine::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (!metrics_) {
+    m_ticks_ = m_saturated_ticks_ = m_granted_transactions_ =
+        m_job_completions_ = nullptr;
+    m_bus_utilization_ = m_bus_stretch_ = nullptr;
+    return;
+  }
+  m_ticks_ = &metrics_->counter("sim.ticks");
+  m_saturated_ticks_ = &metrics_->counter("sim.bus.saturated_ticks");
+  m_granted_transactions_ =
+      &metrics_->counter("sim.bus.granted_transactions");
+  m_job_completions_ = &metrics_->counter("sim.job_completions");
+  m_bus_utilization_ = &metrics_->histogram(
+      "sim.bus.utilization",
+      {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0});
+  m_bus_stretch_ = &metrics_->histogram(
+      "sim.bus.stretch", {1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0});
+}
+
 SimTime Engine::run() { return run_until(ecfg_.max_time_us); }
 
 SimTime Engine::run_until(SimTime until) {
@@ -78,8 +98,12 @@ void Engine::step() {
   }
   while (pending_next_ < pending_.size() &&
          pending_[pending_next_].when <= now_) {
-    machine_.add_job(pending_[pending_next_].spec, now_);
+    const int job_id = machine_.add_job(pending_[pending_next_].spec, now_);
     ++pending_next_;
+    if (tracer_ && tracer_->enabled()) {
+      tracer_->job_state_change(now_, {job_id, -1, obs::JobState::kConnected,
+                                       obs::JobState::kReady});
+    }
   }
   scheduler_->tick(machine_, now_, trace_);
   execute_tick();
@@ -220,6 +244,33 @@ void Engine::execute_tick() {
     stats_.total_granted_transactions += bus.total_granted * tick;
   }
 
+  // Observability: metrics are a few preallocated increments; the bus
+  // event is recorded every tick — idle ticks included — so any span of
+  // simulated time (a quantum, a noise window) is guaranteed coverage.
+  if (metrics_) {
+    m_ticks_->inc();
+    if (!demands_.empty()) {
+      m_bus_utilization_->observe(bus.total_granted /
+                                  bus.effective_capacity);
+      m_bus_stretch_->observe(bus.stretch);
+      if (bus.saturated) m_saturated_ticks_->inc();
+      m_granted_transactions_->inc(bus.total_granted * tick);
+    }
+  }
+  if (tracer_ && tracer_->enabled()) {
+    obs::BusResolutionPayload p;
+    p.demand_tps = bus.offered_rho * bus.effective_capacity;
+    p.granted_tps = bus.total_granted;
+    p.capacity_tps = bus.effective_capacity;
+    p.utilization = bus.effective_capacity > 0.0
+                        ? bus.total_granted / bus.effective_capacity
+                        : 0.0;
+    p.stretch = bus.stretch;
+    p.agents = static_cast<std::int32_t>(demands_.size());
+    p.saturated = bus.saturated ? 1 : 0;
+    tracer_->bus_resolution(now_, p);
+  }
+
   // Advance placed threads.
   for (std::size_t i = 0; i < placed_.size(); ++i) {
     const PlacedThread& p = placed_[i];
@@ -238,6 +289,11 @@ void Engine::execute_tick() {
         t.state = ThreadState::kBarrierWait;
         t.consecutive_spin_us = 0.0;
         machine_.vacate(p.cpu);
+        if (tracer_ && tracer_->enabled()) {
+          tracer_->job_state_change(now_, {t.app_id, t.id,
+                                           obs::JobState::kReady,
+                                           obs::JobState::kBarrierWait});
+        }
       }
       continue;
     }
@@ -276,6 +332,11 @@ void Engine::execute_tick() {
           now_ + ecfg_.tick_us + static_cast<SimTime>(j.spec.io.burst_us);
       t.next_io_at_progress += j.spec.io.period_progress_us;
       machine_.vacate(p.cpu);
+      if (tracer_ && tracer_->enabled()) {
+        tracer_->job_state_change(now_, {t.app_id, t.id,
+                                         obs::JobState::kReady,
+                                         obs::JobState::kIoWait});
+      }
       continue;
     }
 
@@ -293,6 +354,12 @@ void Engine::execute_tick() {
         jm.completion_us = now_ + ecfg_.tick_us;
         trace_.event({now_ + ecfg_.tick_us, trace::EventKind::kJobComplete,
                       jm.id, -1, -1, 0.0});
+        if (tracer_ && tracer_->enabled()) {
+          tracer_->job_state_change(
+              now_ + ecfg_.tick_us,
+              {jm.id, -1, obs::JobState::kReady, obs::JobState::kDone});
+        }
+        if (m_job_completions_) m_job_completions_->inc();
       }
     }
   }
@@ -311,6 +378,11 @@ void Engine::execute_tick() {
     if (t.state == ThreadState::kIoWait &&
         now_ + ecfg_.tick_us >= t.io_wake_us) {
       t.state = ThreadState::kReady;
+      if (tracer_ && tracer_->enabled()) {
+        tracer_->job_state_change(now_ + ecfg_.tick_us,
+                                  {t.app_id, t.id, obs::JobState::kIoWait,
+                                   obs::JobState::kReady});
+      }
     }
   }
 
@@ -385,6 +457,11 @@ void Engine::barrier_transitions() {
       if (t.state == ThreadState::kBarrierWait &&
           t.progress_us < front + j.spec.barrier_interval_us - kEps) {
         t.state = ThreadState::kReady;
+        if (tracer_ && tracer_->enabled()) {
+          tracer_->job_state_change(now_, {t.app_id, t.id,
+                                           obs::JobState::kBarrierWait,
+                                           obs::JobState::kReady});
+        }
       }
     }
   }

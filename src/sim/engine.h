@@ -10,6 +10,8 @@
 #include <functional>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/bus_model.h"
 #include "sim/config.h"
 #include "sim/machine.h"
@@ -67,6 +69,17 @@ class Engine {
   using TickObserver = std::function<void(const Engine&)>;
   void set_tick_observer(TickObserver obs) { observer_ = std::move(obs); }
 
+  /// Attaches a structured event tracer (non-owning; nullptr detaches).
+  /// When enabled, every tick records one kBusResolution event and thread
+  /// lifecycle transitions record kJobStateChange events — all into the
+  /// tracer's preallocated ring, so the tick path stays allocation-free.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Attaches a metrics registry (non-owning; nullptr detaches). Registers
+  /// the engine's instruments (see docs/OBSERVABILITY.md for the catalog)
+  /// and updates them every tick.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   void execute_tick();
   void account_unplaced(double tick);
@@ -88,6 +101,18 @@ class Engine {
   TickObserver observer_;
   SimTime now_ = 0;
   bool started_ = false;
+
+  /// Observability sinks (all non-owning; null = off). The instrument
+  /// pointers cache set_metrics() registrations so the tick path pays one
+  /// null check + increment, never a name lookup.
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_ticks_ = nullptr;
+  obs::Counter* m_saturated_ticks_ = nullptr;
+  obs::Counter* m_granted_transactions_ = nullptr;
+  obs::Counter* m_job_completions_ = nullptr;
+  obs::Histogram* m_bus_utilization_ = nullptr;
+  obs::Histogram* m_bus_stretch_ = nullptr;
 
   /// OS-noise state: until when each CPU is stolen, and when the next
   /// steal begins.

@@ -109,7 +109,9 @@ TEST(Equipartition, RotationSharesProcessorsWhenOversubscribed) {
   Engine eng(MachineConfig{}, quiet_engine(),
              std::make_unique<EquipartitionScheduler>());
   for (int i = 0; i < 6; ++i) {
-    eng.add_job(job("j" + std::to_string(i), 1, sim::JobSpec::kInfiniteWork));
+    std::string name = "j";
+    name += std::to_string(i);
+    eng.add_job(job(name, 1, sim::JobSpec::kInfiniteWork));
   }
   eng.run_until(sim::sec(2));
   for (const auto& t : eng.machine().threads()) {

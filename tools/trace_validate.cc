@@ -1,0 +1,166 @@
+// Validates an emitted observability trace without external tooling:
+//
+//   trace_validate FILE        Chrome trace JSON (the --trace-out default)
+//   trace_validate FILE.jsonl  JSONL (line format; each line must parse)
+//
+// For Chrome traces it checks that the document parses as JSON, that
+// "traceEvents" is an array, and that every scheduling quantum is covered:
+// each QuantumStart instant is accompanied by at least one ElectionDecision
+// at the same timestamp, and at least one BusResolution counter sample lands
+// in every inter-quantum interval (the interval after the final quantum is
+// exempt — a run may end on a quantum boundary). Re-elections inside one
+// quantum (e.g. after a disconnect) emit QuantumStarts with duplicate
+// timestamps; those merge into one interval. Exit code 0 = valid, 1 =
+// validation failure, 2 = usage/IO error.
+//
+// This is the checker behind the `obs_smoke` ctest label.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using bbsched::obs::json::Value;
+
+int validate_jsonl(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+  std::map<std::string, std::size_t> counts;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Value v;
+    std::string err;
+    if (!bbsched::obs::json::parse(line, v, &err)) {
+      std::fprintf(stderr, "line %zu: %s\n", lineno, err.c_str());
+      return 1;
+    }
+    if (!v.is_object() || v.find("t") == nullptr ||
+        v.find("type") == nullptr) {
+      std::fprintf(stderr, "line %zu: not an event object\n", lineno);
+      return 1;
+    }
+    ++counts[v.string_or("type", "?")];
+  }
+  if (counts.empty()) {
+    std::fprintf(stderr, "no events\n");
+    return 1;
+  }
+  std::printf("valid JSONL trace, %zu lines\n", lineno);
+  for (const auto& [type, n] : counts) {
+    std::printf("  %-18s %zu\n", type.c_str(), n);
+  }
+  return 0;
+}
+
+int validate_chrome(const std::string& text) {
+  Value doc;
+  std::string err;
+  if (!bbsched::obs::json::parse(text, doc, &err)) {
+    std::fprintf(stderr, "parse error: %s\n", err.c_str());
+    return 1;
+  }
+  const Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "missing traceEvents array\n");
+    return 1;
+  }
+
+  std::vector<double> quantum_ts;
+  std::vector<double> election_ts;
+  std::vector<double> bus_ts;
+  std::map<std::string, std::size_t> counts;
+  for (const Value& e : events->array) {
+    if (!e.is_object()) {
+      std::fprintf(stderr, "traceEvents entry is not an object\n");
+      return 1;
+    }
+    const std::string name = e.string_or("name", "");
+    const std::string ph = e.string_or("ph", "");
+    if (ph == "M") continue;  // metadata carries no timestamp
+    if (e.find("ts") == nullptr) {
+      std::fprintf(stderr, "event \"%s\" lacks a ts\n", name.c_str());
+      return 1;
+    }
+    const double ts = e.number_or("ts", 0.0);
+    ++counts[name == "QuantumStart" || name == "ElectionDecision" ||
+                     name == "BusResolution" || name == "JobStateChange" ||
+                     name == "CounterSample"
+                 ? name
+                 : (ph == "X" ? "occupancy slice" : "other")];
+    if (name == "QuantumStart") quantum_ts.push_back(ts);
+    if (name == "ElectionDecision") election_ts.push_back(ts);
+    if (name == "BusResolution") bus_ts.push_back(ts);
+  }
+
+  if (quantum_ts.empty()) {
+    std::fprintf(stderr, "no QuantumStart events — was a managed scheduler "
+                         "traced?\n");
+    return 1;
+  }
+  std::sort(quantum_ts.begin(), quantum_ts.end());
+  quantum_ts.erase(std::unique(quantum_ts.begin(), quantum_ts.end()),
+                   quantum_ts.end());
+  std::sort(election_ts.begin(), election_ts.end());
+  std::sort(bus_ts.begin(), bus_ts.end());
+
+  for (std::size_t i = 0; i < quantum_ts.size(); ++i) {
+    const double start = quantum_ts[i];
+    // Every election emits its decisions at the quantum-start timestamp.
+    const bool has_election =
+        std::binary_search(election_ts.begin(), election_ts.end(), start);
+    if (!has_election) {
+      std::fprintf(stderr,
+                   "quantum at ts=%.0f has no ElectionDecision events\n",
+                   start);
+      return 1;
+    }
+    // The bus resolves every tick, so each inter-quantum interval must hold
+    // at least one sample; after the final quantum the run may simply end.
+    if (i + 1 < quantum_ts.size()) {
+      const double next = quantum_ts[i + 1];
+      const auto lo = std::lower_bound(bus_ts.begin(), bus_ts.end(), start);
+      if (lo == bus_ts.end() || *lo >= next) {
+        std::fprintf(
+            stderr,
+            "no BusResolution sample in quantum interval [%.0f, %.0f)\n",
+            start, next);
+        return 1;
+      }
+    }
+  }
+
+  std::printf("valid Chrome trace, %zu events, %zu quanta covered\n",
+              events->array.size(), quantum_ts.size());
+  for (const auto& [type, n] : counts) {
+    std::printf("  %-18s %zu\n", type.c_str(), n);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_validate FILE[.jsonl]\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  const bool jsonl =
+      path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+  if (jsonl) return validate_jsonl(in);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return validate_chrome(buf.str());
+}
