@@ -5,6 +5,7 @@
 //     "hardware_threads": ...,
 //     "tick_bench": { ticks, wall_s, ticks_per_sec, allocs, allocs_per_tick },
 //     "tick_bench_traced": { ..., events, dropped, overhead_pct },
+//     "tick_bench_managed": { ..., fault_overhead_pct },
 //     "sweep":      { seeds, runs, serial_wall_s, parallel_wall_s, workers,
 //                     speedup, results_identical }
 //   }
@@ -134,6 +135,42 @@ TickBench bench_ticks(std::uint64_t ticks, bool trace_enabled) {
   return out;
 }
 
+/// Managed-scheduler variant of the tick bench: the full CPU-manager path
+/// (sampling, elections, staleness bookkeeping) with the fault-injection
+/// hook compiled in. `faults_enabled` toggles injection; with it off the
+/// hook must be zero-cost — no draw, no allocation — which --smoke asserts.
+TickBench bench_managed_ticks(std::uint64_t ticks, bool faults_enabled) {
+  experiments::ExperimentConfig cfg;
+  cfg.managed.counter_faults.enabled = faults_enabled;
+  cfg.managed.counter_faults.drop_prob = faults_enabled ? 0.10 : 0.0;
+  cfg.managed.counter_faults.noise_prob = faults_enabled ? 0.10 : 0.0;
+  const auto w = workload::fig1_with_bbma(
+      workload::paper_application("Raytrace"), cfg.machine.bus);
+  sim::Engine engine(cfg.machine, cfg.engine,
+                     experiments::make_scheduler(
+                         experiments::SchedulerKind::kManagedCustom, cfg));
+  obs::Tracer tracer({.enabled = false});
+  engine.set_tracer(&tracer);
+  for (const auto& spec : w.jobs) engine.add_job(spec);
+
+  for (int i = 0; i < 512; ++i) engine.step();
+
+  const std::uint64_t allocs_before =
+      g_allocs.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < ticks; ++i) engine.step();
+  TickBench out;
+  out.ticks = ticks;
+  out.wall_s = seconds_since(start);
+  out.allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  out.ticks_per_sec =
+      out.wall_s > 0.0 ? static_cast<double>(ticks) / out.wall_s : 0.0;
+  out.allocs_per_tick =
+      ticks > 0 ? static_cast<double>(out.allocs) / static_cast<double>(ticks)
+                : 0.0;
+  return out;
+}
+
 struct SweepBench {
   int seeds = 0;
   int runs = 0;
@@ -205,10 +242,14 @@ int main(int argc, char** argv) {
 
   const TickBench tb = bench_ticks(ticks, /*trace_enabled=*/false);
   const TickBench tt = bench_ticks(ticks, /*trace_enabled=*/true);
+  const TickBench tm = bench_managed_ticks(ticks, /*faults_enabled=*/false);
+  const TickBench tf = bench_managed_ticks(ticks, /*faults_enabled=*/true);
   const SweepBench sb = bench_sweep(seeds, opt.jobs, sweep_scale);
 
   const double overhead_pct =
       tb.wall_s > 0.0 ? (tt.wall_s - tb.wall_s) / tb.wall_s * 100.0 : 0.0;
+  const double fault_overhead_pct =
+      tm.wall_s > 0.0 ? (tf.wall_s - tm.wall_s) / tm.wall_s * 100.0 : 0.0;
 
   std::printf(
       "{\n"
@@ -220,6 +261,9 @@ int main(int argc, char** argv) {
       "\"ticks_per_sec\": %.1f, \"allocs\": %llu, "
       "\"allocs_per_tick\": %.6f, \"events\": %llu, \"dropped\": %llu, "
       "\"overhead_pct\": %.2f},\n"
+      "  \"tick_bench_managed\": {\"ticks\": %llu, \"wall_s\": %.6f, "
+      "\"ticks_per_sec\": %.1f, \"allocs\": %llu, "
+      "\"allocs_per_tick\": %.6f, \"fault_overhead_pct\": %.2f},\n"
       "  \"sweep\": {\"seeds\": %d, \"runs\": %d, \"serial_wall_s\": %.6f, "
       "\"parallel_wall_s\": %.6f, \"workers\": %d, \"speedup\": %.3f, "
       "\"results_identical\": %s}\n"
@@ -231,6 +275,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(tt.allocs), tt.allocs_per_tick,
       static_cast<unsigned long long>(tt.events),
       static_cast<unsigned long long>(tt.dropped), overhead_pct,
+      static_cast<unsigned long long>(tm.ticks), tm.wall_s, tm.ticks_per_sec,
+      static_cast<unsigned long long>(tm.allocs), tm.allocs_per_tick,
+      fault_overhead_pct,
       sb.seeds, sb.runs, sb.serial_wall_s, sb.parallel_wall_s, sb.workers,
       sb.speedup, sb.results_identical ? "true" : "false");
 
@@ -251,6 +298,13 @@ int main(int argc, char** argv) {
     }
     if (tt.events == 0) {
       std::fprintf(stderr, "FAIL: traced tick bench recorded no events\n");
+      ok = false;
+    }
+    if (tm.allocs_per_tick > 0.01) {
+      std::fprintf(stderr,
+                   "FAIL: managed tick path with disabled fault injection "
+                   "allocates (%.4f allocs/tick, want ~0)\n",
+                   tm.allocs_per_tick);
       ok = false;
     }
     if (!sb.results_identical) {

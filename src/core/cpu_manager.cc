@@ -1,6 +1,7 @@
 #include "core/cpu_manager.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace bbsched::core {
 
@@ -29,14 +30,91 @@ void CpuManager::disconnect(int app_id) {
                  running_.end());
 }
 
-void CpuManager::record_sample(int app_id, double delta_transactions) {
+void CpuManager::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) {
+    m_missed_quanta_ = nullptr;
+    m_invalid_samples_ = nullptr;
+    m_negative_deltas_ = nullptr;
+    m_clamped_samples_ = nullptr;
+    m_quarantines_ = nullptr;
+    m_degraded_elections_ = nullptr;
+    m_degradation_state_ = nullptr;
+    return;
+  }
+  m_missed_quanta_ = &metrics_->counter("manager.faults.missed_quanta");
+  m_invalid_samples_ = &metrics_->counter("manager.faults.invalid_samples");
+  m_negative_deltas_ = &metrics_->counter("manager.faults.negative_deltas");
+  m_clamped_samples_ = &metrics_->counter("manager.faults.clamped_samples");
+  m_quarantines_ = &metrics_->counter("manager.faults.quarantines");
+  m_degraded_elections_ = &metrics_->counter("manager.degraded_elections");
+  m_degradation_state_ = &metrics_->gauge("manager.degradation_state");
+  m_degradation_state_->set(degraded_ ? 1.0 : 0.0);
+}
+
+void CpuManager::count_fault(obs::FaultKind kind, int app_id, double value,
+                             std::uint64_t now_us) {
+  switch (kind) {
+    case obs::FaultKind::kMissedQuantum:
+      if (m_missed_quanta_ != nullptr) m_missed_quanta_->inc();
+      break;
+    case obs::FaultKind::kInvalidSample:
+      if (m_invalid_samples_ != nullptr) m_invalid_samples_->inc();
+      break;
+    case obs::FaultKind::kNegativeDelta:
+      if (m_negative_deltas_ != nullptr) m_negative_deltas_->inc();
+      break;
+    case obs::FaultKind::kClampedSample:
+      if (m_clamped_samples_ != nullptr) m_clamped_samples_->inc();
+      break;
+    default:
+      break;
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // Non-finite magnitudes would poison the JSON exporters.
+    tracer_->fault(now_us,
+                   {app_id, kind, std::isfinite(value) ? value : 0.0});
+  }
+}
+
+void CpuManager::record_sample(int app_id, double delta_transactions,
+                               std::uint64_t now_us) {
   auto it = apps_.find(app_id);
   if (it == apps_.end()) return;  // app disconnected between sample and post
-  it->second.tracker.record_sample(delta_transactions);
+  ManagedApp& app = it->second;
+
+  // Counter backends lie: validate before trusting (docs/ROBUSTNESS.md).
+  if (!std::isfinite(delta_transactions)) {
+    // A NaN/inf reading is a failed read, not a measurement — drop it
+    // without bumping samples_this_quantum so it counts toward staleness.
+    count_fault(obs::FaultKind::kInvalidSample, app_id, delta_transactions,
+                now_us);
+    return;
+  }
+  if (delta_transactions < 0.0) {
+    // Counter wraparound shows up as a negative delta; the transactions of
+    // the wrapped interval are unrecoverable, so clamp to "no traffic seen".
+    count_fault(obs::FaultKind::kNegativeDelta, app_id, delta_transactions,
+                now_us);
+    delta_transactions = 0.0;
+  }
+  const double cap = cfg_.staleness.max_sample_factor * cfg_.total_bus_bw_tps *
+                     static_cast<double>(cfg_.quantum_us);
+  if (cap > 0.0 && delta_transactions > cap) {
+    // No real bus could have carried this; a glitched or post-wrap read.
+    count_fault(obs::FaultKind::kClampedSample, app_id, delta_transactions,
+                now_us);
+    delta_transactions = cap;
+  }
+  app.tracker.record_sample(delta_transactions);
+  ++app.samples_this_quantum;
 }
 
 double CpuManager::policy_estimate(int app_id) const {
   const ManagedApp& app = apps_.at(app_id);
+  // Degradation overrides, strongest first (docs/ROBUSTNESS.md ladder).
+  if (app.quarantined) return cfg_.initial_estimate_tps;
+  if (!std::isnan(app.decayed_estimate)) return app.decayed_estimate;
   if (!app.tracker.observed()) return cfg_.initial_estimate_tps;
   switch (cfg_.policy) {
     case PolicyKind::kLatestQuantum:
@@ -49,46 +127,143 @@ double CpuManager::policy_estimate(int app_id) const {
   return 0.0;
 }
 
-ElectionResult CpuManager::schedule_quantum(int nprocs,
-                                            std::uint64_t now_us) {
+void CpuManager::apply_staleness_policy(std::uint64_t now_us) {
   const double quantum = static_cast<double>(cfg_.quantum_us);
+  const StalenessConfig& st = cfg_.staleness;
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  int live_feeds = 0;
 
-  // (1) Update statistics of the jobs that ran during the ending quantum.
+  // Zero samples only means a dead feed when a whole quantum actually
+  // elapsed: a mid-quantum re-election (job disconnect) may legitimately
+  // arrive before the first sampling point, and must fold exactly like the
+  // pre-hardening manager did (bit-identical fault-free behaviour).
+  const bool full_quantum = now_us >= last_election_us_ + cfg_.quantum_us;
+
   for (int id : running_) {
     auto it = apps_.find(id);
-    if (it != apps_.end()) it->second.tracker.end_quantum(quantum);
+    if (it == apps_.end()) continue;  // disconnected mid-quantum
+    ManagedApp& app = it->second;
+    const obs::DegradationState before = app.feed_state();
+
+    if (app.samples_this_quantum > 0) {
+      // Live feed: fold the quantum and walk straight back to kLive — a
+      // single fresh measurement outranks any amount of stale history.
+      app.tracker.end_quantum(quantum);
+      app.miss_streak = 0;
+      app.decayed_estimate = std::nan("");
+      app.quarantined = false;
+      ++live_feeds;
+    } else if (!full_quantum) {
+      // Mid-quantum election before any sampling point: fold as the
+      // pre-hardening manager did, without touching the ladder — absence of
+      // samples here says nothing about the feed's health.
+      app.tracker.end_quantum(quantum);
+    } else {
+      // The app ran the whole quantum yet posted nothing: its feed is
+      // silent. Do NOT fold (end_quantum would record a zero-bandwidth
+      // quantum and poison the window); hold, then decay, then quarantine.
+      ++app.miss_streak;
+      count_fault(obs::FaultKind::kMissedQuantum, id,
+                  static_cast<double>(app.miss_streak), now_us);
+      if (app.miss_streak >= st.quarantine_after) {
+        if (!app.quarantined) {
+          app.quarantined = true;
+          app.decayed_estimate = std::nan("");
+          if (m_quarantines_ != nullptr) m_quarantines_->inc();
+        }
+      } else if (app.miss_streak > st.hold_quanta) {
+        const double current = std::isnan(app.decayed_estimate)
+                                   ? policy_estimate(id)
+                                   : app.decayed_estimate;
+        app.decayed_estimate =
+            cfg_.initial_estimate_tps +
+            (current - cfg_.initial_estimate_tps) * st.decay_factor;
+      }
+    }
+
+    const obs::DegradationState after = app.feed_state();
+    if (after != before && tracing) {
+      tracer_->degradation_change(now_us, {id, before, after});
+    }
   }
 
+  // Manager-wide liveness: full quanta in which something ran but *no*
+  // feed delivered. An idle manager (nothing elected) is not a dead one,
+  // and mid-quantum elections say nothing either way.
+  if (full_quantum) {
+    if (!running_.empty() && live_feeds == 0) {
+      ++dead_feed_quanta_;
+    } else {
+      dead_feed_quanta_ = 0;
+    }
+  }
+  const bool degraded_now =
+      st.dead_feed_quanta > 0 && dead_feed_quanta_ >= st.dead_feed_quanta;
+  if (degraded_now != degraded_) {
+    if (tracing) {
+      tracer_->degradation_change(
+          now_us, {-1,
+                   degraded_ ? obs::DegradationState::kRoundRobin
+                             : obs::DegradationState::kLive,
+                   degraded_now ? obs::DegradationState::kRoundRobin
+                                : obs::DegradationState::kLive});
+    }
+    degraded_ = degraded_now;
+    if (m_degradation_state_ != nullptr) {
+      m_degradation_state_->set(degraded_ ? 1.0 : 0.0);
+    }
+  }
+
+  for (auto& [id, app] : apps_) app.samples_this_quantum = 0;
+}
+
+const ElectionResult& CpuManager::schedule_quantum(int nprocs,
+                                                   std::uint64_t now_us) {
+  // (1) Update statistics of the jobs that ran during the ending quantum,
+  // advancing the staleness ladder of any feed that went silent.
+  apply_staleness_policy(now_us);
+
   // (2) Move previously running jobs to the end of the list, preserving
-  // their relative order.
+  // their relative order (splice: no node churn on the steady-state path).
   for (int id : running_) {
     auto pos = std::find(order_.begin(), order_.end(), id);
     if (pos != order_.end()) {
-      order_.erase(pos);
-      order_.push_back(id);
+      order_.splice(order_.end(), order_, pos);
     }
   }
 
   // (3) Elect the next gang.
-  std::vector<Candidate> candidates;
-  candidates.reserve(order_.size());
+  candidates_.clear();
+  candidates_.reserve(order_.size());
   for (int id : order_) {
     const ManagedApp& app = apps_.at(id);
-    candidates.push_back({id, app.nthreads, policy_estimate(id)});
+    candidates_.push_back({id, app.nthreads, policy_estimate(id)});
   }
+  const std::vector<Candidate>& candidates = candidates_;
   const bool tracing = tracer_ != nullptr && tracer_->enabled();
-  ElectionResult result =
-      cfg_.use_predictive
-          ? elect_predictive(candidates, nprocs, cfg_.predictor,
-                             cfg_.predictive_objective)
-          : elect(candidates, nprocs, cfg_.total_bus_bw_tps,
-                  cfg_.election_rule, tracing ? &audit_ : nullptr);
+  // In degraded mode every estimate is fiction, so the election falls back
+  // to plain round-robin gang scheduling: head-of-list first-fit, which the
+  // post-election rotation turns into a fair rotor (docs/ROBUSTNESS.md).
+  const bool predictive = cfg_.use_predictive && !degraded_;
+  const ElectionRule rule =
+      degraded_ ? ElectionRule::kFirstFit : cfg_.election_rule;
+  if (predictive) {
+    result_ = elect_predictive(candidates, nprocs, cfg_.predictor,
+                               cfg_.predictive_objective);
+  } else {
+    elect_into(candidates, nprocs, cfg_.total_bus_bw_tps, rule,
+               tracing ? &audit_ : nullptr, result_);
+  }
+  const ElectionResult& result = result_;
+  if (degraded_ && m_degraded_elections_ != nullptr) {
+    m_degraded_elections_->inc();
+  }
 
   if (tracing) {
     tracer_->quantum_start(
         now_us, {quantum_index_, nprocs, static_cast<std::int32_t>(
                                              candidates.size())});
-    if (cfg_.use_predictive) {
+    if (predictive) {
       // The predictive election has no per-round fitness scores; audit the
       // outcome only so the trace still explains who ran.
       audit_.resize(candidates.size());
@@ -122,6 +297,7 @@ ElectionResult CpuManager::schedule_quantum(int nprocs,
     }
   }
   ++quantum_index_;
+  last_election_us_ = now_us;
 
   running_ = result.elected;
   for (auto& [id, app] : apps_) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cassert>
+#include <cmath>
 #include <cstddef>
 #include <list>
 #include <memory>
@@ -22,6 +23,7 @@
 #include "core/bandwidth_stats.h"
 #include "core/election.h"
 #include "core/predictor.h"
+#include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "sim/time.h"
 
@@ -38,6 +40,32 @@ enum class PolicyKind {
 };
 
 [[nodiscard]] const char* to_string(PolicyKind kind);
+
+/// Staleness / degradation policy: what the manager does when a running
+/// application's counter feed stops delivering samples (crashed client,
+/// hung updater, failed counter backend). The ladder per feed is
+///   live → hold (≤ hold_quanta full-miss quanta: keep the last-good
+///   estimate) → decay (geometric approach toward initial_estimate_tps) →
+///   quarantine (estimate written off to the initial value);
+/// manager-wide, when *every* running feed is dead for dead_feed_quanta
+/// consecutive quanta, elections fall back to round-robin gangs (list-order
+/// first-fit) until any feed revives. See docs/ROBUSTNESS.md.
+struct StalenessConfig {
+  /// Full-miss quanta over which the last-good estimate is held unchanged.
+  int hold_quanta = 2;
+  /// Per-quantum geometric factor of the decay toward the initial estimate
+  /// (estimate' = initial + (estimate - initial) * decay_factor).
+  double decay_factor = 0.5;
+  /// Miss streak at which the feed is quarantined (initial estimate used).
+  int quarantine_after = 8;
+  /// Consecutive quanta with zero live feeds before the manager degrades to
+  /// round-robin gang election.
+  int dead_feed_quanta = 4;
+  /// Reject ceiling for one sample, as a multiple of the whole bus's
+  /// capacity over a quantum (counter glitches and post-wrap catch-up reads
+  /// can report deltas no real bus could have carried). 0 disables.
+  double max_sample_factor = 8.0;
+};
 
 struct ManagerConfig {
   PolicyKind policy = PolicyKind::kQuantaWindow;
@@ -78,6 +106,12 @@ struct ManagerConfig {
   /// bus hog until it has been measured. (With 0 instead, a loaded-bus
   /// election would stampede onto every newcomer.)
   double initial_estimate_tps = 29.5 / 4.0;
+
+  /// What to do when counter feeds go silent or lie (defaults are active
+  /// but unreachable on a fault-free feed: every running app posts samples
+  /// every quantum, so behaviour is bit-identical to the pre-hardening
+  /// manager until a fault actually occurs).
+  StalenessConfig staleness{};
 };
 
 /// Connected-application record.
@@ -88,10 +122,25 @@ struct ManagedApp {
   BandwidthTracker tracker;
   bool ran_last_quantum = false;
 
+  // ---- staleness-policy state (docs/ROBUSTNESS.md) ----
+  int samples_this_quantum = 0;  ///< valid samples posted since last election
+  int miss_streak = 0;           ///< consecutive full-miss quanta while running
+  /// Decayed estimate override; NaN = none (tracker/initial value applies).
+  double decayed_estimate = std::nan("");
+  bool quarantined = false;
+
   ManagedApp(int id_, std::string name_, int nthreads_, std::size_t window,
              double ewma_alpha = 0.33)
       : id(id_), name(std::move(name_)), nthreads(nthreads_),
         tracker(nthreads_, window, ewma_alpha) {}
+
+  /// Position on the per-feed degradation ladder.
+  [[nodiscard]] obs::DegradationState feed_state() const noexcept {
+    if (quarantined) return obs::DegradationState::kQuarantined;
+    if (!std::isnan(decayed_estimate)) return obs::DegradationState::kDecaying;
+    if (miss_streak > 0) return obs::DegradationState::kHolding;
+    return obs::DegradationState::kLive;
+  }
 };
 
 class CpuManager {
@@ -107,17 +156,24 @@ class CpuManager {
 
   /// Posts a bus-transaction sample for a *running* application:
   /// `delta_transactions` accumulated across its threads since the last
-  /// sample (the shared-arena update).
-  void record_sample(int app_id, double delta_transactions);
+  /// sample (the shared-arena update). Input is validated, not trusted:
+  /// non-finite deltas are rejected (and count as a missed sample),
+  /// negative deltas (counter wraparound) clamp to zero, and implausibly
+  /// large deltas clamp to the staleness policy's ceiling — each with a
+  /// fault counter and, when tracing, a kFault event stamped `now_us`.
+  void record_sample(int app_id, double delta_transactions,
+                     std::uint64_t now_us = 0);
 
   /// Ends the current quantum and elects the next gang:
   ///  * folds pending samples of the apps that ran into their trackers,
   ///  * moves previously running apps to the end of the list,
   ///  * runs the fitness election for `nprocs` processors.
-  /// Returns elected app ids (allocation order). `now_us` timestamps the
-  /// observability events of this election (simulated time in the
-  /// simulator, monotonic wall time in the native runtime).
-  ElectionResult schedule_quantum(int nprocs, std::uint64_t now_us = 0);
+  /// Returns elected app ids (allocation order) in a buffer reused across
+  /// elections — read it before the next call, copy it to keep it. `now_us`
+  /// timestamps the observability events of this election (simulated time
+  /// in the simulator, monotonic wall time in the native runtime).
+  const ElectionResult& schedule_quantum(int nprocs,
+                                         std::uint64_t now_us = 0);
 
   /// BBW/thread estimate the active policy would use right now.
   [[nodiscard]] double policy_estimate(int app_id) const;
@@ -143,12 +199,33 @@ class CpuManager {
   /// disabled or absent.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attaches a metrics registry (non-owning; nullptr detaches). Registers
+  /// the manager's fault counters and the degradation-state gauge
+  /// (docs/OBSERVABILITY.md catalog); instrument pointers are cached so the
+  /// sampling path pays one null check + increment per fault.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+  /// True while elections run in round-robin fallback (all feeds dead).
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+
+  /// Degradation ladder position of one application's counter feed.
+  [[nodiscard]] obs::DegradationState feed_state(int app_id) const {
+    return apps_.at(app_id).feed_state();
+  }
+
   /// Elections performed so far (the quantum index of the next election).
   [[nodiscard]] std::uint64_t quantum_index() const noexcept {
     return quantum_index_;
   }
 
  private:
+  /// End-of-quantum staleness bookkeeping for the apps that ran: folds live
+  /// feeds, advances miss streaks of silent ones along the hold → decay →
+  /// quarantine ladder, and flips the manager-wide degraded mode.
+  void apply_staleness_policy(std::uint64_t now_us);
+  void count_fault(obs::FaultKind kind, int app_id, double value,
+                   std::uint64_t now_us);
+
   ManagerConfig cfg_;
   std::unordered_map<int, ManagedApp> apps_;
   std::list<int> order_;       ///< circular applications list (head = front)
@@ -158,6 +235,23 @@ class CpuManager {
   obs::Tracer* tracer_ = nullptr;        ///< non-owning
   std::uint64_t quantum_index_ = 0;      ///< elections performed
   std::vector<CandidateDecision> audit_;  ///< reused election audit buffer
+  std::vector<Candidate> candidates_;     ///< reused election input buffer
+  ElectionResult result_;                 ///< reused election output buffer
+
+  // ---- staleness/degradation state ----
+  std::uint64_t last_election_us_ = 0;  ///< timestamp of the last election
+  int dead_feed_quanta_ = 0;  ///< consecutive quanta with zero live feeds
+  bool degraded_ = false;     ///< round-robin fallback active
+
+  // ---- metrics (non-owning; null = off) ----
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_missed_quanta_ = nullptr;
+  obs::Counter* m_invalid_samples_ = nullptr;
+  obs::Counter* m_negative_deltas_ = nullptr;
+  obs::Counter* m_clamped_samples_ = nullptr;
+  obs::Counter* m_quarantines_ = nullptr;
+  obs::Counter* m_degraded_elections_ = nullptr;
+  obs::Gauge* m_degradation_state_ = nullptr;
 };
 
 }  // namespace bbsched::core

@@ -17,8 +17,17 @@ const char* to_string(ElectionRule rule) {
 ElectionResult elect(const std::vector<Candidate>& candidates, int nprocs,
                      double total_bus_bw, ElectionRule rule,
                      std::vector<CandidateDecision>* audit) {
-  assert(nprocs >= 0);
   ElectionResult out;
+  elect_into(candidates, nprocs, total_bus_bw, rule, audit, out);
+  return out;
+}
+
+void elect_into(const std::vector<Candidate>& candidates, int nprocs,
+                double total_bus_bw, ElectionRule rule,
+                std::vector<CandidateDecision>* audit, ElectionResult& out) {
+  assert(nprocs >= 0);
+  out.elected.clear();
+  out.allocated_bw = 0.0;
   out.idle_procs = nprocs;
 
   if (audit) {
@@ -31,7 +40,10 @@ ElectionResult elect(const std::vector<Candidate>& candidates, int nprocs,
     }
   }
 
-  std::vector<bool> taken(candidates.size(), false);
+  // Reused scratch: per-quantum elections must not touch the heap once the
+  // buffer reached the list length (the perf_ticks zero-alloc gate).
+  static thread_local std::vector<char> taken;
+  taken.assign(candidates.size(), 0);
 
   auto allocate = [&](std::size_t idx) {
     const Candidate& c = candidates[idx];
@@ -94,8 +106,6 @@ ElectionResult elect(const std::vector<Candidate>& candidates, int nprocs,
     if (best_idx == candidates.size()) break;  // nothing fits
     allocate(best_idx);
   }
-
-  return out;
 }
 
 }  // namespace bbsched::core

@@ -85,4 +85,11 @@ enum class ElectionRule {
                                    std::vector<CandidateDecision>* audit =
                                        nullptr);
 
+/// Allocation-free variant: fills `out` in place (its vectors keep their
+/// capacity across elections). The CPU manager's per-quantum path uses this
+/// so the steady-state managed tick path stays heap-free (bench/perf_ticks).
+void elect_into(const std::vector<Candidate>& candidates, int nprocs,
+                double total_bus_bw, ElectionRule rule,
+                std::vector<CandidateDecision>* audit, ElectionResult& out);
+
 }  // namespace bbsched::core

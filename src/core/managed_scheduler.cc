@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace bbsched::core {
 
@@ -30,15 +31,80 @@ double ManagedScheduler::read_counters(const Machine& m, int job_id) const {
 
 void ManagedScheduler::take_sample(Machine& m, SimTime now,
                                    trace::ScheduleTrace& trace) {
+  const bool tracing = tracer_ && tracer_->enabled();
   for (int app : manager_.running()) {
     auto jit = app_to_job_.find(app);
     if (jit == app_to_job_.end()) continue;
     const double cum = read_counters(m, jit->second);
-    const double delta = cum - last_read_[app];
-    last_read_[app] = cum;
-    manager_.record_sample(app, delta);
-    trace.event({now, trace::EventKind::kSample, jit->second, -1, -1, delta});
-    if (tracer_ && tracer_->enabled()) {
+    double delta = cum - last_read_[app];
+    double new_last = cum;
+
+    // Seeded per-read fault injection, mirroring the
+    // faults::FaultyCounterSource classes at the sampling site. Disabled
+    // injection performs no draw (and no branch beyond `enabled()`), so
+    // fault-free runs are bit-identical with the hook compiled in.
+    if (injector_.enabled()) {
+      const faults::CounterReadFault f = injector_.next_counter_read();
+      switch (f.kind) {
+        case faults::CounterFault::kNone:
+          break;
+        case faults::CounterFault::kDrop:
+          // The read never happened: nothing posted, baseline untouched —
+          // the next good read recovers the transactions as catch-up.
+          if (tracing) {
+            tracer_->fault(now,
+                           {app, obs::FaultKind::kSampleDropped, 0.0});
+          }
+          continue;
+        case faults::CounterFault::kReadFail:
+          // The backend errored: post the garbage so the manager's input
+          // validation (kInvalidSample) is what saves us, not this caller.
+          if (tracing) {
+            tracer_->fault(now, {app, obs::FaultKind::kReadFailure, 0.0});
+          }
+          delta = std::nan("");
+          new_last = last_read_[app];
+          break;
+        case faults::CounterFault::kStale:
+          // Hung updater: the counter repeats its previous value. A silent
+          // zero-delta lie — indistinguishable from an idle bus downstream.
+          if (tracing) {
+            tracer_->fault(now, {app, obs::FaultKind::kStaleSample, 0.0});
+          }
+          delta = 0.0;
+          new_last = last_read_[app];
+          break;
+        case faults::CounterFault::kNoise:
+          if (tracing) {
+            tracer_->fault(now, {app, obs::FaultKind::kNoisySample,
+                                 f.noise_factor});
+          }
+          delta *= f.noise_factor;
+          break;
+        case faults::CounterFault::kWrap: {
+          // Narrow-counter wraparound: the cumulative value collapses, so
+          // this delta goes negative (manager clamps it) and the next good
+          // read reports an implausible catch-up (manager caps it).
+          const double span = injector_.config().wrap_span;
+          const double wrapped = span > 0.0 ? std::fmod(cum, span) : cum;
+          if (tracing) {
+            tracer_->fault(now,
+                           {app, obs::FaultKind::kCounterWraparound, wrapped});
+          }
+          delta = wrapped - last_read_[app];
+          new_last = wrapped;
+          break;
+        }
+      }
+    }
+
+    last_read_[app] = new_last;
+    manager_.record_sample(app, delta, now);
+    // Non-finite deltas never reach exported traces (raw doubles in JSON);
+    // the manager's kInvalidSample fault event already records them.
+    const double traced = std::isfinite(delta) ? delta : 0.0;
+    trace.event({now, trace::EventKind::kSample, jit->second, -1, -1, traced});
+    if (tracing && std::isfinite(delta)) {
       tracer_->counter_sample(
           now, {app, delta, manager_.policy_estimate(app)});
     }
@@ -47,7 +113,7 @@ void ManagedScheduler::take_sample(Machine& m, SimTime now,
 
 void ManagedScheduler::run_election(Machine& m, SimTime now,
                                     trace::ScheduleTrace& trace) {
-  const ElectionResult result =
+  const ElectionResult& result =
       manager_.schedule_quantum(m.num_cpus(), now);
   ++elections_;
   quantum_start_ = now;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/cpu_manager.h"
+#include "faults/fault_injector.h"
 #include "sim/scheduler.h"
 
 namespace bbsched::core {
@@ -41,12 +42,18 @@ struct ManagedSchedulerConfig {
   /// Xeon bus-event counters report) rather than the data actually moved.
   /// See sim::ThreadCtx::bus_attempts.
   bool sample_attempts = true;
+
+  /// Seeded fault schedule applied to the manager's counter reads (one draw
+  /// per read, simulating the faults::FaultyCounterSource classes at the
+  /// sampling site). Disabled by default; disabled injection performs no
+  /// draw, so fault-free runs are bit-identical to a build without the hook.
+  faults::FaultConfig counter_faults{};
 };
 
 class ManagedScheduler final : public sim::Scheduler {
  public:
   explicit ManagedScheduler(const ManagedSchedulerConfig& cfg)
-      : cfg_(cfg), manager_(cfg.manager) {}
+      : cfg_(cfg), manager_(cfg.manager), injector_(cfg.counter_faults) {}
 
   void start(sim::Machine& m, trace::ScheduleTrace& trace) override;
   void tick(sim::Machine& m, sim::SimTime now,
@@ -73,6 +80,15 @@ class ManagedScheduler final : public sim::Scheduler {
     manager_.set_tracer(tracer);
   }
 
+  /// Attaches a metrics registry (forwarded to the embedded CpuManager,
+  /// which owns the fault counters and the degradation gauge).
+  void set_metrics(obs::MetricsRegistry* metrics) { manager_.set_metrics(metrics); }
+
+  /// The counter-read fault injector (for tests asserting fault schedules).
+  [[nodiscard]] const faults::FaultInjector& injector() const noexcept {
+    return injector_;
+  }
+
   /// Completed gang context switches (elections applied); for tests and the
   /// quantum-length ablation.
   [[nodiscard]] std::uint64_t elections() const noexcept { return elections_; }
@@ -96,7 +112,8 @@ class ManagedScheduler final : public sim::Scheduler {
 
   ManagedSchedulerConfig cfg_;
   CpuManager manager_;
-  obs::Tracer* tracer_ = nullptr;  ///< non-owning
+  faults::FaultInjector injector_;  ///< counter-read fault schedule
+  obs::Tracer* tracer_ = nullptr;   ///< non-owning
 
   /// job id -> manager app id (identity in practice, but kept explicit).
   std::unordered_map<int, int> job_to_app_;

@@ -65,6 +65,7 @@ std::unique_ptr<sim::Engine> make_engine(const workload::Workload& workload,
   if (auto* managed =
           dynamic_cast<core::ManagedScheduler*>(&engine->scheduler())) {
     managed->set_tracer(cfg.tracer);
+    managed->set_metrics(cfg.metrics);
   }
 
   for (const auto& spec : workload.jobs) {

@@ -1,0 +1,17 @@
+#include "faults/fault_injector.h"
+
+namespace bbsched::faults {
+
+const char* to_string(CounterFault fault) {
+  switch (fault) {
+    case CounterFault::kNone: return "none";
+    case CounterFault::kDrop: return "drop";
+    case CounterFault::kReadFail: return "read-fail";
+    case CounterFault::kStale: return "stale";
+    case CounterFault::kNoise: return "noise";
+    case CounterFault::kWrap: return "wrap";
+  }
+  return "unknown";
+}
+
+}  // namespace bbsched::faults

@@ -1,0 +1,82 @@
+// perfctr::CounterSource decorator that injects counter faults.
+//
+// Wraps any CounterSource and perturbs its readings per the FaultInjector's
+// seeded schedule. Cumulative-counter semantics are preserved faithfully
+// per fault class:
+//
+//   kDrop / kReadFail — the read "fails": read_transactions returns NaN.
+//       Consumers must treat a non-finite reading as a missed sample (the
+//       CPU manager's staleness policy does; see docs/ROBUSTNESS.md).
+//   kStale            — the previous reading for that handle is returned
+//       unchanged (a hung arena updater / frozen backend).
+//   kNoise            — the *increment* since the last reading is scaled by
+//       a bounded factor, so noise perturbs rates without breaking
+//       monotonicity of the cumulative value.
+//   kWrap             — the cumulative value collapses to
+//       fmod(value, wrap_span): the classic narrow-hardware-counter
+//       wraparound, which shows up downstream as a negative delta.
+//
+// Per-handle state (the last value returned) is kept in a map that grows
+// only on first sight of a handle — steady-state reads are lookup + draw,
+// no allocation.
+#pragma once
+
+#include <cmath>
+#include <unordered_map>
+
+#include "faults/fault_injector.h"
+#include "perfctr/counters.h"
+
+namespace bbsched::faults {
+
+class FaultyCounterSource final : public perfctr::CounterSource {
+ public:
+  /// `inner` must outlive this decorator. The injector is owned, so one
+  /// decorator = one independent, replayable fault stream.
+  FaultyCounterSource(const perfctr::CounterSource& inner,
+                      const FaultConfig& cfg)
+      : inner_(&inner), injector_(cfg) {}
+
+  [[nodiscard]] double read_transactions(int handle) const override {
+    const double truth = inner_->read_transactions(handle);
+    if (!injector_.enabled()) return truth;
+    const CounterReadFault f = injector_.next_counter_read();
+    double& last = last_[handle];
+    switch (f.kind) {
+      case CounterFault::kNone:
+        break;
+      case CounterFault::kDrop:
+      case CounterFault::kReadFail:
+        return std::nan("");
+      case CounterFault::kStale:
+        return last;
+      case CounterFault::kNoise: {
+        const double faulted = last + (truth - last) * f.noise_factor;
+        last = faulted;
+        return faulted;
+      }
+      case CounterFault::kWrap: {
+        const double span = injector_.config().wrap_span;
+        const double faulted = span > 0.0 ? std::fmod(truth, span) : truth;
+        last = faulted;
+        return faulted;
+      }
+    }
+    last = truth;
+    return truth;
+  }
+
+  [[nodiscard]] const FaultInjector& injector() const noexcept {
+    return injector_;
+  }
+
+ private:
+  const perfctr::CounterSource* inner_;
+  // CounterSource::read_transactions is const (a read has no observable
+  // side effect on the *true* counter state); the fault stream and the
+  // per-handle staleness memory are injection bookkeeping, hence mutable.
+  mutable FaultInjector injector_;
+  mutable std::unordered_map<int, double> last_;
+};
+
+}  // namespace bbsched::faults

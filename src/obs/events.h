@@ -21,6 +21,8 @@ enum class EventType : std::uint8_t {
   kBusResolution,
   kJobStateChange,
   kCounterSample,
+  kFault,
+  kDegradationChange,
 };
 
 [[nodiscard]] const char* to_string(EventType type);
@@ -87,6 +89,60 @@ struct CounterSamplePayload {
   double estimate_tps = 0.0;        ///< policy BBW/thread estimate afterwards
 };
 
+/// Fault classes observed (or injected) along the measurement-to-decision
+/// pipeline; the union of what the counter layer, the client layer and the
+/// manager's own input validation can report (docs/ROBUSTNESS.md).
+enum class FaultKind : std::uint8_t {
+  kSampleDropped,     ///< a counter read never happened (injected dropout)
+  kReadFailure,       ///< the counter backend failed the read
+  kStaleSample,       ///< reading unchanged — hung updater / frozen backend
+  kNoisySample,       ///< reading perturbed by bounded noise (injected)
+  kCounterWraparound, ///< cumulative counter collapsed (negative delta)
+  kInvalidSample,     ///< non-finite delta posted to the manager
+  kNegativeDelta,     ///< negative delta clamped by the manager
+  kClampedSample,     ///< implausibly large delta clamped by the manager
+  kMissedQuantum,     ///< a running app posted no sample all quantum
+  kDeadLeader,        ///< tgkill => ESRCH: the leader thread is gone
+  kStaleArena,        ///< arena heartbeats stalled (liveness timeout)
+  kHandshakeTimeout,  ///< connection handshake exceeded its deadline
+  kStaleSocket,       ///< dead socket file unlinked and rebound at start
+  kClientReconnect,   ///< client retried the manager connection
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// A fault was observed or injected. `value` carries the fault-specific
+/// magnitude: the clamped/offending delta for sample faults, the miss
+/// streak for kMissedQuantum, the retry count for kClientReconnect, 0
+/// otherwise.
+struct FaultPayload {
+  std::int32_t app_id = -1;  ///< -1 = not attributable to one application
+  FaultKind kind = FaultKind::kSampleDropped;
+  double value = 0.0;
+};
+
+/// Degradation ladder of the staleness policy. Per-application feeds walk
+/// kLive → kHolding → kDecaying → kQuarantined as samples stay missing;
+/// the manager as a whole (app_id = -1 in the payload) switches between
+/// kLive and kRoundRobin when every feed is dead (docs/ROBUSTNESS.md).
+enum class DegradationState : std::uint8_t {
+  kLive,         ///< fresh samples arriving; estimates are measurement-driven
+  kHolding,      ///< samples missing; last-good estimate held
+  kDecaying,     ///< estimate decaying toward the initial (fair-share) value
+  kQuarantined,  ///< feed written off; initial estimate used
+  kRoundRobin,   ///< manager-wide: elections fall back to round-robin gangs
+};
+
+[[nodiscard]] const char* to_string(DegradationState state);
+
+/// A feed (or the whole manager, app_id = -1) moved along the degradation
+/// ladder.
+struct DegradationPayload {
+  std::int32_t app_id = -1;
+  DegradationState from = DegradationState::kLive;
+  DegradationState to = DegradationState::kLive;
+};
+
 /// One trace record. `time_us` is simulated time in the simulator and
 /// monotonic wall time in the native runtime.
 struct TraceEvent {
@@ -98,6 +154,8 @@ struct TraceEvent {
     BusResolutionPayload bus;
     JobStateChangePayload job;
     CounterSamplePayload sample;
+    FaultPayload fault;
+    DegradationPayload degradation;
   };
 
   // The variant members have default member initializers (so they are not
@@ -143,6 +201,22 @@ struct TraceEvent {
     e.time_us = t;
     e.type = EventType::kCounterSample;
     e.sample = p;
+    return e;
+  }
+  [[nodiscard]] static TraceEvent make_fault(std::uint64_t t,
+                                             const FaultPayload& p) {
+    TraceEvent e;
+    e.time_us = t;
+    e.type = EventType::kFault;
+    e.fault = p;
+    return e;
+  }
+  [[nodiscard]] static TraceEvent make_degradation(
+      std::uint64_t t, const DegradationPayload& p) {
+    TraceEvent e;
+    e.time_us = t;
+    e.type = EventType::kDegradationChange;
+    e.degradation = p;
     return e;
   }
 };

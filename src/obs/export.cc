@@ -14,6 +14,39 @@ const char* to_string(EventType type) {
     case EventType::kBusResolution: return "BusResolution";
     case EventType::kJobStateChange: return "JobStateChange";
     case EventType::kCounterSample: return "CounterSample";
+    case EventType::kFault: return "Fault";
+    case EventType::kDegradationChange: return "DegradationChange";
+  }
+  return "unknown";
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSampleDropped: return "sample-dropped";
+    case FaultKind::kReadFailure: return "read-failure";
+    case FaultKind::kStaleSample: return "stale-sample";
+    case FaultKind::kNoisySample: return "noisy-sample";
+    case FaultKind::kCounterWraparound: return "counter-wraparound";
+    case FaultKind::kInvalidSample: return "invalid-sample";
+    case FaultKind::kNegativeDelta: return "negative-delta";
+    case FaultKind::kClampedSample: return "clamped-sample";
+    case FaultKind::kMissedQuantum: return "missed-quantum";
+    case FaultKind::kDeadLeader: return "dead-leader";
+    case FaultKind::kStaleArena: return "stale-arena";
+    case FaultKind::kHandshakeTimeout: return "handshake-timeout";
+    case FaultKind::kStaleSocket: return "stale-socket";
+    case FaultKind::kClientReconnect: return "client-reconnect";
+  }
+  return "unknown";
+}
+
+const char* to_string(DegradationState state) {
+  switch (state) {
+    case DegradationState::kLive: return "live";
+    case DegradationState::kHolding: return "holding";
+    case DegradationState::kDecaying: return "decaying";
+    case DegradationState::kQuarantined: return "quarantined";
+    case DegradationState::kRoundRobin: return "round-robin";
   }
   return "unknown";
 }
@@ -72,6 +105,15 @@ void write_payload_fields(std::ostream& os, const TraceEvent& e) {
       os << "\"app\": " << e.sample.app_id
          << ", \"delta_transactions\": " << e.sample.delta_transactions
          << ", \"estimate_tps\": " << e.sample.estimate_tps;
+      break;
+    case EventType::kFault:
+      os << "\"app\": " << e.fault.app_id << ", \"kind\": \""
+         << to_string(e.fault.kind) << "\", \"value\": " << e.fault.value;
+      break;
+    case EventType::kDegradationChange:
+      os << "\"app\": " << e.degradation.app_id << ", \"from\": \""
+         << to_string(e.degradation.from) << "\", \"to\": \""
+         << to_string(e.degradation.to) << '"';
       break;
   }
 }

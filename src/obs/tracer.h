@@ -54,6 +54,12 @@ class Tracer {
   void counter_sample(std::uint64_t t, const CounterSamplePayload& p) {
     if (enabled_) ring_.push(TraceEvent::make_sample(t, p));
   }
+  void fault(std::uint64_t t, const FaultPayload& p) {
+    if (enabled_) ring_.push(TraceEvent::make_fault(t, p));
+  }
+  void degradation_change(std::uint64_t t, const DegradationPayload& p) {
+    if (enabled_) ring_.push(TraceEvent::make_degradation(t, p));
+  }
 
   [[nodiscard]] const RingBuffer<TraceEvent>& events() const noexcept {
     return ring_;

@@ -1,6 +1,8 @@
 #include "runtime/client.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 
@@ -12,10 +14,34 @@
 
 #include "runtime/protocol.h"
 #include "runtime/signal_gate.h"
+#include "stats/rng.h"
 
 namespace bbsched::runtime {
 
 Client::~Client() { disconnect(); }
+
+bool Client::connect(const std::string& socket_path, const std::string& name,
+                     int nthreads, const ConnectRetry& retry) {
+  stats::Rng rng(retry.seed);
+  std::uint64_t backoff = retry.initial_backoff_us;
+  for (int attempt = 0;; ++attempt) {
+    if (connect(socket_path, name, nthreads)) {
+      last_connect_retries_ = attempt;
+      return true;
+    }
+    if (attempt + 1 >= retry.attempts) return false;
+    // Jittered exponential backoff: sleep backoff * (1 ± jitter/2), then
+    // grow the base toward the ceiling.
+    const double factor = 1.0 + retry.jitter * (rng.uniform() - 0.5);
+    const auto sleep_us = static_cast<std::uint64_t>(
+        static_cast<double>(backoff) * (factor > 0.0 ? factor : 1.0));
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    backoff = std::min(
+        static_cast<std::uint64_t>(static_cast<double>(backoff) *
+                                   retry.multiplier),
+        retry.max_backoff_us);
+  }
+}
 
 bool Client::connect(const std::string& socket_path, const std::string& name,
                      int nthreads) {
@@ -79,6 +105,9 @@ bool Client::connect(const std::string& socket_path, const std::string& name,
   update_period_us_ = ack.update_period_us;
   nthreads_ = nthreads;
   sock_ = sock;
+  unmanaged_.store(false, std::memory_order_relaxed);
+  // Re-engage the gate in case a previous manager died and released it.
+  if (SignalGate::instance().released()) SignalGate::instance().rearm();
 
   // The connecting thread is the leader worker: the manager signals it and
   // it forwards to siblings registered later.
@@ -134,6 +163,20 @@ void Client::updater_loop() {
     arena_->transactions.store(total_transactions(),
                                std::memory_order_relaxed);
     arena_->heartbeats.fetch_add(1, std::memory_order_relaxed);
+
+    // Manager liveness: an EOF (or hard error) on the socket means the
+    // manager is gone. Release the signal gate so no worker stays suspended
+    // forever — the application free-runs under the kernel scheduler until
+    // it reconnects (docs/ROBUSTNESS.md).
+    char probe = 0;
+    const ssize_t n =
+        ::recv(sock_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR)) {
+      unmanaged_.store(true, std::memory_order_relaxed);
+      SignalGate::instance().release_all();
+      return;  // nobody is reading the arena anymore
+    }
     std::this_thread::sleep_for(period);
   }
 }

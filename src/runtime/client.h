@@ -34,6 +34,21 @@
 
 namespace bbsched::runtime {
 
+/// Retry budget for Client::connect: jittered exponential backoff between
+/// attempts (stats/rng.h supplies the deterministic jitter stream, so a
+/// seeded client replays identical sleep schedules). attempts == 1 is the
+/// legacy single-shot connect.
+struct ConnectRetry {
+  int attempts = 1;                         ///< total tries (>= 1)
+  std::uint64_t initial_backoff_us = 10'000;  ///< sleep after the 1st failure
+  double multiplier = 2.0;                  ///< backoff growth per failure
+  std::uint64_t max_backoff_us = 1'000'000; ///< backoff ceiling
+  /// Relative jitter: each sleep is backoff * (1 ± jitter/2), decorrelating
+  /// reconnect stampedes after a manager restart.
+  double jitter = 0.5;
+  std::uint64_t seed = 0x5eedULL;           ///< jitter stream seed
+};
+
 class Client {
  public:
   Client() = default;
@@ -47,6 +62,12 @@ class Client {
   /// worker 0 automatically. Returns false if the manager is unreachable.
   bool connect(const std::string& socket_path, const std::string& name,
                int nthreads);
+
+  /// connect() with a retry budget: failed attempts back off exponentially
+  /// (jittered) until one succeeds or the budget is spent. Use when racing
+  /// a manager restart instead of hand-rolled sleep loops.
+  bool connect(const std::string& socket_path, const std::string& name,
+               int nthreads, const ConnectRetry& retry);
 
   /// Registers the calling thread as a worker (signal gate + counter slot).
   /// Returns the thread's counter slot. Call once per worker thread.
@@ -70,6 +91,19 @@ class Client {
   void disconnect();
 
   [[nodiscard]] bool connected() const noexcept { return sock_ >= 0; }
+
+  /// True once the updater detected the manager's death (socket EOF). The
+  /// signal gate has then been released: the application free-runs under
+  /// the kernel scheduler instead of staying suspended forever.
+  [[nodiscard]] bool unmanaged() const noexcept {
+    return unmanaged_.load(std::memory_order_relaxed);
+  }
+
+  /// Failed attempts before the last successful connect() (0 = first try).
+  [[nodiscard]] int last_connect_retries() const noexcept {
+    return last_connect_retries_;
+  }
+
   [[nodiscard]] std::uint64_t update_period_us() const noexcept {
     return update_period_us_;
   }
@@ -98,6 +132,8 @@ class Client {
 
   std::thread updater_;
   std::atomic<bool> stop_updater_{false};
+  std::atomic<bool> unmanaged_{false};
+  int last_connect_retries_ = 0;
 };
 
 }  // namespace bbsched::runtime

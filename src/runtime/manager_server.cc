@@ -10,6 +10,7 @@
 #include <poll.h>
 #include <sys/mman.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/syscall.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -41,9 +42,40 @@ ManagerServer::ManagerServer(const ServerConfig& cfg)
     cfg_.nprocs = n > 0 ? static_cast<int>(n) : 1;
   }
   manager_.set_tracer(cfg_.tracer);
+  manager_.set_metrics(cfg_.metrics);
+  if (cfg_.metrics != nullptr) {
+    m_dead_leaders_ = &cfg_.metrics->counter("server.faults.dead_leaders");
+    m_stale_arenas_ = &cfg_.metrics->counter("server.faults.stale_arenas");
+    m_handshake_timeouts_ =
+        &cfg_.metrics->counter("server.faults.handshake_timeouts");
+    m_stale_sockets_ = &cfg_.metrics->counter("server.faults.stale_sockets");
+  }
 }
 
 ManagerServer::~ManagerServer() { stop(); }
+
+void ManagerServer::count_fault(obs::FaultKind kind, int app_id, double value,
+                                std::uint64_t now_us) {
+  switch (kind) {
+    case obs::FaultKind::kDeadLeader:
+      if (m_dead_leaders_ != nullptr) m_dead_leaders_->inc();
+      break;
+    case obs::FaultKind::kStaleArena:
+      if (m_stale_arenas_ != nullptr) m_stale_arenas_->inc();
+      break;
+    case obs::FaultKind::kHandshakeTimeout:
+      if (m_handshake_timeouts_ != nullptr) m_handshake_timeouts_->inc();
+      break;
+    case obs::FaultKind::kStaleSocket:
+      if (m_stale_sockets_ != nullptr) m_stale_sockets_->inc();
+      break;
+    default:
+      break;
+  }
+  if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+    cfg_.tracer->fault(now_us, {app_id, kind, value});
+  }
+}
 
 bool ManagerServer::start() {
   assert(!started_);
@@ -55,7 +87,27 @@ bool ManagerServer::start() {
   if (cfg_.socket_path.size() >= sizeof(addr.sun_path)) return false;
   std::strncpy(addr.sun_path, cfg_.socket_path.c_str(),
                sizeof(addr.sun_path) - 1);
-  ::unlink(cfg_.socket_path.c_str());
+
+  // Crash recovery: the socket file may have been left behind by a dead
+  // manager. Probe it — if something accepts, a live manager owns the path
+  // and we must not steal it; if the connect is refused, the file is stale
+  // and safe to unlink. (No file at all: plain first start.)
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (probe >= 0) {
+    if (::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      ::close(probe);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;  // a live manager already serves this path
+    }
+    const bool stale = errno != ENOENT;
+    ::close(probe);
+    if (stale) {
+      ::unlink(cfg_.socket_path.c_str());
+      count_fault(obs::FaultKind::kStaleSocket, -1, 0.0, monotonic_now_us());
+    }
+  }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
     ::close(listen_fd_);
@@ -110,22 +162,41 @@ void ManagerServer::stop() {
   ::unlink(cfg_.socket_path.c_str());
 }
 
-void ManagerServer::set_blocked(AppConn& app, bool blocked) {
-  if (app.blocked == blocked) return;
+bool ManagerServer::set_blocked(AppConn& app, bool blocked) {
+  if (app.blocked == blocked) return true;
   app.blocked = blocked;
   // One signal to the leader thread; the application runtime forwards it to
   // the siblings (signal_gate.h).
-  tgkill_portable(app.pid, app.leader_tid,
-                  blocked ? kBlockSignal : kUnblockSignal);
+  const int rc = tgkill_portable(app.pid, app.leader_tid,
+                                 blocked ? kBlockSignal : kUnblockSignal);
+  if (rc < 0 && errno == ESRCH) {
+    // The leader thread no longer exists (SIGKILL, crash): this application
+    // cannot be scheduled or unblocked, only reaped.
+    app.dead = true;
+    return false;
+  }
+  return true;
 }
 
 void ManagerServer::accept_connection() {
   const int sock = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
   if (sock < 0) return;
 
+  // Bound every receive on this connection: a client that stalls mid-
+  // handshake (or later leaves a half-written ReadyMsg) must not be able to
+  // freeze the manager loop with it.
+  if (cfg_.handshake_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = cfg_.handshake_timeout_ms / 1000;
+    tv.tv_usec = (cfg_.handshake_timeout_ms % 1000) * 1000;
+    ::setsockopt(sock, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
   HelloMsg hello{};
   if (!recv_all(sock, &hello, sizeof(hello)) ||
       hello.magic != kProtocolMagic || hello.nthreads < 1) {
+    count_fault(obs::FaultKind::kHandshakeTimeout, -1, 0.0,
+                monotonic_now_us());
     ::close(sock);
     return;
   }
@@ -193,8 +264,12 @@ bool ManagerServer::handle_client(std::size_t idx) {
 }
 
 void ManagerServer::drop_client(std::size_t idx) {
-  AppConn& app = *apps_[idx];
   std::lock_guard<std::mutex> lk(mu_);
+  drop_client_locked(idx);
+}
+
+void ManagerServer::drop_client_locked(std::size_t idx) {
+  AppConn& app = *apps_[idx];
   // Defensive: if the process is still alive but blocked (e.g. it closed
   // the socket from an unmanaged thread), leave it runnable — a removed
   // application would otherwise stay suspended forever.
@@ -206,11 +281,61 @@ void ManagerServer::drop_client(std::size_t idx) {
   apps_.erase(apps_.begin() + static_cast<std::ptrdiff_t>(idx));
 }
 
+void ManagerServer::reap_dead_locked(std::uint64_t now_us) {
+  for (std::size_t i = apps_.size(); i-- > 0;) {
+    if (!apps_[i]->dead) continue;
+    count_fault(obs::FaultKind::kDeadLeader, apps_[i]->manager_id, 0.0,
+                now_us);
+    if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+      cfg_.tracer->job_state_change(
+          now_us, {apps_[i]->manager_id, -1, obs::JobState::kManagerBlocked,
+                   obs::JobState::kDisconnected});
+    }
+    drop_client_locked(i);
+  }
+}
+
 void ManagerServer::sample_running(std::uint64_t now_us) {
   std::lock_guard<std::mutex> lk(mu_);
   const auto& running = manager_.running();
+  bool any_dead = false;
   for (auto& app : apps_) {
-    if (app->manager_id < 0) continue;
+    if (app->manager_id < 0 || app->dead) continue;
+
+    // Liveness: the client's updater bumps arena->heartbeats once per
+    // update period — the same period that paces this sampler — and is not
+    // signal-gated, so a healthy client makes progress between samples even
+    // while blocked. No progress for several samples means the updater is
+    // hung or the process is gone; probe the leader to tell which.
+    const std::uint64_t hb =
+        app->arena->heartbeats.load(std::memory_order_relaxed);
+    if (hb != app->last_heartbeat) {
+      app->last_heartbeat = hb;
+      app->stall_intervals = 0;
+    } else if (cfg_.heartbeat_stall_intervals > 0 &&
+               ++app->stall_intervals >= cfg_.heartbeat_stall_intervals) {
+      if (tgkill_portable(app->pid, app->leader_tid, 0) < 0 &&
+          errno == ESRCH) {
+        app->dead = true;
+        any_dead = true;
+        continue;
+      }
+      // Alive but silent: a hung updater. Report once per stall episode;
+      // the manager's staleness policy owns the estimate from here.
+      if (app->stall_intervals == cfg_.heartbeat_stall_intervals) {
+        count_fault(obs::FaultKind::kStaleArena, app->manager_id,
+                    static_cast<double>(app->stall_intervals), now_us);
+      }
+    }
+
+    if (cfg_.heartbeat_stall_intervals > 0 &&
+        app->stall_intervals >= cfg_.heartbeat_stall_intervals) {
+      // A known-stale arena would post zero-deltas — a silent lie. Withhold
+      // the sample instead, so the CpuManager's miss-streak ladder (hold →
+      // decay → quarantine) takes over the estimate.
+      continue;
+    }
+
     if (std::find(running.begin(), running.end(), app->manager_id) ==
         running.end()) {
       continue;  // stats are only updated for running jobs
@@ -219,25 +344,28 @@ void ManagerServer::sample_running(std::uint64_t now_us) {
         app->arena->transactions.load(std::memory_order_relaxed);
     const std::uint64_t delta = cum - app->last_read;
     app->last_read = cum;
-    manager_.record_sample(app->manager_id, static_cast<double>(delta));
+    manager_.record_sample(app->manager_id, static_cast<double>(delta),
+                           now_us);
     if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
       cfg_.tracer->counter_sample(
           now_us, {app->manager_id, static_cast<double>(delta),
                    manager_.policy_estimate(app->manager_id)});
     }
   }
+  if (any_dead) reap_dead_locked(now_us);
 }
 
 void ManagerServer::quantum_boundary(std::uint64_t now_us) {
   std::lock_guard<std::mutex> lk(mu_);
-  const core::ElectionResult result =
+  const core::ElectionResult& result =
       manager_.schedule_quantum(cfg_.nprocs, now_us);
   ++elections_;
   quantum_start_us_ = now_us;
   samples_taken_ = 0;
 
+  bool any_dead = false;
   for (auto& app : apps_) {
-    if (app->manager_id < 0) continue;
+    if (app->manager_id < 0 || app->dead) continue;
     const bool elected =
         std::find(result.elected.begin(), result.elected.end(),
                   app->manager_id) != result.elected.end();
@@ -249,13 +377,19 @@ void ManagerServer::quantum_boundary(std::uint64_t now_us) {
            elected ? obs::JobState::kManagerBlocked : obs::JobState::kReady,
            elected ? obs::JobState::kReady : obs::JobState::kManagerBlocked});
     }
-    set_blocked(*app, !elected);
+    if (!set_blocked(*app, !elected)) {
+      // ESRCH: the leader died since the last boundary. Reap below so the
+      // next election redistributes its processors immediately.
+      any_dead = true;
+      continue;
+    }
     if (elected) {
       // Fresh baseline so the first sample excludes older quanta.
       app->last_read =
           app->arena->transactions.load(std::memory_order_relaxed);
     }
   }
+  if (any_dead) reap_dead_locked(now_us);
 }
 
 void ManagerServer::loop() {

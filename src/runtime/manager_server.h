@@ -40,6 +40,21 @@ struct ServerConfig {
   /// the only writer; export the trace after stop(). Timestamps are
   /// monotonic wall-clock microseconds (monotonic_now_us()).
   obs::Tracer* tracer = nullptr;
+  /// Optional metrics registry (non-owning): server fault counters plus the
+  /// embedded CpuManager's staleness instruments (docs/OBSERVABILITY.md).
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Bound on every handshake receive (SO_RCVTIMEO): a client that dials in
+  /// and then stalls mid-HelloMsg — or leaves a ReadyMsg half-written —
+  /// cannot freeze the manager loop. <= 0 disables (pre-hardening blocking
+  /// behaviour, for tests only).
+  int handshake_timeout_ms = 2000;
+
+  /// Arena update periods with no heartbeat progress before the app's
+  /// leader is probed (tgkill signal 0). A dead leader (ESRCH) is reaped;
+  /// a live one with a frozen updater is reported as kStaleArena and left
+  /// to the staleness policy. >= 2 tolerates sampling/updater phase drift.
+  int heartbeat_stall_intervals = 3;
 };
 
 class ManagerServer {
@@ -50,7 +65,11 @@ class ManagerServer {
   ManagerServer(const ManagerServer&) = delete;
   ManagerServer& operator=(const ManagerServer&) = delete;
 
-  /// Binds the socket and starts the manager thread. False on bind failure.
+  /// Binds the socket and starts the manager thread. False on bind failure
+  /// or when another live manager already serves `socket_path`. A *stale*
+  /// socket file (left by a crashed manager: nothing accepts on it) is
+  /// detected by a probe connect, unlinked, and rebound — a crash never
+  /// needs manual cleanup before restart.
   bool start();
 
   /// Unblocks every application, stops the manager thread, unlinks the
@@ -79,15 +98,28 @@ class ManagerServer {
     std::uint64_t last_read = 0;
     bool ready = false;
     bool blocked = false;
+    // ---- liveness (docs/ROBUSTNESS.md) ----
+    std::uint64_t last_heartbeat = 0;  ///< arena heartbeat at last sample
+    int stall_intervals = 0;           ///< consecutive no-progress samples
+    bool dead = false;                 ///< leader gone (ESRCH); reap pending
   };
 
   void loop();
   void accept_connection();
   bool handle_client(std::size_t idx);  ///< false => disconnect
   void drop_client(std::size_t idx);
+  /// Body of drop_client for callers already holding mu_.
+  void drop_client_locked(std::size_t idx);
   void sample_running(std::uint64_t now_us);
   void quantum_boundary(std::uint64_t now_us);
-  void set_blocked(AppConn& app, bool blocked);
+  /// Signals the leader; returns false when the leader is gone (ESRCH),
+  /// which marks the app dead for reaping.
+  bool set_blocked(AppConn& app, bool blocked);
+  /// Reaps every app marked dead. Caller must hold mu_.
+  void reap_dead_locked(std::uint64_t now_us);
+  /// Emits one server-side fault: metrics counter + trace event.
+  void count_fault(obs::FaultKind kind, int app_id, double value,
+                   std::uint64_t now_us);
 
   ServerConfig cfg_;
   int listen_fd_ = -1;
@@ -102,6 +134,12 @@ class ManagerServer {
   std::uint64_t quantum_start_us_ = 0;
   int samples_taken_ = 0;
   bool stopping_ = false;
+
+  // ---- server fault counters (non-owning; null = off) ----
+  obs::Counter* m_dead_leaders_ = nullptr;
+  obs::Counter* m_stale_arenas_ = nullptr;
+  obs::Counter* m_handshake_timeouts_ = nullptr;
+  obs::Counter* m_stale_sockets_ = nullptr;
 };
 
 /// Monotonic clock in microseconds.

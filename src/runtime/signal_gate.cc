@@ -92,18 +92,22 @@ void SignalGate::handle_unblock(int /*signo*/) {
 void SignalGate::on_block() {
   const int slot = slot_of_self();
   if (slot < 0) return;  // unregistered thread (e.g. the arena updater)
+  if (released_.load(std::memory_order_relaxed)) return;  // free-run mode
   if (slot == 0) forward(kBlockSignal);
 
   blocks_[slot].fetch_add(1, std::memory_order_relaxed);
 
   // The paper's counting rule: suspend only while blocks exceed unblocks,
-  // tolerating inverted delivery of consecutive block/unblock intents.
+  // tolerating inverted delivery of consecutive block/unblock intents. A
+  // release (manager died) also ends the suspension: the releasing thread
+  // wakes us with an unblock signal and the flag breaks the loop.
   sigset_t wait_mask;
   pthread_sigmask(SIG_BLOCK, nullptr, &wait_mask);
   sigdelset(&wait_mask, kUnblockSignal);
 
-  while (blocks_[slot].load(std::memory_order_relaxed) >
-         unblocks_[slot].load(std::memory_order_relaxed)) {
+  while (!released_.load(std::memory_order_relaxed) &&
+         blocks_[slot].load(std::memory_order_relaxed) >
+             unblocks_[slot].load(std::memory_order_relaxed)) {
     suspended_[slot].store(true, std::memory_order_relaxed);
     sigsuspend(&wait_mask);  // returns after the unblock handler ran
   }
@@ -123,6 +127,30 @@ void SignalGate::signal_slot(int slot, int signo) {
   pthread_kill(handles_[slot], signo);
 }
 
+void SignalGate::release_all() {
+  released_.store(true, std::memory_order_release);
+  // Wake every registered thread: a suspended one re-checks the loop
+  // condition (the flag now breaks it); a running one takes a harmless
+  // unblock (extra unblocks never suspend anyone under the counting rule).
+  const int n = nthreads_.load(std::memory_order_acquire);
+  for (int s = 0; s < n; ++s) {
+    if (active_[s].load(std::memory_order_acquire)) {
+      pthread_kill(handles_[s], kUnblockSignal);
+    }
+  }
+}
+
+void SignalGate::rearm() {
+  // Square the counts so history from the dead manager cannot re-suspend
+  // (or permanently unblock) anyone under the new one.
+  const int n = nthreads_.load(std::memory_order_acquire);
+  for (int s = 0; s < n; ++s) {
+    unblocks_[s].store(blocks_[s].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
+  released_.store(false, std::memory_order_release);
+}
+
 void SignalGate::reset_for_tests() {
   const int n = nthreads_.load(std::memory_order_acquire);
   for (int s = 0; s < n; ++s) {
@@ -134,6 +162,7 @@ void SignalGate::reset_for_tests() {
   }
   nthreads_.store(0, std::memory_order_release);
   leader_tid_.store(0, std::memory_order_release);
+  released_.store(false, std::memory_order_release);
   t_slot = -1;
 }
 

@@ -68,6 +68,24 @@ class SignalGate {
   /// (used by in-process tests; the real manager uses tgkill on the leader).
   void signal_slot(int slot, int signo);
 
+  /// Disengages the gate: wakes every suspended thread and makes further
+  /// block intents no-ops, so the application free-runs under the kernel
+  /// scheduler. The client library calls this when it detects the manager
+  /// died (docs/ROBUSTNESS.md) — a crashed manager must never leave an
+  /// application suspended forever. Signal-count state is untouched; call
+  /// rearm() when a (new) manager takes over.
+  void release_all();
+
+  /// Re-engages a released gate (e.g. after reconnecting to a restarted
+  /// manager). Squares each slot's block/unblock counts so stale history
+  /// cannot re-suspend a thread. Only call while no manager is signaling.
+  void rearm();
+
+  /// True while the gate is disengaged (application free-running).
+  [[nodiscard]] bool released() const {
+    return released_.load(std::memory_order_relaxed);
+  }
+
   /// Testing hook: clears all registration state. Only safe when no thread
   /// is suspended.
   void reset_for_tests();
@@ -90,6 +108,7 @@ class SignalGate {
   std::atomic<int> unblocks_[kMaxThreads] = {};
   std::atomic<bool> suspended_[kMaxThreads] = {};
   std::atomic<bool> installed_{false};
+  std::atomic<bool> released_{false};  ///< gate disengaged (free-run mode)
 };
 
 }  // namespace bbsched::runtime

@@ -3,6 +3,9 @@
 // quantum elections.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <set>
+
 #include "core/bandwidth_stats.h"
 #include "core/cpu_manager.h"
 
@@ -266,6 +269,194 @@ TEST(PolicyKindNames, AllNamed) {
   EXPECT_STREQ(to_string(PolicyKind::kLatestQuantum), "latest-quantum");
   EXPECT_STREQ(to_string(PolicyKind::kQuantaWindow), "quanta-window");
   EXPECT_STREQ(to_string(PolicyKind::kExponential), "ewma");
+}
+
+// ---- staleness policy / degraded mode (docs/ROBUSTNESS.md) ----
+
+/// Config with a short staleness ladder so tests walk it in few quanta.
+ManagerConfig staleness_cfg() {
+  ManagerConfig c;
+  c.policy = PolicyKind::kLatestQuantum;
+  c.quantum_us = 200'000;
+  c.staleness.hold_quanta = 1;
+  c.staleness.decay_factor = 0.5;
+  c.staleness.quarantine_after = 4;
+  c.staleness.dead_feed_quanta = 2;
+  return c;
+}
+
+TEST(StalenessPolicy, HoldThenDecayThenQuarantine) {
+  const ManagerConfig c = staleness_cfg();
+  CpuManager mgr(c);
+  const int live = mgr.connect("live", 1);
+  const int silent = mgr.connect("silent", 1);
+
+  std::uint64_t now = 0;
+  auto advance = [&] {
+    now += c.quantum_us;
+    mgr.schedule_quantum(4, now);
+  };
+
+  // Quantum 1: both feeds deliver; 'silent' measures 4.0 BBW/thread.
+  mgr.schedule_quantum(4, now);
+  mgr.record_sample(live, 2.0 * 200'000.0, now);
+  mgr.record_sample(silent, 4.0 * 200'000.0, now);
+  advance();
+  EXPECT_DOUBLE_EQ(mgr.policy_estimate(silent), 4.0);
+  EXPECT_EQ(mgr.feed_state(silent), obs::DegradationState::kLive);
+
+  // Miss 1 (== hold_quanta): the last-good estimate is held unchanged.
+  mgr.record_sample(live, 2.0 * 200'000.0, now);
+  advance();
+  EXPECT_EQ(mgr.feed_state(silent), obs::DegradationState::kHolding);
+  EXPECT_DOUBLE_EQ(mgr.policy_estimate(silent), 4.0);
+
+  // Miss 2: decay begins, geometric toward the initial estimate.
+  mgr.record_sample(live, 2.0 * 200'000.0, now);
+  advance();
+  EXPECT_EQ(mgr.feed_state(silent), obs::DegradationState::kDecaying);
+  const double initial = c.initial_estimate_tps;
+  EXPECT_DOUBLE_EQ(mgr.policy_estimate(silent),
+                   initial + (4.0 - initial) * 0.5);
+
+  // Miss 3: another decay step.
+  mgr.record_sample(live, 2.0 * 200'000.0, now);
+  advance();
+  const double step2 = initial + (initial + (4.0 - initial) * 0.5 - initial) * 0.5;
+  EXPECT_DOUBLE_EQ(mgr.policy_estimate(silent), step2);
+
+  // Miss 4 (== quarantine_after): written off to the initial estimate.
+  mgr.record_sample(live, 2.0 * 200'000.0, now);
+  advance();
+  EXPECT_EQ(mgr.feed_state(silent), obs::DegradationState::kQuarantined);
+  EXPECT_DOUBLE_EQ(mgr.policy_estimate(silent), initial);
+
+  // One fresh sample fully revives the feed.
+  mgr.record_sample(live, 2.0 * 200'000.0, now);
+  mgr.record_sample(silent, 6.0 * 200'000.0, now);
+  advance();
+  EXPECT_EQ(mgr.feed_state(silent), obs::DegradationState::kLive);
+  EXPECT_DOUBLE_EQ(mgr.policy_estimate(silent), 6.0);
+}
+
+TEST(StalenessPolicy, AllFeedsDeadFallsBackToRoundRobin) {
+  const ManagerConfig c = staleness_cfg();
+  CpuManager mgr(c);
+  const int a = mgr.connect("a", 1);
+  const int b = mgr.connect("b", 1);
+  const int d = mgr.connect("c", 1);
+
+  std::uint64_t now = 0;
+  auto advance = [&] {
+    now += c.quantum_us;
+    return mgr.schedule_quantum(1, now);  // 1 proc: one app per quantum
+  };
+
+  advance();  // first election; nothing ran before it
+  EXPECT_FALSE(mgr.degraded());
+  advance();  // dead full quantum 1
+  advance();  // dead full quantum 2 == dead_feed_quanta
+  EXPECT_TRUE(mgr.degraded());
+
+  // Degraded elections are round-robin: over the next three quanta every
+  // application gets a turn (head first-fit + post-election rotation).
+  std::set<int> elected;
+  for (int i = 0; i < 3; ++i) {
+    const ElectionResult r = advance();
+    ASSERT_EQ(r.elected.size(), 1u);
+    elected.insert(r.elected[0]);
+  }
+  EXPECT_EQ(elected, (std::set<int>{a, b, d}));
+
+  // Any live sample ends the fallback.
+  mgr.record_sample(mgr.running().front(), 1000.0, now);
+  advance();
+  EXPECT_FALSE(mgr.degraded());
+}
+
+TEST(StalenessPolicy, MidQuantumElectionDoesNotAdvanceLadder) {
+  const ManagerConfig c = staleness_cfg();
+  CpuManager mgr(c);
+  const int id = mgr.connect("a", 1);
+
+  std::uint64_t now = 0;
+  mgr.schedule_quantum(4, now);
+  now += c.quantum_us;
+  mgr.record_sample(id, 4.0 * 200'000.0, now);
+  mgr.schedule_quantum(4, now);
+  EXPECT_DOUBLE_EQ(mgr.policy_estimate(id), 4.0);
+
+  // A re-election a few µs later (mid-quantum, e.g. a job disconnected)
+  // folds like the pre-hardening manager — zero pending transactions push a
+  // zero rate — but must NOT count as a missed quantum.
+  now += 10;
+  mgr.schedule_quantum(4, now);
+  EXPECT_EQ(mgr.feed_state(id), obs::DegradationState::kLive);
+  EXPECT_DOUBLE_EQ(mgr.policy_estimate(id), 0.0);
+  EXPECT_FALSE(mgr.degraded());
+}
+
+TEST(StalenessPolicy, RecordSampleValidatesInput) {
+  ManagerConfig c = staleness_cfg();
+  c.staleness.max_sample_factor = 8.0;  // cap = 8 * 29.5 * 200000
+  CpuManager mgr(c);
+  obs::MetricsRegistry metrics;
+  mgr.set_metrics(&metrics);
+  const int id = mgr.connect("a", 1);
+
+  std::uint64_t now = 0;
+  mgr.schedule_quantum(4, now);
+
+  // Non-finite: rejected outright (counts as a missed sample downstream).
+  now += c.quantum_us;
+  mgr.record_sample(id, std::nan(""), now);
+  EXPECT_DOUBLE_EQ(metrics.counter("manager.faults.invalid_samples").value(),
+                   1.0);
+  // Negative (wraparound): clamped to zero traffic.
+  mgr.record_sample(id, -5000.0, now);
+  EXPECT_DOUBLE_EQ(metrics.counter("manager.faults.negative_deltas").value(),
+                   1.0);
+  mgr.schedule_quantum(4, now);
+  EXPECT_DOUBLE_EQ(mgr.policy_estimate(id), 0.0);
+
+  // Implausibly large: clamped to the staleness ceiling.
+  now += c.quantum_us;
+  mgr.record_sample(id, 1e12, now);
+  mgr.schedule_quantum(4, now);
+  EXPECT_DOUBLE_EQ(metrics.counter("manager.faults.clamped_samples").value(),
+                   1.0);
+  const double cap_rate = 8.0 * 29.5;  // cap / quantum_us, 1 thread
+  EXPECT_DOUBLE_EQ(mgr.policy_estimate(id), cap_rate);
+}
+
+TEST(StalenessPolicy, MissedQuantaAreCountedAndTraced) {
+  const ManagerConfig c = staleness_cfg();
+  CpuManager mgr(c);
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer(obs::TracerConfig{true, 1024});
+  mgr.set_metrics(&metrics);
+  mgr.set_tracer(&tracer);
+  mgr.connect("a", 1);
+
+  std::uint64_t now = 0;
+  for (int i = 0; i < 6; ++i) {
+    now += c.quantum_us;
+    mgr.schedule_quantum(4, now);
+  }
+  // 5 running-but-silent quanta (the first election had nothing running).
+  EXPECT_DOUBLE_EQ(metrics.counter("manager.faults.missed_quanta").value(),
+                   5.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("manager.faults.quarantines").value(), 1.0);
+  EXPECT_GT(metrics.counter("manager.degraded_elections").value(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.gauge("manager.degradation_state").value(), 1.0);
+
+  int fault_events = 0, degradation_events = 0;
+  tracer.events().for_each([&](const obs::TraceEvent& e) {
+    if (e.type == obs::EventType::kFault) ++fault_events;
+    if (e.type == obs::EventType::kDegradationChange) ++degradation_events;
+  });
+  EXPECT_EQ(fault_events, 5);
+  EXPECT_GE(degradation_events, 3);  // hold, decay, quarantine, round-robin
 }
 
 }  // namespace

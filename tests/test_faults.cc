@@ -1,0 +1,198 @@
+// Tests for the seedable fault-injection subsystem (src/faults): replay
+// determinism of the injector's draw stream, approximate respect of the
+// configured probabilities, and the cumulative-counter semantics of the
+// FaultyCounterSource decorator (docs/ROBUSTNESS.md).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "faults/fault_injector.h"
+#include "faults/faulty_counter_source.h"
+
+namespace bbsched::faults {
+namespace {
+
+FaultConfig mixed_cfg(std::uint64_t seed) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = seed;
+  cfg.drop_prob = 0.10;
+  cfg.read_fail_prob = 0.05;
+  cfg.stale_prob = 0.05;
+  cfg.noise_prob = 0.10;
+  cfg.wrap_prob = 0.02;
+  return cfg;
+}
+
+TEST(FaultInjector, DisabledIsAlwaysNone) {
+  FaultConfig cfg = mixed_cfg(7);
+  cfg.enabled = false;
+  FaultInjector inj(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(inj.next_counter_read().kind, CounterFault::kNone);
+  }
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultInjector a(mixed_cfg(42));
+  FaultInjector b(mixed_cfg(42));
+  for (int i = 0; i < 5000; ++i) {
+    const CounterReadFault fa = a.next_counter_read();
+    const CounterReadFault fb = b.next_counter_read();
+    ASSERT_EQ(fa.kind, fb.kind) << "draw " << i;
+    ASSERT_DOUBLE_EQ(fa.noise_factor, fb.noise_factor) << "draw " << i;
+  }
+}
+
+TEST(FaultInjector, ResetReplaysTheSchedule) {
+  FaultInjector inj(mixed_cfg(99));
+  std::vector<CounterFault> first;
+  for (int i = 0; i < 256; ++i) first.push_back(inj.next_counter_read().kind);
+  inj.reset();
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_EQ(inj.next_counter_read().kind, first[static_cast<std::size_t>(i)])
+        << "draw " << i;
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultInjector a(mixed_cfg(1));
+  FaultInjector b(mixed_cfg(2));
+  int diffs = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (a.next_counter_read().kind != b.next_counter_read().kind) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(FaultInjector, RatesApproximateProbabilities) {
+  FaultInjector inj(mixed_cfg(1234));
+  const int n = 100'000;
+  int counts[6] = {};
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<int>(inj.next_counter_read().kind)];
+  }
+  const auto rate = [&](CounterFault k) {
+    return static_cast<double>(counts[static_cast<int>(k)]) / n;
+  };
+  EXPECT_NEAR(rate(CounterFault::kDrop), 0.10, 0.01);
+  EXPECT_NEAR(rate(CounterFault::kReadFail), 0.05, 0.01);
+  EXPECT_NEAR(rate(CounterFault::kStale), 0.05, 0.01);
+  EXPECT_NEAR(rate(CounterFault::kNoise), 0.10, 0.01);
+  EXPECT_NEAR(rate(CounterFault::kWrap), 0.02, 0.01);
+  EXPECT_NEAR(rate(CounterFault::kNone), 0.68, 0.02);
+}
+
+TEST(FaultInjector, NoiseFactorIsBounded) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.noise_prob = 1.0;
+  cfg.noise_amplitude = 0.25;
+  FaultInjector inj(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    const CounterReadFault f = inj.next_counter_read();
+    ASSERT_EQ(f.kind, CounterFault::kNoise);
+    ASSERT_GE(f.noise_factor, 0.75);
+    ASSERT_LE(f.noise_factor, 1.25);
+  }
+}
+
+TEST(FaultKindNames, AllNamed) {
+  EXPECT_STREQ(to_string(CounterFault::kNone), "none");
+  EXPECT_STREQ(to_string(CounterFault::kDrop), "drop");
+  EXPECT_STREQ(to_string(CounterFault::kReadFail), "read-fail");
+  EXPECT_STREQ(to_string(CounterFault::kStale), "stale");
+  EXPECT_STREQ(to_string(CounterFault::kNoise), "noise");
+  EXPECT_STREQ(to_string(CounterFault::kWrap), "wrap");
+}
+
+// ---- FaultyCounterSource ----
+
+/// Scripted inner source: returns a fixed, monotonically growing value.
+class RampSource final : public perfctr::CounterSource {
+ public:
+  [[nodiscard]] double read_transactions(int handle) const override {
+    reads_ += 1;
+    return static_cast<double>(reads_) * 100.0 +
+           static_cast<double>(handle);
+  }
+
+ private:
+  mutable int reads_ = 0;
+};
+
+TEST(FaultyCounterSource, PassThroughWhenDisabled) {
+  RampSource inner;
+  FaultyCounterSource src(inner, FaultConfig{});
+  EXPECT_DOUBLE_EQ(src.read_transactions(0), 100.0);
+  EXPECT_DOUBLE_EQ(src.read_transactions(0), 200.0);
+}
+
+TEST(FaultyCounterSource, DropAndReadFailReturnNaN) {
+  RampSource inner;
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.drop_prob = 1.0;
+  FaultyCounterSource src(inner, cfg);
+  EXPECT_TRUE(std::isnan(src.read_transactions(0)));
+}
+
+TEST(FaultyCounterSource, StaleRepeatsLastReading) {
+  RampSource inner;
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.stale_prob = 0.5;
+  cfg.seed = 3;
+  FaultyCounterSource src(inner, cfg);
+  double last = 0.0;
+  bool saw_stale = false;
+  for (int i = 0; i < 200; ++i) {
+    const double v = src.read_transactions(0);
+    if (v == last && i > 0) {
+      saw_stale = true;
+    } else {
+      ASSERT_GT(v, last);  // truthful reads stay monotone
+    }
+    last = v;
+  }
+  EXPECT_TRUE(saw_stale);
+}
+
+TEST(FaultyCounterSource, WrapCollapsesBelowSpan) {
+  RampSource inner;
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.wrap_prob = 1.0;
+  cfg.wrap_span = 64.0;
+  FaultyCounterSource src(inner, cfg);
+  for (int i = 0; i < 50; ++i) {
+    const double v = src.read_transactions(0);
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 64.0);
+  }
+}
+
+TEST(FaultyCounterSource, NoiseScalesTheIncrement) {
+  RampSource inner;
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.noise_prob = 1.0;
+  cfg.noise_amplitude = 0.25;
+  FaultyCounterSource src(inner, cfg);
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double v = src.read_transactions(0);
+    // Truth grows by 100 per read. Noise scales (truth - last_returned) by
+    // 1 ± 0.25, and since the error re-enters the next increment it settles
+    // at |e| ≤ 100 × 0.25/(1-0.25) ≈ 33, bounding inc to [0.75, 1.25] ×
+    // [100-33, 100+33].
+    const double inc = v - last;
+    ASSERT_GE(inc, 49.9);
+    ASSERT_LE(inc, 166.8);
+    last = v;
+  }
+}
+
+}  // namespace
+}  // namespace bbsched::faults

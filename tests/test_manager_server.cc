@@ -8,13 +8,21 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <functional>
 #include <set>
 #include <thread>
+
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include "obs/metrics.h"
 #include "runtime/client.h"
 #include "runtime/manager_server.h"
 #include "runtime/microbench.h"
+#include "runtime/protocol.h"
 #include "runtime/signal_gate.h"
 
 namespace bbsched::runtime {
@@ -30,6 +38,29 @@ class ManagerServerTest : public ::testing::Test {
  protected:
   void TearDown() override { SignalGate::instance().reset_for_tests(); }
 };
+
+/// Polls `pred` every 5 ms for up to `ms` milliseconds.
+bool eventually(const std::function<bool()>& pred, int ms = 3000) {
+  for (int i = 0; i < ms / 5; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+/// Connects a bare AF_UNIX stream socket to `path`; -1 on failure.
+int raw_connect(const std::string& path) {
+  const int sock = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (sock < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(sock);
+    return -1;
+  }
+  return sock;
+}
 
 TEST_F(ManagerServerTest, StartStop) {
   ServerConfig cfg;
@@ -175,6 +206,252 @@ TEST_F(ManagerServerTest, ClientDisconnectRemovesApp) {
 TEST_F(ManagerServerTest, ConnectFailsWithoutServer) {
   Client client;
   EXPECT_FALSE(client.connect("/tmp/bbsched-no-such-socket.sock", "x", 1));
+}
+
+// ---- robustness (docs/ROBUSTNESS.md) ----
+
+// A client that disappears without a Disconnect message (SIGKILL, crash)
+// must be dropped, and the surviving application keeps being scheduled.
+TEST_F(ManagerServerTest, AbruptClientCloseIsReaped) {
+  ServerConfig cfg;
+  cfg.socket_path = test_socket_path();
+  cfg.manager.quantum_us = 40'000;
+  cfg.nprocs = 2;  // both 1-thread apps fit: nobody needs blocking
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+
+  std::atomic<bool> stop{false};
+  std::thread survivor_thread([&] {
+    Client survivor;
+    ASSERT_TRUE(survivor.connect(cfg.socket_path, "survivor", 1));
+    const int slot = survivor.leader_counter_slot();
+    ASSERT_TRUE(survivor.ready());
+    while (!stop.load(std::memory_order_relaxed)) {
+      survivor.credit(slot, 100);
+      std::this_thread::sleep_for(1ms);
+    }
+    survivor.unregister_worker();
+    survivor.disconnect();
+  });
+  ASSERT_TRUE(eventually([&] { return server.connected_apps() == 1; }));
+
+  // The victim speaks the raw protocol (Hello/ack/Ready) and then its
+  // socket closes with no Disconnect — the wire view of a SIGKILLed app.
+  std::thread victim_thread([&] {
+    SignalGate::instance().install();
+    SignalGate::instance().register_current_thread();
+    const int sock = raw_connect(cfg.socket_path);
+    ASSERT_GE(sock, 0);
+    HelloMsg hello{};
+    hello.pid = ::getpid();
+    hello.leader_tid = static_cast<std::int32_t>(::syscall(SYS_gettid));
+    hello.nthreads = 1;
+    std::strncpy(hello.name, "victim", sizeof(hello.name) - 1);
+    ASSERT_TRUE(send_all(sock, &hello, sizeof(hello)));
+    HelloAck ack{};
+    int arena_fd = -1;
+    ASSERT_TRUE(recv_with_fd(sock, &ack, sizeof(ack), &arena_fd));
+    if (arena_fd >= 0) ::close(arena_fd);
+    ReadyMsg ready{};
+    ASSERT_TRUE(send_all(sock, &ready, sizeof(ready)));
+    // Stay visible long enough for the manager to elect us at least once.
+    ASSERT_TRUE(eventually([&] { return server.connected_apps() == 2; }));
+    std::this_thread::sleep_for(100ms);
+    ::close(sock);  // abrupt death: no Disconnect message
+    SignalGate::instance().unregister_current_thread();
+  });
+  victim_thread.join();
+
+  // The server notices the hangup, reaps the victim, and keeps going.
+  EXPECT_TRUE(eventually([&] { return server.connected_apps() == 1; }));
+  const std::uint64_t elections_before = server.elections();
+  EXPECT_TRUE(eventually(
+      [&] { return server.elections() > elections_before + 2; }));
+  auto running = server.running_app_names();
+  EXPECT_EQ(running.size(), 1u);
+  if (!running.empty()) {
+    EXPECT_EQ(running[0], "survivor");
+  }
+
+  stop.store(true);
+  server.stop();
+  survivor_thread.join();
+}
+
+// A socket file left behind by a crashed manager must not require manual
+// cleanup: start() probe-connects, detects nothing is accepting, unlinks
+// and rebinds.
+TEST_F(ManagerServerTest, StaleSocketFileIsRecovered) {
+  const std::string path = test_socket_path();
+  // Fake the crash leftovers: bind a socket, then close the fd without
+  // unlinking — the filesystem entry stays but nothing accepts on it.
+  const int orphan = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(orphan, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  ASSERT_EQ(::bind(orphan, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ::close(orphan);
+
+  obs::MetricsRegistry metrics;
+  ServerConfig cfg;
+  cfg.socket_path = path;
+  cfg.metrics = &metrics;
+  ManagerServer server(cfg);
+  EXPECT_TRUE(server.start());
+  EXPECT_EQ(metrics.counter("server.faults.stale_sockets").value(), 1u);
+  server.stop();
+}
+
+// ...but a *live* manager on the same path must not be displaced.
+TEST_F(ManagerServerTest, LiveSocketIsNotStolen) {
+  ServerConfig cfg;
+  cfg.socket_path = test_socket_path();
+  ManagerServer first(cfg);
+  ASSERT_TRUE(first.start());
+
+  ManagerServer second(cfg);
+  EXPECT_FALSE(second.start());
+
+  // The incumbent still serves clients after the failed takeover.
+  Client client;
+  EXPECT_TRUE(client.connect(cfg.socket_path, "still-served", 1));
+  client.unregister_worker();
+  client.disconnect();
+  first.stop();
+}
+
+// A client that dials in and never completes the handshake must not freeze
+// the manager loop (SO_RCVTIMEO bound), and later clients are still served.
+TEST_F(ManagerServerTest, HandshakeTimeoutDropsSlowClient) {
+  obs::MetricsRegistry metrics;
+  ServerConfig cfg;
+  cfg.socket_path = test_socket_path();
+  cfg.metrics = &metrics;
+  cfg.handshake_timeout_ms = 100;
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+
+  const int mute = raw_connect(cfg.socket_path);  // never sends HelloMsg
+  ASSERT_GE(mute, 0);
+  EXPECT_TRUE(eventually([&] {
+    return metrics.counter("server.faults.handshake_timeouts").value() >= 1;
+  }));
+  EXPECT_EQ(server.connected_apps(), 0u);
+
+  Client client;
+  EXPECT_TRUE(client.connect(cfg.socket_path, "patient", 1));
+  EXPECT_TRUE(eventually([&] { return server.connected_apps() == 1; }));
+  client.unregister_worker();
+  client.disconnect();
+  ::close(mute);
+  server.stop();
+}
+
+// An application whose leader thread died (tgkill -> ESRCH) while its
+// socket — owned by the process, not the thread — stayed open must be
+// reaped via the heartbeat-stall probe.
+TEST_F(ManagerServerTest, DeadLeaderIsReaped) {
+  obs::MetricsRegistry metrics;
+  ServerConfig cfg;
+  cfg.socket_path = test_socket_path();
+  cfg.manager.quantum_us = 40'000;
+  cfg.metrics = &metrics;
+  cfg.heartbeat_stall_intervals = 2;
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+
+  // Raw-protocol app whose leader thread exits right after Ready without
+  // closing the socket and without any updater: its tid becomes invalid
+  // while the connection (held by the process) lives on.
+  int sock = -1;
+  std::thread ghost([&] {
+    SignalGate::instance().install();
+    SignalGate::instance().register_current_thread();
+    sock = raw_connect(cfg.socket_path);
+    ASSERT_GE(sock, 0);
+    HelloMsg hello{};
+    hello.pid = ::getpid();
+    hello.leader_tid = static_cast<std::int32_t>(::syscall(SYS_gettid));
+    hello.nthreads = 1;
+    std::strncpy(hello.name, "ghost", sizeof(hello.name) - 1);
+    ASSERT_TRUE(send_all(sock, &hello, sizeof(hello)));
+    HelloAck ack{};
+    int arena_fd = -1;
+    ASSERT_TRUE(recv_with_fd(sock, &ack, sizeof(ack), &arena_fd));
+    if (arena_fd >= 0) ::close(arena_fd);
+    ReadyMsg ready{};
+    ASSERT_TRUE(send_all(sock, &ready, sizeof(ready)));
+    SignalGate::instance().unregister_current_thread();
+  });
+  ghost.join();  // the leader tid is now gone; `sock` is still open
+
+  EXPECT_TRUE(eventually([&] {
+    return metrics.counter("server.faults.dead_leaders").value() >= 1;
+  }));
+  EXPECT_TRUE(eventually([&] { return server.connected_apps() == 0; }));
+  if (sock >= 0) ::close(sock);
+  server.stop();
+}
+
+// Manager death must not leave application threads suspended forever: the
+// updater notices the socket EOF, releases the signal gate, and the app
+// reports itself unmanaged (free-running under the kernel scheduler).
+TEST_F(ManagerServerTest, ManagerDeathReleasesApplication) {
+  ServerConfig cfg;
+  cfg.socket_path = test_socket_path();
+  cfg.manager.quantum_us = 40'000;
+  auto server = std::make_unique<ManagerServer>(cfg);
+  ASSERT_TRUE(server->start());
+
+  Client client;
+  ASSERT_TRUE(client.connect(cfg.socket_path, "orphaned", 1));
+  ASSERT_TRUE(client.ready());
+  EXPECT_FALSE(client.unmanaged());
+
+  server->stop();  // the "crash": every app socket closes
+  server.reset();
+  EXPECT_TRUE(eventually([&] { return client.unmanaged(); }));
+  EXPECT_TRUE(SignalGate::instance().released());
+
+  client.unregister_worker();
+  client.disconnect();
+}
+
+// Client::connect with a retry budget rides out a manager restart window.
+TEST_F(ManagerServerTest, ConnectRetryRidesOutLateServerStart) {
+  ServerConfig cfg;
+  cfg.socket_path = test_socket_path();
+  ManagerServer server(cfg);
+
+  std::thread late_start([&] {
+    std::this_thread::sleep_for(120ms);
+    ASSERT_TRUE(server.start());
+  });
+
+  ConnectRetry retry;
+  retry.attempts = 20;
+  retry.initial_backoff_us = 20'000;
+  retry.max_backoff_us = 100'000;
+  Client client;
+  EXPECT_TRUE(client.connect(cfg.socket_path, "early-bird", 1, retry));
+  EXPECT_GT(client.last_connect_retries(), 0);
+  late_start.join();
+  client.unregister_worker();
+  client.disconnect();
+  server.stop();
+}
+
+TEST_F(ManagerServerTest, ConnectRetryBudgetExhausts) {
+  ConnectRetry retry;
+  retry.attempts = 3;
+  retry.initial_backoff_us = 1'000;
+  retry.max_backoff_us = 2'000;
+  Client client;
+  EXPECT_FALSE(client.connect("/tmp/bbsched-no-such-socket.sock", "x", 1,
+                              retry));
 }
 
 }  // namespace

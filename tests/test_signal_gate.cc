@@ -155,6 +155,42 @@ TEST_F(SignalGateTest, UnregisteredThreadIgnoresSignals) {
   w.join();
 }
 
+TEST_F(SignalGateTest, ReleaseFreesSuspendedThreadsAndRearmRestores) {
+  // Manager-death path (docs/ROBUSTNESS.md): release_all() wakes every
+  // suspended thread and neutralises further block signals, so an orphaned
+  // application free-runs; rearm() restores normal gating for reconnect.
+  Worker w;
+  w.start();
+  auto& gate = SignalGate::instance();
+  const int slot = w.slot.load();
+
+  gate.signal_slot(slot, kBlockSignal);
+  ASSERT_TRUE(eventually([&] { return gate.is_suspended(slot); }));
+
+  gate.release_all();
+  EXPECT_TRUE(gate.released());
+  ASSERT_TRUE(eventually([&] { return !gate.is_suspended(slot); }));
+  const std::uint64_t before = w.work.load();
+  ASSERT_TRUE(eventually([&] { return w.work.load() > before; }));
+
+  // While released, block signals are no-ops: the thread keeps running.
+  gate.signal_slot(slot, kBlockSignal);
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(gate.is_suspended(slot));
+  const std::uint64_t mid = w.work.load();
+  ASSERT_TRUE(eventually([&] { return w.work.load() > mid; }));
+
+  // Rearm: gating works again as if freshly connected.
+  gate.rearm();
+  EXPECT_FALSE(gate.released());
+  gate.signal_slot(slot, kBlockSignal);
+  ASSERT_TRUE(eventually([&] { return gate.is_suspended(slot); }));
+  gate.signal_slot(slot, kUnblockSignal);
+  ASSERT_TRUE(eventually([&] { return !gate.is_suspended(slot); }));
+
+  w.join();
+}
+
 TEST_F(SignalGateTest, LeaderTidRecorded) {
   Worker w;
   w.start();

@@ -91,7 +91,8 @@ int validate_chrome(const std::string& text) {
     const double ts = e.number_or("ts", 0.0);
     ++counts[name == "QuantumStart" || name == "ElectionDecision" ||
                      name == "BusResolution" || name == "JobStateChange" ||
-                     name == "CounterSample"
+                     name == "CounterSample" || name == "Fault" ||
+                     name == "DegradationChange"
                  ? name
                  : (ph == "X" ? "occupancy slice" : "other")];
     if (name == "QuantumStart") quantum_ts.push_back(ts);
