@@ -15,10 +15,23 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "stats/moving_window.h"
 
 namespace bbsched::core {
+
+/// Serializable image of one BandwidthTracker: everything the policy
+/// estimates depend on. Pending intra-quantum transactions are deliberately
+/// excluded — snapshots are taken at quantum boundaries, where pending has
+/// just been folded (core/journal.h).
+struct TrackerSnapshot {
+  double latest = 0.0;
+  bool has_latest = false;
+  std::vector<double> window;  ///< folded per-thread rates, oldest first
+  double ewma = 0.0;
+  bool ewma_seeded = false;
+};
 
 class BandwidthTracker {
  public:
@@ -70,6 +83,28 @@ class BandwidthTracker {
   }
   [[nodiscard]] double pending() const noexcept {
     return pending_transactions_;
+  }
+
+  /// Captures the policy-relevant state for journaling (crash recovery).
+  void snapshot(TrackerSnapshot& out) const {
+    out.latest = latest_;
+    out.has_latest = has_latest_;
+    window_.copy_samples(out.window);
+    out.ewma = ewma_.mean();
+    out.ewma_seeded = !ewma_.empty();
+  }
+
+  /// Rebuilds the tracker from a snapshot. Replaying the window samples
+  /// oldest-first and seeding the EWMA with its folded value reproduces the
+  /// exact estimates the snapshotted tracker would have reported.
+  void restore(const TrackerSnapshot& snap) {
+    pending_transactions_ = 0.0;
+    latest_ = snap.latest;
+    has_latest_ = snap.has_latest;
+    window_.reset();
+    for (double rate : snap.window) window_.push(rate);
+    ewma_.reset();
+    if (snap.ewma_seeded) ewma_.push(snap.ewma);
   }
 
  private:

@@ -20,14 +20,123 @@ int CpuManager::connect(const std::string& name, int nthreads) {
   apps_.emplace(id, ManagedApp(id, name, nthreads, cfg_.window_len,
                                cfg_.ewma_alpha));
   order_.push_back(id);
+
+  // Crash recovery: a reattaching application adopts its journaled feed
+  // state instead of cold-starting, provided the shape still matches (a
+  // changed thread count invalidates per-thread rates).
+  const auto pending = pending_restore_.find(name);
+  if (pending != pending_restore_.end() &&
+      pending->second.feed.nthreads == nthreads) {
+    const FeedSnapshot& f = pending->second.feed;
+    ManagedApp& app = apps_.at(id);
+    app.tracker.restore(f.tracker);
+    app.miss_streak = f.miss_streak;
+    app.decayed_estimate =
+        f.has_decayed_estimate ? f.decayed_estimate : std::nan("");
+    app.quarantined = f.quarantined;
+    const int pos = pending->second.pos;
+    const bool was_running = pending->second.was_running;
+    restore_pos_[id] = pos;
+    pending_restore_.erase(pending);
+
+    // Preserve the journaled rotation cursor: restored feeds form a prefix
+    // of the list in journal order (reattach order is arbitrary — whoever
+    // reconnects first must not jump the election queue); apps without
+    // journaled state queue behind them in plain arrival order.
+    order_.pop_back();
+    auto it = order_.begin();
+    for (; it != order_.end(); ++it) {
+      const auto rp = restore_pos_.find(*it);
+      if (rp == restore_pos_.end() || rp->second > pos) break;
+    }
+    order_.insert(it, id);
+
+    // The journaled gang re-enters the running set (in journal order, so
+    // the next rotation splices it identically no matter who reattached
+    // first): its in-flight quantum folds on the next election.
+    if (was_running) {
+      auto rit = running_.begin();
+      for (; rit != running_.end(); ++rit) {
+        const auto rp = restore_pos_.find(*rit);
+        if (rp != restore_pos_.end() && rp->second > pos) break;
+      }
+      running_.insert(rit, id);
+    }
+  }
   return id;
 }
 
 void CpuManager::disconnect(int app_id) {
   apps_.erase(app_id);
   order_.remove(app_id);
+  restore_pos_.erase(app_id);
   running_.erase(std::remove(running_.begin(), running_.end(), app_id),
                  running_.end());
+}
+
+void CpuManager::snapshot(ManagerSnapshot& out) const {
+  out.quantum_index = quantum_index_;
+  out.dead_feed_quanta = dead_feed_quanta_;
+  out.degraded = degraded_;
+  out.feeds.clear();
+  out.feeds.reserve(order_.size());
+  const auto emit = [&](int id) {
+    const ManagedApp& app = apps_.at(id);
+    FeedSnapshot f;
+    f.name = app.name;
+    f.nthreads = app.nthreads;
+    f.miss_streak = app.miss_streak;
+    f.has_decayed_estimate = !std::isnan(app.decayed_estimate);
+    f.decayed_estimate = f.has_decayed_estimate ? app.decayed_estimate : 0.0;
+    f.quarantined = app.quarantined;
+    app.tracker.snapshot(f.tracker);
+    out.feeds.push_back(std::move(f));
+  };
+  // Emit pre-rotated: schedule_quantum() splices the currently running gang
+  // to the tail before electing, and a restored manager has an empty
+  // running set, so that rotation would be lost across a crash (the new
+  // incarnation would re-elect the crash-time gang). Journaling the order
+  // as it will be *after* the pending rotation keeps restored elections
+  // identical to an uncrashed manager's (tests/test_journal.cc).
+  for (int id : order_) {
+    if (std::find(running_.begin(), running_.end(), id) == running_.end()) {
+      emit(id);
+    }
+  }
+  out.running_tail = 0;
+  for (int id : running_) {
+    if (apps_.count(id) != 0) {
+      emit(id);
+      ++out.running_tail;
+    }
+  }
+}
+
+int CpuManager::restore(const ManagerSnapshot& snap) {
+  assert(apps_.empty() && "restore() primes a fresh manager");
+  quantum_index_ = snap.quantum_index;
+  dead_feed_quanta_ = snap.dead_feed_quanta;
+  degraded_ = snap.degraded;
+  if (m_degradation_state_ != nullptr) {
+    m_degradation_state_->set(degraded_ ? 1.0 : 0.0);
+  }
+  pending_restore_.clear();
+  restore_pos_.clear();
+  const std::size_t gang_start =
+      snap.feeds.size() -
+      std::min<std::size_t>(snap.feeds.size(),
+                            static_cast<std::size_t>(
+                                std::max(snap.running_tail, 0)));
+  int parked = 0;
+  for (std::size_t i = 0; i < snap.feeds.size(); ++i) {
+    // Adoption is keyed by application name; with duplicate names only the
+    // last journaled feed survives (reattach cannot tell twins apart).
+    pending_restore_[snap.feeds[i].name] = {snap.feeds[i],
+                                            static_cast<int>(i),
+                                            i >= gang_start};
+    ++parked;
+  }
+  return parked;
 }
 
 void CpuManager::set_metrics(obs::MetricsRegistry* metrics) {

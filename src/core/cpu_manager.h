@@ -22,6 +22,7 @@
 
 #include "core/bandwidth_stats.h"
 #include "core/election.h"
+#include "core/journal.h"
 #include "core/predictor.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -218,6 +219,27 @@ class CpuManager {
     return quantum_index_;
   }
 
+  // ---- crash recovery (core/journal.h, docs/ROBUSTNESS.md) ----
+
+  /// Captures the complete policy state: every feed in applications-list
+  /// order (preserving the rotation cursor), the staleness ladder, and the
+  /// manager-wide degradation counters. Meant to be called at a quantum
+  /// boundary, right after schedule_quantum().
+  void snapshot(ManagerSnapshot& out) const;
+
+  /// Primes a *fresh* manager (no applications connected) with a journaled
+  /// snapshot. Feeds are not materialized immediately — clients of a
+  /// restarted manager reattach one by one — but parked by name: a later
+  /// connect() with a matching name and thread count adopts the journaled
+  /// tracker state and its rotation position instead of cold-starting.
+  /// Returns the number of feeds parked.
+  int restore(const ManagerSnapshot& snap);
+
+  /// Journaled feeds awaiting reattach (diagnostics/tests).
+  [[nodiscard]] std::size_t pending_restores() const noexcept {
+    return pending_restore_.size();
+  }
+
  private:
   /// End-of-quantum staleness bookkeeping for the apps that ran: folds live
   /// feeds, advances miss streaks of silent ones along the hold → decay →
@@ -242,6 +264,20 @@ class CpuManager {
   std::uint64_t last_election_us_ = 0;  ///< timestamp of the last election
   int dead_feed_quanta_ = 0;  ///< consecutive quanta with zero live feeds
   bool degraded_ = false;     ///< round-robin fallback active
+
+  // ---- crash-recovery state ----
+  /// A journaled feed not yet readopted: its snapshot, its position in the
+  /// journaled rotation order (connect() re-inserts accordingly), and
+  /// whether it belonged to the running gang at snapshot time (adoption
+  /// then re-enters it into running_ so its in-flight quantum folds).
+  struct PendingRestore {
+    FeedSnapshot feed;
+    int pos = 0;
+    bool was_running = false;
+  };
+  /// Journaled feeds not yet readopted, keyed by application name.
+  std::unordered_map<std::string, PendingRestore> pending_restore_;
+  std::unordered_map<int, int> restore_pos_;  ///< app id → journal position
 
   // ---- metrics (non-owning; null = off) ----
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -1,0 +1,62 @@
+#include "faults/runtime_fault_plan.h"
+
+#include <algorithm>
+
+namespace bbsched::faults {
+
+const char* to_string(RuntimeFault fault) {
+  switch (fault) {
+    case RuntimeFault::kKill:
+      return "kill";
+    case RuntimeFault::kStall:
+      return "stall";
+    case RuntimeFault::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+RuntimeFaultPlan::RuntimeFaultPlan(const RuntimeFaultPlanConfig& cfg)
+    : cfg_(cfg) {
+  std::vector<RuntimeFault> kinds;
+  kinds.reserve(static_cast<std::size_t>(
+      std::max(cfg_.kills, 0) + std::max(cfg_.stalls, 0) +
+      std::max(cfg_.corrupts, 0)));
+  for (int i = 0; i < cfg_.kills; ++i) kinds.push_back(RuntimeFault::kKill);
+  for (int i = 0; i < cfg_.stalls; ++i) kinds.push_back(RuntimeFault::kStall);
+  for (int i = 0; i < cfg_.corrupts; ++i) {
+    kinds.push_back(RuntimeFault::kCorrupt);
+  }
+
+  stats::Rng rng(cfg_.seed);
+  // Seeded Fisher–Yates: the interleaving of kills/stalls/corrupts is part
+  // of the replayable timeline, not left to container order.
+  for (std::size_t i = kinds.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform(0.0, static_cast<double>(i)));
+    std::swap(kinds[i - 1], kinds[std::min(j, i - 1)]);
+  }
+
+  const double lo = static_cast<double>(cfg_.min_gap_us);
+  const double hi = static_cast<double>(
+      std::max(cfg_.max_gap_us, cfg_.min_gap_us));
+  std::uint64_t clock_us = 0;
+  events_.reserve(kinds.size());
+  for (const RuntimeFault kind : kinds) {
+    clock_us += static_cast<std::uint64_t>(
+        lo < hi ? rng.uniform(lo, hi) : lo);
+    RuntimeFaultEvent ev;
+    ev.kind = kind;
+    ev.at_us = clock_us;
+    ev.duration_us = kind == RuntimeFault::kStall ? cfg_.stall_duration_us : 0;
+    events_.push_back(ev);
+  }
+}
+
+std::uint64_t RuntimeFaultPlan::span_us() const noexcept {
+  if (events_.empty()) return 0;
+  const RuntimeFaultEvent& last = events_.back();
+  return last.at_us + last.duration_us;
+}
+
+}  // namespace bbsched::faults

@@ -1,0 +1,79 @@
+// Seeded process-level chaos schedules (docs/ROBUSTNESS.md §7).
+//
+// fault_injector.h perturbs the *measurement* layer (counter reads). This
+// header models the *process/IPC* layer of the fault space: the manager
+// process itself is killed (SIGKILL), stalled (SIGSTOP…SIGCONT), or fed
+// corrupt protocol frames, on a schedule that is a pure function of the
+// seed — an identical seed replays an identical chaos timeline, which is
+// what lets bench/ext_recovery assert recovery invariants reproducibly.
+//
+// The plan is only the *schedule* (what, when, how long). Executing it —
+// signalling a supervised child, dialing the manager socket with garbage —
+// requires the runtime layer and lives with the harness that owns those
+// handles (bench/ext_recovery.cc), keeping this library free of process
+// machinery and link cycles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace bbsched::faults {
+
+/// One process-level chaos action against the manager.
+enum class RuntimeFault : std::uint8_t {
+  kKill,     ///< SIGKILL the manager process (crash)
+  kStall,    ///< SIGSTOP for duration_us, then SIGCONT (hang)
+  kCorrupt,  ///< send a corrupt/truncated protocol frame to the socket
+};
+
+[[nodiscard]] const char* to_string(RuntimeFault fault);
+
+struct RuntimeFaultPlanConfig {
+  std::uint64_t seed = 0x5eedULL;
+
+  int kills = 5;     ///< SIGKILL events in the plan
+  int stalls = 2;    ///< SIGSTOP/SIGCONT events
+  int corrupts = 3;  ///< corrupt-frame events
+
+  /// Gap between consecutive events, drawn uniformly per gap. The first
+  /// event is one gap after the plan starts.
+  std::uint64_t min_gap_us = 300'000;
+  std::uint64_t max_gap_us = 800'000;
+
+  /// SIGSTOP duration for kStall events. Pick it longer than the
+  /// supervisor's watchdog budget to force a watchdog kill, shorter to
+  /// exercise a stall the manager simply rides out.
+  std::uint64_t stall_duration_us = 500'000;
+};
+
+struct RuntimeFaultEvent {
+  RuntimeFault kind = RuntimeFault::kKill;
+  std::uint64_t at_us = 0;        ///< offset from plan start
+  std::uint64_t duration_us = 0;  ///< kStall only
+};
+
+/// Deterministic chaos schedule: the configured event mix, shuffled and
+/// spaced by seeded draws, sorted by time. Two plans with equal configs are
+/// identical element-for-element.
+class RuntimeFaultPlan {
+ public:
+  RuntimeFaultPlan() : RuntimeFaultPlan(RuntimeFaultPlanConfig{}) {}
+  explicit RuntimeFaultPlan(const RuntimeFaultPlanConfig& cfg);
+
+  [[nodiscard]] const RuntimeFaultPlanConfig& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] const std::vector<RuntimeFaultEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Total plan span: time of the last event plus its duration.
+  [[nodiscard]] std::uint64_t span_us() const noexcept;
+
+ private:
+  RuntimeFaultPlanConfig cfg_;
+  std::vector<RuntimeFaultEvent> events_;
+};
+
+}  // namespace bbsched::faults

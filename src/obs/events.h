@@ -23,6 +23,9 @@ enum class EventType : std::uint8_t {
   kCounterSample,
   kFault,
   kDegradationChange,
+  kRecovery,
+  kReattach,
+  kSupervisorRestart,
 };
 
 [[nodiscard]] const char* to_string(EventType type);
@@ -107,6 +110,7 @@ enum class FaultKind : std::uint8_t {
   kHandshakeTimeout,  ///< connection handshake exceeded its deadline
   kStaleSocket,       ///< dead socket file unlinked and rebound at start
   kClientReconnect,   ///< client retried the manager connection
+  kBadMessage,        ///< corrupt/truncated protocol frame rejected
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -143,6 +147,32 @@ struct DegradationPayload {
   DegradationState to = DegradationState::kLive;
 };
 
+/// The manager restored journaled state at startup (crash recovery,
+/// docs/ROBUSTNESS.md). Emitted once per restart that found a usable
+/// snapshot; the paired kReattach events then show which feeds actually
+/// came back to adopt their state.
+struct RecoveryPayload {
+  std::uint32_t generation = 0;      ///< manager restart epoch
+  std::uint64_t quantum_index = 0;   ///< journaled election counter resumed
+  std::int32_t restored_feeds = 0;   ///< feeds parked for adoption
+  std::uint8_t degraded = 0;         ///< restored into round-robin fallback
+};
+
+/// A client reconnected to a restarted manager and re-entered gang gating.
+struct ReattachPayload {
+  std::int32_t app_id = -1;          ///< id under the *new* manager
+  std::uint32_t generation = 0;      ///< epoch the client attached to
+  std::uint8_t adopted_state = 0;    ///< journaled feed state was adopted
+};
+
+/// The supervisor restarted (or gave up on) the manager process.
+struct SupervisorRestartPayload {
+  std::uint32_t generation = 0;   ///< epoch of the manager being started
+  std::int32_t restarts = 0;      ///< restarts so far in the breaker window
+  std::uint64_t backoff_us = 0;   ///< sleep taken before this start
+  std::uint8_t gave_up = 0;       ///< circuit breaker tripped: no restart
+};
+
 /// One trace record. `time_us` is simulated time in the simulator and
 /// monotonic wall time in the native runtime.
 struct TraceEvent {
@@ -156,6 +186,9 @@ struct TraceEvent {
     CounterSamplePayload sample;
     FaultPayload fault;
     DegradationPayload degradation;
+    RecoveryPayload recovery;
+    ReattachPayload reattach;
+    SupervisorRestartPayload supervisor;
   };
 
   // The variant members have default member initializers (so they are not
@@ -217,6 +250,30 @@ struct TraceEvent {
     e.time_us = t;
     e.type = EventType::kDegradationChange;
     e.degradation = p;
+    return e;
+  }
+  [[nodiscard]] static TraceEvent make_recovery(std::uint64_t t,
+                                               const RecoveryPayload& p) {
+    TraceEvent e;
+    e.time_us = t;
+    e.type = EventType::kRecovery;
+    e.recovery = p;
+    return e;
+  }
+  [[nodiscard]] static TraceEvent make_reattach(std::uint64_t t,
+                                                const ReattachPayload& p) {
+    TraceEvent e;
+    e.time_us = t;
+    e.type = EventType::kReattach;
+    e.reattach = p;
+    return e;
+  }
+  [[nodiscard]] static TraceEvent make_supervisor_restart(
+      std::uint64_t t, const SupervisorRestartPayload& p) {
+    TraceEvent e;
+    e.time_us = t;
+    e.type = EventType::kSupervisorRestart;
+    e.supervisor = p;
     return e;
   }
 };

@@ -16,6 +16,9 @@ const char* to_string(EventType type) {
     case EventType::kCounterSample: return "CounterSample";
     case EventType::kFault: return "Fault";
     case EventType::kDegradationChange: return "DegradationChange";
+    case EventType::kRecovery: return "Recovery";
+    case EventType::kReattach: return "Reattach";
+    case EventType::kSupervisorRestart: return "SupervisorRestart";
   }
   return "unknown";
 }
@@ -36,6 +39,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kHandshakeTimeout: return "handshake-timeout";
     case FaultKind::kStaleSocket: return "stale-socket";
     case FaultKind::kClientReconnect: return "client-reconnect";
+    case FaultKind::kBadMessage: return "bad-message";
   }
   return "unknown";
 }
@@ -114,6 +118,24 @@ void write_payload_fields(std::ostream& os, const TraceEvent& e) {
       os << "\"app\": " << e.degradation.app_id << ", \"from\": \""
          << to_string(e.degradation.from) << "\", \"to\": \""
          << to_string(e.degradation.to) << '"';
+      break;
+    case EventType::kRecovery:
+      os << "\"generation\": " << e.recovery.generation
+         << ", \"quantum\": " << e.recovery.quantum_index
+         << ", \"restored_feeds\": " << e.recovery.restored_feeds
+         << ", \"degraded\": " << (e.recovery.degraded ? "true" : "false");
+      break;
+    case EventType::kReattach:
+      os << "\"app\": " << e.reattach.app_id
+         << ", \"generation\": " << e.reattach.generation
+         << ", \"adopted_state\": "
+         << (e.reattach.adopted_state ? "true" : "false");
+      break;
+    case EventType::kSupervisorRestart:
+      os << "\"generation\": " << e.supervisor.generation
+         << ", \"restarts\": " << e.supervisor.restarts
+         << ", \"backoff_us\": " << e.supervisor.backoff_us
+         << ", \"gave_up\": " << (e.supervisor.gave_up ? "true" : "false");
       break;
   }
 }

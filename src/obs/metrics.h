@@ -5,8 +5,15 @@
 // instruments themselves are allocation-free to update, so a hot loop holds
 // `Counter*`/`Histogram*` and pays an increment per event. Instrument
 // references stay valid for the registry's lifetime (node-stable storage).
+//
+// Counters and gauges use relaxed atomics: the supervisor's monitor thread
+// (and liveness tests polling it) observe them while another thread writes.
+// Relaxed is enough — each value stands alone; nothing orders across
+// instruments. Histograms stay plain: they are only written and read from
+// one thread at a time (write_json after the writer is joined).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -18,24 +25,32 @@ namespace bbsched::obs {
 
 /// Monotonically increasing value. Double-valued because the natural
 /// counters of this system (bus transactions) are fractional rates × time.
+/// Safe to read from any thread while a writer increments.
 class Counter {
  public:
-  void inc(double n = 1.0) noexcept { value_ += n; }
-  [[nodiscard]] double value() const noexcept { return value_; }
-  void reset() noexcept { value_ = 0.0; }
+  void inc(double n = 1.0) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
-/// Last-write-wins instantaneous value.
+/// Last-write-wins instantaneous value. Safe to read from any thread
+/// while a writer updates.
 class Gauge {
  public:
-  void set(double v) noexcept { value_ = v; }
-  [[nodiscard]] double value() const noexcept { return value_; }
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one

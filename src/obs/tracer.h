@@ -60,6 +60,15 @@ class Tracer {
   void degradation_change(std::uint64_t t, const DegradationPayload& p) {
     if (enabled_) ring_.push(TraceEvent::make_degradation(t, p));
   }
+  void recovery(std::uint64_t t, const RecoveryPayload& p) {
+    if (enabled_) ring_.push(TraceEvent::make_recovery(t, p));
+  }
+  void reattach(std::uint64_t t, const ReattachPayload& p) {
+    if (enabled_) ring_.push(TraceEvent::make_reattach(t, p));
+  }
+  void supervisor_restart(std::uint64_t t, const SupervisorRestartPayload& p) {
+    if (enabled_) ring_.push(TraceEvent::make_supervisor_restart(t, p));
+  }
 
   [[nodiscard]] const RingBuffer<TraceEvent>& events() const noexcept {
     return ring_;

@@ -43,68 +43,106 @@ bool Client::connect(const std::string& socket_path, const std::string& name,
   }
 }
 
-bool Client::connect(const std::string& socket_path, const std::string& name,
-                     int nthreads) {
-  assert(sock_ < 0 && "already connected");
-  assert(nthreads >= 1);
+namespace {
 
-  SignalGate::instance().install();
-
+/// Dials the manager's UNIX socket; -1 on failure.
+int dial(const std::string& socket_path) {
   const int sock = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (sock < 0) return false;
+  if (sock < 0) return -1;
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof(addr.sun_path)) {
     ::close(sock);
-    return false;
+    return -1;
   }
   std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
   if (::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     ::close(sock);
-    return false;
+    return -1;
   }
+  // Bound the handshake: a manager that accepts but never answers (e.g.
+  // SIGSTOPped mid-restart) must not hang the caller forever.
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(sock, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return sock;
+}
 
+/// Hello/Reattach handshake on an already-dialed socket: sends the request,
+/// receives HelloAck + arena fd, maps and validates the arena. On success
+/// fills *arena_out / *ack_out / *generation_out and returns true; on any
+/// failure closes nothing but the resources it created itself.
+bool handshake(int sock, MsgType type, std::uint32_t generation,
+               std::int32_t pid, std::int32_t leader_tid, int nthreads,
+               const std::string& name, Arena** arena_out, HelloAck* ack_out,
+               std::uint32_t* generation_out) {
   HelloMsg hello{};
-  hello.pid = ::getpid();
-  // The connecting (leader) thread receives the manager's signals. Use the
-  // caller's own tid — several clients can coexist in one process (each a
-  // logical "application"), so the gate-wide leader is not necessarily us.
-  hello.leader_tid =
-      static_cast<std::int32_t>(::syscall(SYS_gettid));
+  hello.pid = pid;
+  hello.leader_tid = leader_tid;
   hello.nthreads = nthreads;
   std::strncpy(hello.name, name.c_str(), sizeof(hello.name) - 1);
-  if (!send_all(sock, &hello, sizeof(hello))) {
-    ::close(sock);
-    return false;
-  }
+  if (!send_msg(sock, type, generation, &hello, sizeof(hello))) return false;
 
+  MsgHeader hdr{};
   HelloAck ack{};
   int arena_fd = -1;
-  if (!recv_with_fd(sock, &ack, sizeof(ack), &arena_fd) ||
-      ack.magic != kProtocolMagic || arena_fd < 0) {
+  if (recv_msg(sock, hdr, &ack, sizeof(ack), &arena_fd) != RecvStatus::kOk ||
+      hdr.type != static_cast<std::uint16_t>(MsgType::kHelloAck) ||
+      arena_fd < 0) {
     if (arena_fd >= 0) ::close(arena_fd);
-    ::close(sock);
     return false;
   }
 
   void* mem = ::mmap(nullptr, sizeof(Arena), PROT_READ | PROT_WRITE,
                      MAP_SHARED, arena_fd, 0);
   ::close(arena_fd);  // the mapping keeps the memory alive
-  if (mem == MAP_FAILED) {
+  if (mem == MAP_FAILED) return false;
+  auto* arena = static_cast<Arena*>(mem);
+  if (arena->magic != Arena::kMagic) {
+    ::munmap(mem, sizeof(Arena));
+    return false;
+  }
+  *arena_out = arena;
+  *ack_out = ack;
+  *generation_out = hdr.generation;
+  return true;
+}
+
+}  // namespace
+
+bool Client::connect(const std::string& socket_path, const std::string& name,
+                     int nthreads) {
+  assert(sock_.load(std::memory_order_relaxed) < 0 && "already connected");
+  assert(nthreads >= 1);
+
+  SignalGate::instance().install();
+
+  const int sock = dial(socket_path);
+  if (sock < 0) return false;
+
+  // The connecting (leader) thread receives the manager's signals. Use the
+  // caller's own tid — several clients can coexist in one process (each a
+  // logical "application"), so the gate-wide leader is not necessarily us.
+  const auto leader_tid =
+      static_cast<std::int32_t>(::syscall(SYS_gettid));
+
+  Arena* arena = nullptr;
+  HelloAck ack{};
+  std::uint32_t gen = 0;
+  if (!handshake(sock, MsgType::kHello, 0, ::getpid(), leader_tid, nthreads,
+                 name, &arena, &ack, &gen)) {
     ::close(sock);
     return false;
   }
 
-  arena_ = static_cast<Arena*>(mem);
-  if (arena_->magic != Arena::kMagic) {
-    ::munmap(mem, sizeof(Arena));
-    arena_ = nullptr;
-    ::close(sock);
-    return false;
-  }
-  update_period_us_ = ack.update_period_us;
+  socket_path_ = socket_path;
+  name_ = name;
+  leader_tid_ = leader_tid;
+  generation_.store(gen, std::memory_order_relaxed);
+  update_period_us_.store(ack.update_period_us, std::memory_order_relaxed);
   nthreads_ = nthreads;
-  sock_ = sock;
+  arena_.store(arena, std::memory_order_release);
+  sock_.store(sock, std::memory_order_release);
   unmanaged_.store(false, std::memory_order_relaxed);
   // Re-engage the gate in case a previous manager died and released it.
   if (SignalGate::instance().released()) SignalGate::instance().rearm();
@@ -122,8 +160,9 @@ int Client::register_worker() {
     std::lock_guard<std::mutex> lk(mu_);
     counter_slots_.push_back(slot);
   }
-  if (arena_ != nullptr) {
-    arena_->threads_registered.fetch_add(1, std::memory_order_relaxed);
+  Arena* arena = arena_.load(std::memory_order_relaxed);
+  if (arena != nullptr) {
+    arena->threads_registered.fetch_add(1, std::memory_order_relaxed);
   }
   return slot;
 }
@@ -142,12 +181,71 @@ std::uint64_t Client::total_transactions() const {
 }
 
 bool Client::ready() {
-  if (sock_ < 0) return false;
+  const int sock = sock_.load(std::memory_order_relaxed);
+  if (sock < 0) return false;
   ReadyMsg msg{};
-  if (!send_all(sock_, &msg, sizeof(msg))) return false;
+  if (!send_msg(sock, MsgType::kReady,
+                generation_.load(std::memory_order_relaxed), &msg,
+                sizeof(msg))) {
+    return false;
+  }
 
   stop_updater_.store(false, std::memory_order_relaxed);
   updater_ = std::thread([this] { updater_loop(); });
+  return true;
+}
+
+bool Client::interruptible_sleep_us(std::uint64_t us) {
+  // Sleep in short slices so disconnect() never waits out a whole backoff.
+  constexpr std::uint64_t kSliceUs = 10'000;
+  while (us > 0) {
+    if (stop_updater_.load(std::memory_order_relaxed)) return false;
+    const std::uint64_t slice = us < kSliceUs ? us : kSliceUs;
+    std::this_thread::sleep_for(std::chrono::microseconds(slice));
+    us -= slice;
+  }
+  return !stop_updater_.load(std::memory_order_relaxed);
+}
+
+bool Client::try_reattach() {
+  const int sock = dial(socket_path_);
+  if (sock < 0) return false;
+
+  Arena* arena = nullptr;
+  HelloAck ack{};
+  std::uint32_t gen = 0;
+  // A reattach announces the same identity the dead manager knew — above
+  // all the original leader tid, so the new generation signals the same
+  // thread and the workers never restart.
+  if (!handshake(sock, MsgType::kReattach,
+                 generation_.load(std::memory_order_relaxed), ::getpid(),
+                 leader_tid_, nthreads_, name_, &arena, &ack, &gen)) {
+    ::close(sock);
+    return false;
+  }
+
+  // The workers are already registered; tell the fresh arena directly.
+  arena->threads_registered.store(
+      static_cast<std::uint32_t>(nthreads_), std::memory_order_relaxed);
+
+  ReadyMsg msg{};
+  if (!send_msg(sock, MsgType::kReady, gen, &msg, sizeof(msg))) {
+    ::munmap(arena, sizeof(Arena));
+    ::close(sock);
+    return false;
+  }
+
+  Arena* old_arena = arena_.exchange(arena, std::memory_order_acq_rel);
+  const int old_sock = sock_.exchange(sock, std::memory_order_acq_rel);
+  if (old_sock >= 0) ::close(old_sock);
+  if (old_arena != nullptr) ::munmap(old_arena, sizeof(Arena));
+  update_period_us_.store(ack.update_period_us, std::memory_order_relaxed);
+  generation_.store(gen, std::memory_order_relaxed);
+
+  // Back under gang gating: re-arm the gate the death path released.
+  if (SignalGate::instance().released()) SignalGate::instance().rearm();
+  unmanaged_.store(false, std::memory_order_relaxed);
+  reattaches_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -156,28 +254,54 @@ void Client::updater_loop() {
   // period. Deliberately NOT registered with the signal gate: the paper's
   // arena must stay fresh so the manager can always read a consistent
   // cumulative value.
-  const auto period =
-      std::chrono::microseconds(update_period_us_ > 0 ? update_period_us_
-                                                      : 100000);
+  stats::Rng rng(reattach_.seed);
   while (!stop_updater_.load(std::memory_order_relaxed)) {
-    arena_->transactions.store(total_transactions(),
-                               std::memory_order_relaxed);
-    arena_->heartbeats.fetch_add(1, std::memory_order_relaxed);
+    Arena* arena = arena_.load(std::memory_order_relaxed);
+    arena->transactions.store(total_transactions(),
+                              std::memory_order_relaxed);
+    arena->heartbeats.fetch_add(1, std::memory_order_relaxed);
 
     // Manager liveness: an EOF (or hard error) on the socket means the
     // manager is gone. Release the signal gate so no worker stays suspended
-    // forever — the application free-runs under the kernel scheduler until
-    // it reconnects (docs/ROBUSTNESS.md).
+    // forever — the application free-runs under the kernel scheduler
+    // (docs/ROBUSTNESS.md) and, with a reattach budget, retries the
+    // connection against the manager's next generation.
     char probe = 0;
-    const ssize_t n =
-        ::recv(sock_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    const ssize_t n = ::recv(sock_.load(std::memory_order_relaxed), &probe, 1,
+                             MSG_PEEK | MSG_DONTWAIT);
     if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
                    errno != EINTR)) {
       unmanaged_.store(true, std::memory_order_relaxed);
       SignalGate::instance().release_all();
-      return;  // nobody is reading the arena anymore
+      if (reattach_.attempts <= 0) return;  // permanent free-run
+
+      // Jittered-backoff reattach loop: the supervisor needs time to
+      // restart the manager, and a herd of clients must not stampede the
+      // fresh socket in lockstep.
+      bool back = false;
+      std::uint64_t backoff = reattach_.initial_backoff_us;
+      for (int attempt = 0; attempt < reattach_.attempts; ++attempt) {
+        if (try_reattach()) {
+          back = true;
+          break;
+        }
+        const double factor =
+            1.0 + reattach_.jitter * (rng.uniform() - 0.5);
+        const auto sleep_us = static_cast<std::uint64_t>(
+            static_cast<double>(backoff) * (factor > 0.0 ? factor : 1.0));
+        if (!interruptible_sleep_us(sleep_us)) return;
+        backoff = std::min(
+            static_cast<std::uint64_t>(static_cast<double>(backoff) *
+                                       reattach_.multiplier),
+            reattach_.max_backoff_us);
+      }
+      if (!back) return;  // budget spent: permanent free-run
+      continue;           // reattached — resume publishing immediately
     }
-    std::this_thread::sleep_for(period);
+    const std::uint64_t period_us =
+        update_period_us_.load(std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(period_us > 0 ? period_us : 100000));
   }
 }
 
@@ -186,14 +310,10 @@ void Client::disconnect() {
     stop_updater_.store(true, std::memory_order_relaxed);
     updater_.join();
   }
-  if (sock_ >= 0) {
-    ::close(sock_);
-    sock_ = -1;
-  }
-  if (arena_ != nullptr) {
-    ::munmap(arena_, sizeof(Arena));
-    arena_ = nullptr;
-  }
+  const int sock = sock_.exchange(-1, std::memory_order_acq_rel);
+  if (sock >= 0) ::close(sock);
+  Arena* arena = arena_.exchange(nullptr, std::memory_order_acq_rel);
+  if (arena != nullptr) ::munmap(arena, sizeof(Arena));
 }
 
 }  // namespace bbsched::runtime

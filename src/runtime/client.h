@@ -90,7 +90,29 @@ class Client {
   /// Stops the updater and closes the connection.
   void disconnect();
 
-  [[nodiscard]] bool connected() const noexcept { return sock_ >= 0; }
+  /// Arms automatic reattach: when the updater detects the manager's death
+  /// it releases the signal gate (free-run), then retries the connection
+  /// under `retry`'s jittered-backoff budget, sending kReattach so the new
+  /// manager generation adopts this application's journaled feed state.
+  /// On success the gate is re-armed and the workers come back under gang
+  /// gating — no thread restarts. Budget exhausted => permanent free-run.
+  /// Call before ready(). attempts <= 0 disables (the default).
+  void set_reattach(const ConnectRetry& retry) { reattach_ = retry; }
+
+  /// Manager generation this client is attached to (learned from HelloAck;
+  /// bumps after every successful reattach).
+  [[nodiscard]] std::uint32_t generation() const noexcept {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+  /// Successful reattaches to a restarted manager so far.
+  [[nodiscard]] int reattaches() const noexcept {
+    return reattaches_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool connected() const noexcept {
+    return sock_.load(std::memory_order_relaxed) >= 0;
+  }
 
   /// True once the updater detected the manager's death (socket EOF). The
   /// signal gate has then been released: the application free-runs under
@@ -105,9 +127,11 @@ class Client {
   }
 
   [[nodiscard]] std::uint64_t update_period_us() const noexcept {
-    return update_period_us_;
+    return update_period_us_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] const Arena* arena() const noexcept { return arena_; }
+  [[nodiscard]] const Arena* arena() const noexcept {
+    return arena_.load(std::memory_order_relaxed);
+  }
 
   /// Sum of all registered workers' counters (what the updater publishes).
   [[nodiscard]] std::uint64_t total_transactions() const;
@@ -121,11 +145,30 @@ class Client {
 
  private:
   void updater_loop();
+  /// One reattach attempt from the updater thread: reconnect, kReattach
+  /// handshake, arena remap, kReady, gate re-arm. False leaves the client
+  /// free-running with its previous state intact.
+  bool try_reattach();
+  /// Sleeps `us` in small slices, aborting early when disconnect() asked
+  /// the updater to stop. Returns false on stop.
+  bool interruptible_sleep_us(std::uint64_t us);
 
-  int sock_ = -1;
-  Arena* arena_ = nullptr;
-  std::uint64_t update_period_us_ = 0;
+  // sock_ / arena_ / update_period_us_ are atomics because the updater
+  // thread swaps them during a reattach while other threads read them
+  // through the accessors above.
+  std::atomic<int> sock_{-1};
+  std::atomic<Arena*> arena_{nullptr};
+  std::atomic<std::uint64_t> update_period_us_{0};
   int nthreads_ = 0;
+
+  // Connection identity, kept for reattach (the manager must keep
+  // signalling the original leader tid — the workers never restart).
+  std::string socket_path_;
+  std::string name_;
+  std::int32_t leader_tid_ = 0;
+  std::atomic<std::uint32_t> generation_{0};
+  ConnectRetry reattach_{.attempts = 0};
+  std::atomic<int> reattaches_{0};
 
   mutable std::mutex mu_;
   std::vector<int> counter_slots_;

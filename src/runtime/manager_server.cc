@@ -49,6 +49,13 @@ ManagerServer::ManagerServer(const ServerConfig& cfg)
     m_handshake_timeouts_ =
         &cfg_.metrics->counter("server.faults.handshake_timeouts");
     m_stale_sockets_ = &cfg_.metrics->counter("server.faults.stale_sockets");
+    m_bad_messages_ = &cfg_.metrics->counter("server.faults.bad_message");
+    m_reattaches_ = &cfg_.metrics->counter("server.recovery.reattaches");
+    m_restores_ = &cfg_.metrics->counter("server.recovery.restores");
+    m_journal_appends_ =
+        &cfg_.metrics->counter("server.recovery.journal_appends");
+    m_journal_errors_ =
+        &cfg_.metrics->counter("server.recovery.journal_errors");
   }
 }
 
@@ -68,6 +75,9 @@ void ManagerServer::count_fault(obs::FaultKind kind, int app_id, double value,
       break;
     case obs::FaultKind::kStaleSocket:
       if (m_stale_sockets_ != nullptr) m_stale_sockets_->inc();
+      break;
+    case obs::FaultKind::kBadMessage:
+      if (m_bad_messages_ != nullptr) m_bad_messages_->inc();
       break;
     default:
       break;
@@ -123,6 +133,28 @@ bool ManagerServer::start() {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return false;
+  }
+
+  // Crash recovery: adopt the newest intact journal snapshot before the
+  // manager loop starts. Restored feeds are parked inside the CpuManager
+  // until their applications reattach; a missing/corrupt journal simply
+  // cold-starts (load_latest_snapshot never crashes on garbage).
+  restored_feeds_ = 0;
+  if (!cfg_.journal_path.empty()) {
+    core::ManagerSnapshot snap;
+    if (core::load_latest_snapshot(cfg_.journal_path, snap)) {
+      restored_feeds_ = manager_.restore(snap);
+      if (m_restores_ != nullptr) m_restores_->inc();
+      if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+        cfg_.tracer->recovery(
+            monotonic_now_us(),
+            {cfg_.generation, snap.quantum_index, restored_feeds_,
+             static_cast<std::uint8_t>(snap.degraded ? 1 : 0)});
+      }
+    }
+    journal_ = std::make_unique<core::JournalWriter>(
+        cfg_.journal_path, std::max(1, cfg_.journal_max_records));
+    quanta_since_journal_ = 0;
   }
 
   stopping_ = false;
@@ -192,14 +224,24 @@ void ManagerServer::accept_connection() {
     ::setsockopt(sock, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
 
+  MsgHeader hdr{};
   HelloMsg hello{};
-  if (!recv_all(sock, &hello, sizeof(hello)) ||
-      hello.magic != kProtocolMagic || hello.nthreads < 1) {
-    count_fault(obs::FaultKind::kHandshakeTimeout, -1, 0.0,
-                monotonic_now_us());
+  const RecvStatus st = recv_msg(sock, hdr, &hello, sizeof(hello));
+  const bool is_hello =
+      st == RecvStatus::kOk &&
+      (hdr.type == static_cast<std::uint16_t>(MsgType::kHello) ||
+       hdr.type == static_cast<std::uint16_t>(MsgType::kReattach));
+  if (!is_hello || hello.nthreads < 1) {
+    // A clean close or a receive timeout mid-handshake is a handshake
+    // failure; a structurally broken frame is a corrupt message.
+    count_fault(st == RecvStatus::kBad ? obs::FaultKind::kBadMessage
+                                       : obs::FaultKind::kHandshakeTimeout,
+                -1, 0.0, monotonic_now_us());
     ::close(sock);
     return;
   }
+  const bool reattach =
+      hdr.type == static_cast<std::uint16_t>(MsgType::kReattach);
 
   // Create the shared arena as an anonymous memfd and hand it over.
   const int arena_fd = static_cast<int>(
@@ -231,11 +273,13 @@ void ManagerServer::accept_connection() {
                    strnlen(hello.name, sizeof(hello.name)));
   app->arena = arena;
   app->arena_fd = arena_fd;
+  app->reattached = reattach;
 
   HelloAck ack{};
   ack.update_period_us = period;
   ack.app_id = static_cast<int>(apps_.size());
-  if (!send_with_fd(sock, &ack, sizeof(ack), arena_fd)) {
+  if (!send_msg(sock, MsgType::kHelloAck, cfg_.generation, &ack, sizeof(ack),
+                arena_fd)) {
     ::munmap(mem, sizeof(Arena));
     ::close(arena_fd);
     ::close(sock);
@@ -248,17 +292,39 @@ void ManagerServer::accept_connection() {
 
 bool ManagerServer::handle_client(std::size_t idx) {
   AppConn& app = *apps_[idx];
+  MsgHeader hdr{};
   ReadyMsg msg{};
-  if (!recv_all(app.sock, &msg, sizeof(msg)) ||
-      msg.magic != kProtocolMagic) {
-    return false;  // EOF or garbage => disconnect
+  const RecvStatus st = recv_msg(app.sock, hdr, &msg, sizeof(msg));
+  if (st != RecvStatus::kOk ||
+      hdr.type != static_cast<std::uint16_t>(MsgType::kReady) ||
+      hdr.generation != cfg_.generation) {
+    // EOF => plain disconnect. A corrupt frame — or a Ready stamped with a
+    // previous manager generation (stale pipeline from before a restart) —
+    // is a protocol fault worth counting before the drop.
+    if (st == RecvStatus::kBad ||
+        (st == RecvStatus::kOk && hdr.generation != cfg_.generation)) {
+      count_fault(obs::FaultKind::kBadMessage, app.manager_id, 0.0,
+                  monotonic_now_us());
+    }
+    return false;
   }
   std::lock_guard<std::mutex> lk(mu_);
   if (!app.ready) {
     app.ready = true;
+    const std::size_t pending_before = manager_.pending_restores();
     app.manager_id = manager_.connect(app.name, app.nthreads);
+    const bool adopted = manager_.pending_restores() < pending_before;
     app.last_read = app.arena->transactions.load(std::memory_order_relaxed);
     // The app keeps running until the first election decides otherwise.
+    if (app.reattached) {
+      if (m_reattaches_ != nullptr) m_reattaches_->inc();
+      if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+        cfg_.tracer->reattach(
+            monotonic_now_us(),
+            {app.manager_id, cfg_.generation,
+             static_cast<std::uint8_t>(adopted ? 1 : 0)});
+      }
+    }
   }
   return true;
 }
@@ -390,6 +456,21 @@ void ManagerServer::quantum_boundary(std::uint64_t now_us) {
     }
   }
   if (any_dead) reap_dead_locked(now_us);
+
+  // Journal on a bounded cadence: the snapshot trails live state by at most
+  // journal_period_quanta elections. Append failure is advisory (counted,
+  // never fatal) — losing the journal must not take the manager down.
+  if (journal_ != nullptr &&
+      ++quanta_since_journal_ >= std::max(1, cfg_.journal_period_quanta)) {
+    quanta_since_journal_ = 0;
+    core::ManagerSnapshot snap;
+    manager_.snapshot(snap);
+    if (journal_->append(snap)) {
+      if (m_journal_appends_ != nullptr) m_journal_appends_->inc();
+    } else if (m_journal_errors_ != nullptr) {
+      m_journal_errors_->inc();
+    }
+  }
 }
 
 void ManagerServer::loop() {
@@ -468,6 +549,11 @@ std::uint64_t ManagerServer::elections() const {
 std::size_t ManagerServer::connected_apps() const {
   std::lock_guard<std::mutex> lk(mu_);
   return apps_.size();
+}
+
+std::size_t ManagerServer::pending_restores() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return manager_.pending_restores();
 }
 
 std::vector<std::string> ManagerServer::running_app_names() const {

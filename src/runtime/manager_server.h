@@ -55,6 +55,27 @@ struct ServerConfig {
   /// a live one with a frozen updater is reported as kStaleArena and left
   /// to the staleness policy. >= 2 tolerates sampling/updater phase drift.
   int heartbeat_stall_intervals = 3;
+
+  // ---- crash recovery (docs/ROBUSTNESS.md §7) ----
+
+  /// Manager restart epoch, stamped into every outgoing protocol frame.
+  /// The supervisor increments it per restart; clients learn it from
+  /// HelloAck and messages from an older epoch are rejected.
+  std::uint32_t generation = 0;
+
+  /// State journal path; empty disables journaling. On start() the newest
+  /// intact snapshot is restored (feeds parked for adoption by reattaching
+  /// clients); every `journal_period_quanta` elections the manager state is
+  /// appended. Journal I/O failure is advisory — it never takes the control
+  /// plane down.
+  std::string journal_path;
+
+  /// Elections between journal appends (>= 1). The journal trails live
+  /// state by at most this many quanta — the recovery staleness bound.
+  int journal_period_quanta = 4;
+
+  /// Journal appends before compaction to a single record.
+  int journal_max_records = 64;
 };
 
 class ManagerServer {
@@ -82,6 +103,13 @@ class ManagerServer {
   [[nodiscard]] std::vector<std::string> running_app_names() const;
   /// Latest policy estimate (BBW/thread, transactions/µs) per app name.
   [[nodiscard]] std::vector<std::pair<std::string, double>> estimates() const;
+  /// Feeds restored from the journal at start() and still awaiting a
+  /// reattaching client to adopt them.
+  [[nodiscard]] std::size_t pending_restores() const;
+  /// Feeds parked by the journal restore at start() (0 = cold start).
+  [[nodiscard]] int restored_feeds() const noexcept {
+    return restored_feeds_;
+  }
 
   [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
 
@@ -102,6 +130,7 @@ class ManagerServer {
     std::uint64_t last_heartbeat = 0;  ///< arena heartbeat at last sample
     int stall_intervals = 0;           ///< consecutive no-progress samples
     bool dead = false;                 ///< leader gone (ESRCH); reap pending
+    bool reattached = false;           ///< joined via kReattach (recovery)
   };
 
   void loop();
@@ -135,11 +164,21 @@ class ManagerServer {
   int samples_taken_ = 0;
   bool stopping_ = false;
 
+  // ---- crash recovery ----
+  std::unique_ptr<core::JournalWriter> journal_;
+  int quanta_since_journal_ = 0;
+  int restored_feeds_ = 0;
+
   // ---- server fault counters (non-owning; null = off) ----
   obs::Counter* m_dead_leaders_ = nullptr;
   obs::Counter* m_stale_arenas_ = nullptr;
   obs::Counter* m_handshake_timeouts_ = nullptr;
   obs::Counter* m_stale_sockets_ = nullptr;
+  obs::Counter* m_bad_messages_ = nullptr;
+  obs::Counter* m_reattaches_ = nullptr;
+  obs::Counter* m_restores_ = nullptr;
+  obs::Counter* m_journal_appends_ = nullptr;
+  obs::Counter* m_journal_errors_ = nullptr;
 };
 
 /// Monotonic clock in microseconds.

@@ -7,6 +7,72 @@
 
 namespace bbsched::runtime {
 
+std::size_t expected_payload_len(std::uint16_t type) noexcept {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kHello:
+    case MsgType::kReattach:
+      return sizeof(HelloMsg);
+    case MsgType::kHelloAck:
+      return sizeof(HelloAck);
+    case MsgType::kReady:
+      return sizeof(ReadyMsg);
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+bool send_msg(int sock, MsgType type, std::uint32_t generation,
+              const void* payload, std::size_t payload_len, int fd) {
+  MsgHeader hdr{};
+  hdr.type = static_cast<std::uint16_t>(type);
+  hdr.payload_len = static_cast<std::uint32_t>(payload_len);
+  hdr.generation = generation;
+  // The descriptor rides on the header write; the payload follows plain.
+  if (fd >= 0) {
+    if (!send_with_fd(sock, &hdr, sizeof(hdr), fd)) return false;
+  } else {
+    if (!send_all(sock, &hdr, sizeof(hdr))) return false;
+  }
+  return payload_len == 0 || send_all(sock, payload, payload_len);
+}
+
+RecvStatus recv_msg(int sock, MsgHeader& hdr, void* payload,
+                    std::size_t payload_cap, int* fd_out) {
+  if (fd_out != nullptr) *fd_out = -1;
+
+  // Distinguish a clean disconnect (EOF before any byte) from a truncated
+  // header: peek at the first byte, then commit to the full read.
+  char probe = 0;
+  ssize_t n;
+  for (;;) {
+    n = ::recv(sock, &probe, 1, MSG_PEEK);
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  if (n == 0) return RecvStatus::kClosed;
+  if (n < 0) {
+    // SO_RCVTIMEO expiring before the first byte is a *slow* peer, not a
+    // corrupt one — the caller may want to account them differently.
+    return errno == EAGAIN || errno == EWOULDBLOCK ? RecvStatus::kTimeout
+                                                   : RecvStatus::kBad;
+  }
+
+  if (!recv_with_fd(sock, &hdr, sizeof(hdr), fd_out)) return RecvStatus::kBad;
+  const bool valid =
+      hdr.magic == kProtocolMagic && hdr.version == kProtocolVersion &&
+      expected_payload_len(hdr.type) == hdr.payload_len &&
+      hdr.payload_len <= payload_cap &&
+      (hdr.payload_len == 0 || recv_all(sock, payload, hdr.payload_len));
+  if (!valid) {
+    // Never leak a descriptor that rode in on a frame we then rejected.
+    if (fd_out != nullptr && *fd_out >= 0) {
+      ::close(*fd_out);
+      *fd_out = -1;
+    }
+    return RecvStatus::kBad;
+  }
+  return RecvStatus::kOk;
+}
+
 bool send_all(int sock, const void* bytes, std::size_t len) {
   const char* p = static_cast<const char*>(bytes);
   while (len > 0) {

@@ -1,0 +1,302 @@
+#include "runtime/supervisor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace bbsched::runtime {
+
+namespace {
+
+// SIGTERM can be delivered on any of the child's threads (the manager
+// spawns its own loop thread), so handler→main-loop visibility needs a
+// lock-free atomic — volatile sig_atomic_t only covers a handler
+// interrupting the same thread. Lock-free atomics are async-signal-safe.
+std::atomic<int> g_child_term{0};
+
+void child_term_handler(int) {
+  g_child_term.store(1, std::memory_order_relaxed);
+}
+
+/// Child-process body: run the manager, heartbeat the parent, exit 0 on
+/// SIGTERM. Never returns. Uses _exit so the parent's atexit handlers and
+/// static destructors (inherited by fork) run exactly once — in the parent.
+[[noreturn]] void run_manager_child(const ServerConfig& server_cfg,
+                                    std::uint64_t heartbeat_period_us,
+                                    int heartbeat_wr) {
+  g_child_term.store(0, std::memory_order_relaxed);
+  struct sigaction sa{};
+  sa.sa_handler = child_term_handler;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  // Parent-side observability pointers are copies of parent memory here:
+  // writable but invisible to the parent. Detach them — the child's own
+  // story is told through the journal and the protocol.
+  ServerConfig cfg = server_cfg;
+  cfg.tracer = nullptr;
+  cfg.metrics = nullptr;
+
+  ManagerServer server(cfg);
+  if (!server.start()) {
+    ::close(heartbeat_wr);
+    ::_exit(3);  // bind failed / live manager on the path: crash-restart
+  }
+
+  timespec period{};
+  period.tv_sec = static_cast<time_t>(heartbeat_period_us / 1000000ULL);
+  period.tv_nsec =
+      static_cast<long>((heartbeat_period_us % 1000000ULL) * 1000ULL);
+  while (g_child_term.load(std::memory_order_relaxed) == 0) {
+    const char beat = 'h';
+    const ssize_t n = ::write(heartbeat_wr, &beat, 1);
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      break;  // parent is gone; no point outliving it
+    }
+    ::nanosleep(&period, nullptr);  // EINTR (SIGTERM) re-checks the flag
+  }
+  server.stop();
+  ::close(heartbeat_wr);
+  ::_exit(0);
+}
+
+}  // namespace
+
+Supervisor::Supervisor(const SupervisorConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed), backoff_us_(cfg.initial_backoff_us) {
+  if (cfg_.metrics != nullptr) {
+    m_restarts_ =
+        &cfg_.metrics->counter("server.recovery.supervisor_restarts");
+    m_watchdog_kills_ =
+        &cfg_.metrics->counter("server.recovery.watchdog_kills");
+    m_gave_up_ = &cfg_.metrics->gauge("server.recovery.supervisor_gave_up");
+  }
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+bool Supervisor::kill_child(int sig) const {
+  const pid_t pid = child_pid_.load(std::memory_order_relaxed);
+  return pid > 0 && ::kill(pid, sig) == 0;
+}
+
+void Supervisor::close_heartbeat() {
+  if (heartbeat_fd_ >= 0) {
+    ::close(heartbeat_fd_);
+    heartbeat_fd_ = -1;
+  }
+}
+
+bool Supervisor::spawn_child() {
+  int fds[2] = {-1, -1};
+  // Both ends non-blocking: the parent drains without blocking, and a
+  // full pipe (parent briefly behind) costs the child one heartbeat, not a
+  // stall.
+  if (::pipe2(fds, O_CLOEXEC | O_NONBLOCK) < 0) return false;
+
+  ServerConfig child_cfg = cfg_.server;
+  child_cfg.generation = generation_.load(std::memory_order_relaxed) + 1;
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    run_manager_child(child_cfg, cfg_.heartbeat_period_us, fds[1]);
+  }
+  ::close(fds[1]);
+  heartbeat_fd_ = fds[0];
+  generation_.store(child_cfg.generation, std::memory_order_relaxed);
+  child_pid_.store(pid, std::memory_order_relaxed);
+  return true;
+}
+
+bool Supervisor::start() {
+  if (monitor_.joinable()) return false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = false;
+  }
+  gave_up_.store(false, std::memory_order_relaxed);
+  if (m_gave_up_ != nullptr) m_gave_up_->set(0.0);
+  if (!spawn_child()) return false;
+  if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+    cfg_.tracer->supervisor_restart(monotonic_now_us(),
+                                    {generation(), 0, 0, 0});
+  }
+  supervising_.store(true, std::memory_order_relaxed);
+  monitor_ = std::thread([this] { monitor_loop(); });
+  return true;
+}
+
+void Supervisor::stop() {
+  if (!monitor_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // SIGCONT first: a SIGSTOPped child (chaos) cannot handle SIGTERM.
+  const pid_t pid = child_pid_.load(std::memory_order_relaxed);
+  if (pid > 0) {
+    ::kill(pid, SIGCONT);
+    ::kill(pid, SIGTERM);
+  }
+  monitor_.join();
+}
+
+bool Supervisor::breaker_allows(std::uint64_t now_us) {
+  if (cfg_.max_restarts <= 0) return true;
+  while (!restart_times_us_.empty() &&
+         now_us - restart_times_us_.front() > cfg_.breaker_window_us) {
+    restart_times_us_.pop_front();
+  }
+  return static_cast<int>(restart_times_us_.size()) < cfg_.max_restarts;
+}
+
+bool Supervisor::backoff_sleep() {
+  const double factor = 1.0 + cfg_.jitter * (rng_.uniform() - 0.5);
+  const auto sleep_us = static_cast<std::uint64_t>(
+      static_cast<double>(backoff_us_) * (factor > 0.0 ? factor : 1.0));
+  backoff_us_ = std::min(
+      static_cast<std::uint64_t>(static_cast<double>(backoff_us_) *
+                                 cfg_.backoff_multiplier),
+      cfg_.max_backoff_us);
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait_for(lk, std::chrono::microseconds(sleep_us),
+               [this] { return stopping_; });
+  return !stopping_;
+}
+
+void Supervisor::monitor_loop() {
+  int status = 0;
+  for (;;) {
+    const pid_t pid = child_pid_.load(std::memory_order_relaxed);
+    bool exited = false;
+    bool stop_requested = false;
+    int misses = 0;
+
+    while (!exited && !stop_requested) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_requested = stopping_;
+      }
+      if (stop_requested) break;
+
+      pollfd pfd{heartbeat_fd_, POLLIN, 0};
+      const int timeout_ms =
+          static_cast<int>(cfg_.heartbeat_period_us / 1000ULL) + 1;
+      const int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc < 0 && errno != EINTR) break;
+
+      if (rc > 0) {
+        char buf[64];
+        ssize_t n;
+        while ((n = ::read(heartbeat_fd_, buf, sizeof(buf))) > 0) {
+          misses = 0;
+          // A live heartbeat proves the restart took: reset the backoff so
+          // the *next* crash starts from the minimum again.
+          backoff_us_ = cfg_.initial_backoff_us;
+        }
+        if (n == 0) {
+          // EOF: the child closed its write end — it exited. Reap it.
+          while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+          }
+          exited = true;
+        }
+      } else if (rc == 0 && cfg_.heartbeat_miss_limit > 0 &&
+                 ++misses >= cfg_.heartbeat_miss_limit) {
+        // Hang watchdog: no heartbeat for the whole budget. A SIGSTOPped,
+        // livelocked or deadlocked manager is operationally dead — kill it
+        // (SIGKILL terminates stopped processes too) and restart.
+        ::kill(pid, SIGKILL);
+        if (m_watchdog_kills_ != nullptr) m_watchdog_kills_->inc();
+        while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        exited = true;
+      }
+    }
+
+    if (stop_requested) {
+      if (!exited && pid > 0) {
+        // stop() already sent SIGCONT+SIGTERM. Give the child a bounded
+        // grace period, then escalate.
+        for (int i = 0; i < 200 && !exited; ++i) {
+          if (::waitpid(pid, &status, WNOHANG) == pid) {
+            exited = true;
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        if (!exited) {
+          ::kill(pid, SIGKILL);
+          while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+          }
+        }
+      }
+      close_heartbeat();
+      child_pid_.store(-1, std::memory_order_relaxed);
+      supervising_.store(false, std::memory_order_relaxed);
+      return;
+    }
+
+    close_heartbeat();
+    child_pid_.store(-1, std::memory_order_relaxed);
+
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      // Clean shutdown is never restarted.
+      supervising_.store(false, std::memory_order_relaxed);
+      return;
+    }
+
+    const std::uint64_t now = monotonic_now_us();
+    if (!breaker_allows(now)) {
+      // Restart storm: give up permanently. Clients exhaust their reattach
+      // budgets and free-run — the documented degraded mode.
+      gave_up_.store(true, std::memory_order_relaxed);
+      if (m_gave_up_ != nullptr) m_gave_up_->set(1.0);
+      if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+        cfg_.tracer->supervisor_restart(
+            now, {generation() + 1,
+                  restarts_.load(std::memory_order_relaxed), 0, 1});
+      }
+      supervising_.store(false, std::memory_order_relaxed);
+      return;
+    }
+
+    const std::uint64_t backoff_taken = backoff_us_;
+    if (!backoff_sleep()) {
+      supervising_.store(false, std::memory_order_relaxed);
+      return;  // stop() during the backoff; the child is already gone
+    }
+    restart_times_us_.push_back(monotonic_now_us());
+    restarts_.fetch_add(1, std::memory_order_relaxed);
+    if (m_restarts_ != nullptr) m_restarts_->inc();
+
+    if (!spawn_child()) {
+      // fork failed: treat as an instant crash — the breaker and backoff
+      // pace the retries. Synthesize a non-clean status.
+      status = 0x7f;
+      continue;
+    }
+    if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+      cfg_.tracer->supervisor_restart(
+          monotonic_now_us(),
+          {generation(), restarts_.load(std::memory_order_relaxed),
+           backoff_taken, 0});
+    }
+  }
+}
+
+}  // namespace bbsched::runtime

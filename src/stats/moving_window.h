@@ -57,6 +57,17 @@ class MovingWindow {
     sum_ = 0.0;
   }
 
+  /// Copies the held samples oldest-first into `out` (replacing its
+  /// contents). Re-pushing them into an empty window of the same capacity
+  /// rebuilds identical state — the journal snapshot/restore contract.
+  void copy_samples(std::vector<double>& out) const {
+    out.clear();
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) {
+      out.push_back(buf_[(head_ + buf_.size() - size_ + i) % buf_.size()]);
+    }
+  }
+
  private:
   std::vector<double> buf_;
   std::size_t head_ = 0;

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <set>
+#include <vector>
 
 #include "core/bandwidth_stats.h"
 #include "core/cpu_manager.h"
@@ -457,6 +459,99 @@ TEST(StalenessPolicy, MissedQuantaAreCountedAndTraced) {
   });
   EXPECT_EQ(fault_events, 5);
   EXPECT_GE(degradation_events, 3);  // hold, decay, quarantine, round-robin
+}
+
+// Ladder edge: every feed walks the ladder in lockstep, so all of them
+// quarantine in the SAME quantum; a single fresh sample later must lift the
+// manager out of round-robin within one quantum, and the trace's
+// DegradationChange events must pair up (manager enter/exit, per-feed
+// transitions chaining live → ... → quarantined → live).
+TEST(StalenessPolicy, LockstepQuarantineAndSingleQuantumRecovery) {
+  const ManagerConfig c = staleness_cfg();
+  CpuManager mgr(c);
+  obs::Tracer tracer(obs::TracerConfig{true, 1024});
+  mgr.set_tracer(&tracer);
+  const int a = mgr.connect("a", 1);
+  const int b = mgr.connect("b", 1);
+  const int d = mgr.connect("c", 1);
+
+  std::uint64_t now = 0;
+  auto advance = [&] {
+    now += c.quantum_us;
+    mgr.schedule_quantum(4, now);  // 4 procs: all three run every quantum
+  };
+
+  // Quantum 1: every feed delivers.
+  mgr.schedule_quantum(4, now);
+  for (int id : {a, b, d}) mgr.record_sample(id, 4.0 * 200'000.0, now);
+  advance();
+  for (int id : {a, b, d}) {
+    EXPECT_EQ(mgr.feed_state(id), obs::DegradationState::kLive);
+  }
+
+  // Then total silence: the feeds advance in lockstep. After
+  // dead_feed_quanta=2 full-miss quanta the manager degrades; at
+  // quarantine_after=4 misses all three feeds quarantine together.
+  advance();  // miss 1 — hold
+  EXPECT_FALSE(mgr.degraded());
+  advance();  // miss 2 — decay; dead quanta reaches 2 → round-robin
+  EXPECT_TRUE(mgr.degraded());
+  advance();  // miss 3 — decay
+  advance();  // miss 4 — quarantine, all in this same quantum
+  for (int id : {a, b, d}) {
+    EXPECT_EQ(mgr.feed_state(id), obs::DegradationState::kQuarantined);
+  }
+  EXPECT_TRUE(mgr.degraded());
+
+  // One feed revives. Degraded first-fit still runs all three (4 procs),
+  // so the next boundary folds the fresh sample and must exit round-robin
+  // in exactly one quantum — with the other two still quarantined.
+  mgr.record_sample(a, 6.0 * 200'000.0, now);
+  advance();
+  EXPECT_FALSE(mgr.degraded());
+  EXPECT_EQ(mgr.feed_state(a), obs::DegradationState::kLive);
+  EXPECT_EQ(mgr.feed_state(b), obs::DegradationState::kQuarantined);
+  EXPECT_EQ(mgr.feed_state(d), obs::DegradationState::kQuarantined);
+  EXPECT_DOUBLE_EQ(mgr.policy_estimate(a), 6.0);
+
+  // Trace audit. Manager-wide events (app_id == -1) must be a matched
+  // enter/exit pair; the quarantine transitions of all feeds must share one
+  // timestamp; each feed's transitions must chain (from == previous to).
+  std::vector<obs::DegradationPayload> manager_events;
+  std::vector<std::uint64_t> quarantine_ts;
+  std::map<int, std::vector<obs::DegradationPayload>> feed_events;
+  tracer.events().for_each([&](const obs::TraceEvent& e) {
+    if (e.type != obs::EventType::kDegradationChange) return;
+    if (e.degradation.app_id == -1) {
+      manager_events.push_back(e.degradation);
+    } else {
+      feed_events[e.degradation.app_id].push_back(e.degradation);
+      if (e.degradation.to == obs::DegradationState::kQuarantined) {
+        quarantine_ts.push_back(e.time_us);
+      }
+    }
+  });
+
+  ASSERT_EQ(manager_events.size(), 2u);
+  EXPECT_EQ(manager_events[0].from, obs::DegradationState::kLive);
+  EXPECT_EQ(manager_events[0].to, obs::DegradationState::kRoundRobin);
+  EXPECT_EQ(manager_events[1].from, obs::DegradationState::kRoundRobin);
+  EXPECT_EQ(manager_events[1].to, obs::DegradationState::kLive);
+
+  ASSERT_EQ(quarantine_ts.size(), 3u);
+  EXPECT_EQ(quarantine_ts[0], quarantine_ts[1]);
+  EXPECT_EQ(quarantine_ts[1], quarantine_ts[2]);
+
+  for (const auto& [id, events] : feed_events) {
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.front().from, obs::DegradationState::kLive);
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].from, events[i - 1].to) << "feed " << id;
+    }
+    EXPECT_EQ(events.back().to, id == a
+                                    ? obs::DegradationState::kLive
+                                    : obs::DegradationState::kQuarantined);
+  }
 }
 
 }  // namespace

@@ -93,10 +93,7 @@ TEST_F(ManagerServerTest, ClientConnectReceivesArena) {
   });
 
   // The server sees the connection (app not yet 'ready').
-  for (int i = 0; i < 200 && server.connected_apps() == 0; ++i) {
-    std::this_thread::sleep_for(5ms);
-  }
-  EXPECT_EQ(server.connected_apps(), 1u);
+  EXPECT_TRUE(eventually([&] { return server.connected_apps() == 1; }));
   done.store(true);
   app.join();
   server.stop();
@@ -139,7 +136,8 @@ TEST_F(ManagerServerTest, GangSchedulesTwoApplications) {
   // thread, which the manager signals directly (1-thread apps need no
   // forwarding), exercising the full socket/arena/signal path.
   std::thread a([&] { app_main(0, "hungry", 20.0); });
-  std::this_thread::sleep_for(20ms);  // ensure slot order: a first
+  // Ensure connection order (a first) without a timing-sensitive sleep.
+  ASSERT_TRUE(eventually([&] { return server.connected_apps() >= 1; }));
   std::thread b([&] { app_main(1, "quiet", 0.01); });
 
   // Observe the manager for ~0.9 s (~22 quanta), sampling which apps it has
@@ -190,16 +188,14 @@ TEST_F(ManagerServerTest, ClientDisconnectRemovesApp) {
     Client client;
     ASSERT_TRUE(client.connect(cfg.socket_path, "ephemeral", 1));
     ASSERT_TRUE(client.ready());
-    std::this_thread::sleep_for(150ms);
+    // Stay connected until the server has registered us, then leave.
+    EXPECT_TRUE(eventually([&] { return server.connected_apps() == 1; }));
     client.unregister_worker();
     client.disconnect();
   });
   app.join();
 
-  for (int i = 0; i < 200 && server.connected_apps() > 0; ++i) {
-    std::this_thread::sleep_for(5ms);
-  }
-  EXPECT_EQ(server.connected_apps(), 0u);
+  EXPECT_TRUE(eventually([&] { return server.connected_apps() == 0; }));
   server.stop();
 }
 
@@ -247,16 +243,20 @@ TEST_F(ManagerServerTest, AbruptClientCloseIsReaped) {
     hello.leader_tid = static_cast<std::int32_t>(::syscall(SYS_gettid));
     hello.nthreads = 1;
     std::strncpy(hello.name, "victim", sizeof(hello.name) - 1);
-    ASSERT_TRUE(send_all(sock, &hello, sizeof(hello)));
+    ASSERT_TRUE(send_msg(sock, MsgType::kHello, 0, &hello, sizeof(hello)));
+    MsgHeader hdr{};
     HelloAck ack{};
     int arena_fd = -1;
-    ASSERT_TRUE(recv_with_fd(sock, &ack, sizeof(ack), &arena_fd));
+    ASSERT_EQ(recv_msg(sock, hdr, &ack, sizeof(ack), &arena_fd),
+              RecvStatus::kOk);
     if (arena_fd >= 0) ::close(arena_fd);
     ReadyMsg ready{};
-    ASSERT_TRUE(send_all(sock, &ready, sizeof(ready)));
+    ASSERT_TRUE(
+        send_msg(sock, MsgType::kReady, hdr.generation, &ready, sizeof(ready)));
     // Stay visible long enough for the manager to elect us at least once.
     ASSERT_TRUE(eventually([&] { return server.connected_apps() == 2; }));
-    std::this_thread::sleep_for(100ms);
+    const std::uint64_t before = server.elections();
+    ASSERT_TRUE(eventually([&] { return server.elections() > before; }));
     ::close(sock);  // abrupt death: no Disconnect message
     SignalGate::instance().unregister_current_thread();
   });
@@ -377,13 +377,16 @@ TEST_F(ManagerServerTest, DeadLeaderIsReaped) {
     hello.leader_tid = static_cast<std::int32_t>(::syscall(SYS_gettid));
     hello.nthreads = 1;
     std::strncpy(hello.name, "ghost", sizeof(hello.name) - 1);
-    ASSERT_TRUE(send_all(sock, &hello, sizeof(hello)));
+    ASSERT_TRUE(send_msg(sock, MsgType::kHello, 0, &hello, sizeof(hello)));
+    MsgHeader hdr{};
     HelloAck ack{};
     int arena_fd = -1;
-    ASSERT_TRUE(recv_with_fd(sock, &ack, sizeof(ack), &arena_fd));
+    ASSERT_EQ(recv_msg(sock, hdr, &ack, sizeof(ack), &arena_fd),
+              RecvStatus::kOk);
     if (arena_fd >= 0) ::close(arena_fd);
     ReadyMsg ready{};
-    ASSERT_TRUE(send_all(sock, &ready, sizeof(ready)));
+    ASSERT_TRUE(
+        send_msg(sock, MsgType::kReady, hdr.generation, &ready, sizeof(ready)));
     SignalGate::instance().unregister_current_thread();
   });
   ghost.join();  // the leader tid is now gone; `sock` is still open
@@ -452,6 +455,79 @@ TEST_F(ManagerServerTest, ConnectRetryBudgetExhausts) {
   Client client;
   EXPECT_FALSE(client.connect("/tmp/bbsched-no-such-socket.sock", "x", 1,
                               retry));
+}
+
+// A corrupt frame (wrong magic) on the handshake is counted as a bad
+// message and dropped; the server keeps serving well-formed clients.
+TEST_F(ManagerServerTest, CorruptHandshakeFrameIsCountedAndDropped) {
+  obs::MetricsRegistry metrics;
+  ServerConfig cfg;
+  cfg.socket_path = test_socket_path();
+  cfg.metrics = &metrics;
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+
+  const int garbler = raw_connect(cfg.socket_path);
+  ASSERT_GE(garbler, 0);
+  MsgHeader bad{};
+  bad.magic = 0x41414141;
+  bad.type = static_cast<std::uint16_t>(MsgType::kHello);
+  bad.payload_len = sizeof(HelloMsg);
+  HelloMsg payload{};
+  ASSERT_TRUE(send_all(garbler, &bad, sizeof(bad)));
+  ASSERT_TRUE(send_all(garbler, &payload, sizeof(payload)));
+
+  EXPECT_TRUE(eventually([&] {
+    return metrics.counter("server.faults.bad_message").value() >= 1;
+  }));
+  EXPECT_EQ(server.connected_apps(), 0u);
+
+  Client client;
+  EXPECT_TRUE(client.connect(cfg.socket_path, "wellformed", 1));
+  EXPECT_TRUE(eventually([&] { return server.connected_apps() == 1; }));
+  client.unregister_worker();
+  client.disconnect();
+  ::close(garbler);
+  server.stop();
+}
+
+// A Ready stamped with a stale generation (a pipeline from before a
+// restart) must be rejected, not acted upon.
+TEST_F(ManagerServerTest, CrossGenerationReadyIsRejected) {
+  obs::MetricsRegistry metrics;
+  ServerConfig cfg;
+  cfg.socket_path = test_socket_path();
+  cfg.metrics = &metrics;
+  cfg.generation = 5;
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+
+  const int sock = raw_connect(cfg.socket_path);
+  ASSERT_GE(sock, 0);
+  HelloMsg hello{};
+  hello.pid = ::getpid();
+  hello.leader_tid = static_cast<std::int32_t>(::syscall(SYS_gettid));
+  hello.nthreads = 1;
+  std::strncpy(hello.name, "time-traveler", sizeof(hello.name) - 1);
+  ASSERT_TRUE(send_msg(sock, MsgType::kHello, 0, &hello, sizeof(hello)));
+  MsgHeader hdr{};
+  HelloAck ack{};
+  int arena_fd = -1;
+  ASSERT_EQ(recv_msg(sock, hdr, &ack, sizeof(ack), &arena_fd),
+            RecvStatus::kOk);
+  EXPECT_EQ(hdr.generation, 5u);
+  if (arena_fd >= 0) ::close(arena_fd);
+
+  // Ready from generation 4: the previous manager's epoch.
+  ReadyMsg ready{};
+  ASSERT_TRUE(send_msg(sock, MsgType::kReady, 4, &ready, sizeof(ready)));
+  EXPECT_TRUE(eventually([&] {
+    return metrics.counter("server.faults.bad_message").value() >= 1;
+  }));
+  // Rejected => the app never reached the manager's applications list.
+  EXPECT_EQ(server.connected_apps(), 0u);
+  ::close(sock);
+  server.stop();
 }
 
 }  // namespace

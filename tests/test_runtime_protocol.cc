@@ -40,11 +40,124 @@ TEST(Protocol, SendRecvAll) {
 
   HelloMsg in{};
   ASSERT_TRUE(recv_all(sp.b, &in, sizeof(in)));
-  EXPECT_EQ(in.magic, kProtocolMagic);
   EXPECT_EQ(in.pid, 1234);
   EXPECT_EQ(in.leader_tid, 5678);
   EXPECT_EQ(in.nthreads, 3);
   EXPECT_STREQ(in.name, "myapp");
+}
+
+TEST(Protocol, FramedRoundTripCarriesGeneration) {
+  SocketPair sp;
+  HelloMsg out{};
+  out.pid = 1234;
+  out.nthreads = 3;
+  std::strcpy(out.name, "myapp");
+  ASSERT_TRUE(send_msg(sp.a, MsgType::kReattach, 7, &out, sizeof(out)));
+
+  MsgHeader hdr{};
+  HelloMsg in{};
+  ASSERT_EQ(recv_msg(sp.b, hdr, &in, sizeof(in)), RecvStatus::kOk);
+  EXPECT_EQ(hdr.magic, kProtocolMagic);
+  EXPECT_EQ(hdr.version, kProtocolVersion);
+  EXPECT_EQ(hdr.type, static_cast<std::uint16_t>(MsgType::kReattach));
+  EXPECT_EQ(hdr.generation, 7u);
+  EXPECT_EQ(hdr.payload_len, sizeof(HelloMsg));
+  EXPECT_EQ(in.pid, 1234);
+  EXPECT_STREQ(in.name, "myapp");
+}
+
+TEST(Protocol, RecvMsgCleanEofIsClosedNotBad) {
+  SocketPair sp;
+  ::close(sp.a);
+  sp.a = -1;
+  MsgHeader hdr{};
+  ReadyMsg msg{};
+  EXPECT_EQ(recv_msg(sp.b, hdr, &msg, sizeof(msg)), RecvStatus::kClosed);
+}
+
+TEST(Protocol, RecvMsgRejectsBadMagic) {
+  SocketPair sp;
+  MsgHeader hdr{};
+  hdr.magic = 0xdeadbeef;
+  hdr.type = static_cast<std::uint16_t>(MsgType::kReady);
+  hdr.payload_len = sizeof(ReadyMsg);
+  ReadyMsg payload{};
+  ASSERT_TRUE(send_all(sp.a, &hdr, sizeof(hdr)));
+  ASSERT_TRUE(send_all(sp.a, &payload, sizeof(payload)));
+
+  MsgHeader got{};
+  ReadyMsg msg{};
+  EXPECT_EQ(recv_msg(sp.b, got, &msg, sizeof(msg)), RecvStatus::kBad);
+}
+
+TEST(Protocol, RecvMsgRejectsWrongVersion) {
+  SocketPair sp;
+  MsgHeader hdr{};
+  hdr.version = kProtocolVersion + 1;
+  hdr.type = static_cast<std::uint16_t>(MsgType::kReady);
+  hdr.payload_len = sizeof(ReadyMsg);
+  ReadyMsg payload{};
+  ASSERT_TRUE(send_all(sp.a, &hdr, sizeof(hdr)));
+  ASSERT_TRUE(send_all(sp.a, &payload, sizeof(payload)));
+
+  MsgHeader got{};
+  ReadyMsg msg{};
+  EXPECT_EQ(recv_msg(sp.b, got, &msg, sizeof(msg)), RecvStatus::kBad);
+}
+
+TEST(Protocol, RecvMsgRejectsUnknownType) {
+  SocketPair sp;
+  MsgHeader hdr{};
+  hdr.type = 999;
+  hdr.payload_len = 0;
+  ASSERT_TRUE(send_all(sp.a, &hdr, sizeof(hdr)));
+
+  MsgHeader got{};
+  ReadyMsg msg{};
+  EXPECT_EQ(recv_msg(sp.b, got, &msg, sizeof(msg)), RecvStatus::kBad);
+}
+
+TEST(Protocol, RecvMsgRejectsLengthMismatch) {
+  SocketPair sp;
+  // A Ready frame lying about its payload size: declared length does not
+  // match the type's fixed payload — rejected before any payload read.
+  MsgHeader hdr{};
+  hdr.type = static_cast<std::uint16_t>(MsgType::kReady);
+  hdr.payload_len = sizeof(ReadyMsg) + 8;
+  ASSERT_TRUE(send_all(sp.a, &hdr, sizeof(hdr)));
+
+  MsgHeader got{};
+  ReadyMsg msg{};
+  EXPECT_EQ(recv_msg(sp.b, got, &msg, sizeof(msg)), RecvStatus::kBad);
+}
+
+TEST(Protocol, RecvMsgRejectsTruncatedPayload) {
+  SocketPair sp;
+  MsgHeader hdr{};
+  hdr.type = static_cast<std::uint16_t>(MsgType::kHello);
+  hdr.payload_len = sizeof(HelloMsg);
+  ASSERT_TRUE(send_all(sp.a, &hdr, sizeof(hdr)));
+  // Only half the promised payload, then EOF.
+  char half[sizeof(HelloMsg) / 2] = {};
+  ASSERT_TRUE(send_all(sp.a, half, sizeof(half)));
+  ::close(sp.a);
+  sp.a = -1;
+
+  MsgHeader got{};
+  HelloMsg msg{};
+  EXPECT_EQ(recv_msg(sp.b, got, &msg, sizeof(msg)), RecvStatus::kBad);
+}
+
+TEST(Protocol, RecvMsgRejectsTruncatedHeader) {
+  SocketPair sp;
+  MsgHeader hdr{};
+  ASSERT_TRUE(send_all(sp.a, &hdr, sizeof(hdr) / 2));
+  ::close(sp.a);
+  sp.a = -1;
+
+  MsgHeader got{};
+  ReadyMsg msg{};
+  EXPECT_EQ(recv_msg(sp.b, got, &msg, sizeof(msg)), RecvStatus::kBad);
 }
 
 TEST(Protocol, RecvAllReportsEof) {
@@ -78,7 +191,6 @@ TEST(Protocol, FdPassingRoundTrip) {
   HelloAck got{};
   int fd = -1;
   ASSERT_TRUE(recv_with_fd(sp.b, &got, sizeof(got), &fd));
-  EXPECT_EQ(got.magic, kProtocolMagic);
   EXPECT_EQ(got.app_id, 9);
   EXPECT_EQ(got.update_period_us, 100'000u);
   ASSERT_GE(fd, 0);

@@ -10,10 +10,17 @@
 // in every inter-quantum interval (the interval after the final quantum is
 // exempt — a run may end on a quantum boundary). Re-elections inside one
 // quantum (e.g. after a disconnect) emit QuantumStarts with duplicate
-// timestamps; those merge into one interval. Exit code 0 = valid, 1 =
-// validation failure, 2 = usage/IO error.
+// timestamps; those merge into one interval. BusResolution coverage is only
+// enforced when the trace contains bus samples at all: the live manager
+// server traces elections but has no simulated bus to sample.
 //
-// This is the checker behind the `obs_smoke` ctest label.
+// Crash-recovery traces (docs/ROBUSTNESS.md §7) add a pairing rule: every
+// Reattach event adopts state restored by a manager restart, so its
+// generation must have been announced by an earlier Recovery event with the
+// same generation. Exit code 0 = valid, 1 = validation failure, 2 =
+// usage/IO error.
+//
+// This is the checker behind the `obs_smoke` and `soak` ctest labels.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -73,8 +80,15 @@ int validate_chrome(const std::string& text) {
   }
 
   std::vector<double> quantum_ts;
+  std::vector<double> contested_ts;  ///< quantum starts with candidates > 0
   std::vector<double> election_ts;
   std::vector<double> bus_ts;
+  struct GenEvent {
+    double ts;
+    double generation;
+  };
+  std::vector<GenEvent> recoveries;
+  std::vector<GenEvent> reattaches;
   std::map<std::string, std::size_t> counts;
   for (const Value& e : events->array) {
     if (!e.is_object()) {
@@ -92,12 +106,32 @@ int validate_chrome(const std::string& text) {
     ++counts[name == "QuantumStart" || name == "ElectionDecision" ||
                      name == "BusResolution" || name == "JobStateChange" ||
                      name == "CounterSample" || name == "Fault" ||
-                     name == "DegradationChange"
+                     name == "DegradationChange" || name == "Recovery" ||
+                     name == "Reattach" || name == "SupervisorRestart"
                  ? name
                  : (ph == "X" ? "occupancy slice" : "other")];
-    if (name == "QuantumStart") quantum_ts.push_back(ts);
+    if (name == "QuantumStart") {
+      quantum_ts.push_back(ts);
+      // An idle manager (live server, no connected apps yet) legitimately
+      // starts quanta with nothing to elect; remember which timestamps had
+      // actual candidates so only those require ElectionDecision events.
+      const Value* args = e.find("args");
+      if (args != nullptr && args->number_or("candidates", 0.0) > 0.0) {
+        contested_ts.push_back(ts);
+      }
+    }
     if (name == "ElectionDecision") election_ts.push_back(ts);
     if (name == "BusResolution") bus_ts.push_back(ts);
+    if (name == "Recovery" || name == "Reattach") {
+      const Value* args = e.find("args");
+      if (args == nullptr || args->find("generation") == nullptr) {
+        std::fprintf(stderr, "%s event lacks args.generation\n",
+                     name.c_str());
+        return 1;
+      }
+      const GenEvent ge{ts, args->number_or("generation", -1.0)};
+      (name == "Recovery" ? recoveries : reattaches).push_back(ge);
+    }
   }
 
   if (quantum_ts.empty()) {
@@ -108,14 +142,17 @@ int validate_chrome(const std::string& text) {
   std::sort(quantum_ts.begin(), quantum_ts.end());
   quantum_ts.erase(std::unique(quantum_ts.begin(), quantum_ts.end()),
                    quantum_ts.end());
+  std::sort(contested_ts.begin(), contested_ts.end());
   std::sort(election_ts.begin(), election_ts.end());
   std::sort(bus_ts.begin(), bus_ts.end());
 
   for (std::size_t i = 0; i < quantum_ts.size(); ++i) {
     const double start = quantum_ts[i];
-    // Every election emits its decisions at the quantum-start timestamp.
+    // Every contested election emits its decisions at the quantum-start
+    // timestamp; quanta with zero candidates have nothing to decide.
     const bool has_election =
-        std::binary_search(election_ts.begin(), election_ts.end(), start);
+        std::binary_search(election_ts.begin(), election_ts.end(), start) ||
+        !std::binary_search(contested_ts.begin(), contested_ts.end(), start);
     if (!has_election) {
       std::fprintf(stderr,
                    "quantum at ts=%.0f has no ElectionDecision events\n",
@@ -124,7 +161,8 @@ int validate_chrome(const std::string& text) {
     }
     // The bus resolves every tick, so each inter-quantum interval must hold
     // at least one sample; after the final quantum the run may simply end.
-    if (i + 1 < quantum_ts.size()) {
+    // A live-manager trace has no simulated bus at all — skip when empty.
+    if (!bus_ts.empty() && i + 1 < quantum_ts.size()) {
       const double next = quantum_ts[i + 1];
       const auto lo = std::lower_bound(bus_ts.begin(), bus_ts.end(), start);
       if (lo == bus_ts.end() || *lo >= next) {
@@ -134,6 +172,22 @@ int validate_chrome(const std::string& text) {
             start, next);
         return 1;
       }
+    }
+  }
+
+  // Recovery/Reattach pairing: adopted state can only come from a restart
+  // that announced the same generation beforehand.
+  for (const GenEvent& ra : reattaches) {
+    const bool paired = std::any_of(
+        recoveries.begin(), recoveries.end(), [&](const GenEvent& rc) {
+          return rc.generation == ra.generation && rc.ts <= ra.ts;
+        });
+    if (!paired) {
+      std::fprintf(stderr,
+                   "Reattach at ts=%.0f (generation %.0f) has no preceding "
+                   "Recovery with that generation\n",
+                   ra.ts, ra.generation);
+      return 1;
     }
   }
 
