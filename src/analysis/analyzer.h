@@ -1,0 +1,90 @@
+// bbsched_lint's engine: scans source files and enforces the repo's
+// machine-checkable contracts (docs/STATIC_ANALYSIS.md is the catalog):
+//
+//   determinism  no wall-clock / libc randomness / unordered-container
+//                iteration in policy paths (src/core, src/sim,
+//                src/spacesched) — elections must replay bit-identically
+//   hotpath      functions marked hot may not allocate, throw, or grow
+//                non-scratch containers (the perf_ticks 0-alloc gate,
+//                checked before the code ever runs)
+//   signal       functions marked signal may only call the async-signal-
+//                safe allowlist (the Supervisor SIGTERM regression class)
+//   atomics      src/obs instruments use relaxed atomics only; no bare
+//                ++/-- on members of atomic-bearing files
+//   catalog      every obs::EventType enumerator has both exporter
+//                switch cases and a docs/OBSERVABILITY.md heading; other
+//                event enums keep full to_string coverage
+//   annotation   the annotations themselves parse (a typo in a marker or
+//                a justification-less allow is a finding, never a no-op)
+//
+// Files are added by repo-relative path (which drives rule scoping) with
+// their content, so tests lint in-memory fixture snippets through exactly
+// the code path the CLI uses on the real tree.
+#pragma once
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bbsched::analysis {
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  int col = 0;
+  std::string message;
+  bool suppressed = false;     ///< a justified allow covered it
+  std::string justification;   ///< the allow's reason, when suppressed
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;  ///< suppressed included, path/line order
+  std::size_t files_scanned = 0;
+
+  [[nodiscard]] std::size_t unsuppressed() const {
+    std::size_t n = 0;
+    for (const Finding& f : findings) {
+      if (!f.suppressed) ++n;
+    }
+    return n;
+  }
+};
+
+/// The rule identifiers accepted by the allow annotation.
+[[nodiscard]] const std::set<std::string>& known_rules();
+
+class Analyzer {
+ public:
+  /// Registers one file. `path` is repo-relative with '/' separators; it
+  /// selects which rules apply. Paths ending in .md are catalog text
+  /// inputs, everything else is lexed as C++.
+  void add_file(std::string path, std::string content);
+
+  /// Reads `fs_path` from disk and registers it under `path`.
+  /// Returns false (and registers nothing) when unreadable.
+  [[nodiscard]] bool add_file_from_disk(const std::string& fs_path,
+                                        std::string path);
+
+  /// Runs every rule over the registered files.
+  [[nodiscard]] AnalysisResult run() const;
+
+ private:
+  struct Entry {
+    std::string path;
+    std::string content;
+  };
+  std::vector<Entry> files_;
+};
+
+/// Human-readable report: one "path:line:col: [rule] message" per finding
+/// plus a summary line. Suppressed findings are listed only when
+/// `show_suppressed`.
+void write_text_report(std::ostream& os, const AnalysisResult& result,
+                       bool show_suppressed);
+
+/// Machine-readable report for CI: one JSON object with a findings array.
+void write_json_report(std::ostream& os, const AnalysisResult& result);
+
+}  // namespace bbsched::analysis

@@ -1,0 +1,271 @@
+#include "analysis/lexer.h"
+
+#include <cctype>
+#include <string>
+
+namespace bbsched::analysis {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    bool line_start = true;  // only whitespace seen since the last newline
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        advance();
+        line_start = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+        continue;
+      }
+      if (c == '#' && line_start) {
+        out.push_back(lex_preprocessor());
+        line_start = true;  // directive consumes its trailing newline
+        continue;
+      }
+      line_start = false;
+      if (c == '/' && peek(1) == '/') {
+        out.push_back(lex_line_comment());
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        out.push_back(lex_block_comment());
+        continue;
+      }
+      if (c == '"') {
+        out.push_back(lex_string(false));
+        continue;
+      }
+      if (c == '\'') {
+        out.push_back(lex_char());
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        out.push_back(lex_number());
+        continue;
+      }
+      if (ident_start(c)) {
+        out.push_back(lex_identifier_or_literal());
+        continue;
+      }
+      out.push_back(lex_punct());
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] Token start(TokenKind kind) const {
+    return Token{kind, {}, line_, col_};
+  }
+
+  Token finish(Token t, std::size_t begin) const {
+    t.text = src_.substr(begin, pos_ - begin);
+    return t;
+  }
+
+  Token lex_preprocessor() {
+    Token t = start(TokenKind::kPreprocessor);
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && peek(1) == '\n') {
+        advance();
+        advance();
+        continue;
+      }
+      if (src_[pos_] == '\n') {
+        advance();
+        break;
+      }
+      advance();
+    }
+    return finish(t, begin);
+  }
+
+  Token lex_line_comment() {
+    Token t = start(TokenKind::kLineComment);
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') advance();
+    return finish(t, begin);
+  }
+
+  Token lex_block_comment() {
+    Token t = start(TokenKind::kBlockComment);
+    const std::size_t begin = pos_;
+    advance();  // '/'
+    advance();  // '*'
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        advance();
+        advance();
+        break;
+      }
+      advance();
+    }
+    return finish(t, begin);
+  }
+
+  Token lex_string(bool raw) {
+    Token t = start(TokenKind::kString);
+    const std::size_t begin = pos_;
+    advance();  // opening quote
+    if (raw) {
+      // R"delim( ... )delim"
+      std::string delim;
+      while (pos_ < src_.size() && src_[pos_] != '(') {
+        delim.push_back(src_[pos_]);
+        advance();
+      }
+      if (pos_ < src_.size()) advance();  // '('
+      const std::string close = ")" + delim + "\"";
+      while (pos_ < src_.size()) {
+        if (src_.compare(pos_, close.size(), close) == 0) {
+          for (std::size_t i = 0; i < close.size(); ++i) advance();
+          break;
+        }
+        advance();
+      }
+      return finish(t, begin);
+    }
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        advance();
+        advance();
+        continue;
+      }
+      if (src_[pos_] == '"' || src_[pos_] == '\n') {
+        advance();
+        break;
+      }
+      advance();
+    }
+    return finish(t, begin);
+  }
+
+  Token lex_char() {
+    Token t = start(TokenKind::kCharLiteral);
+    const std::size_t begin = pos_;
+    advance();  // opening quote
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        advance();
+        advance();
+        continue;
+      }
+      if (src_[pos_] == '\'' || src_[pos_] == '\n') {
+        advance();
+        break;
+      }
+      advance();
+    }
+    return finish(t, begin);
+  }
+
+  Token lex_number() {
+    Token t = start(TokenKind::kNumber);
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '\'') {
+        advance();
+        continue;
+      }
+      // Exponent sign: 1e+9, 0x1p-3.
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          advance();
+          continue;
+        }
+      }
+      break;
+    }
+    return finish(t, begin);
+  }
+
+  Token lex_identifier_or_literal() {
+    Token t = start(TokenKind::kIdentifier);
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) advance();
+    const std::string_view word = src_.substr(begin, pos_ - begin);
+    // Encoding / raw-string prefixes glued to a quote start a literal.
+    if (pos_ < src_.size() && src_[pos_] == '"') {
+      const bool raw = word == "R" || word == "u8R" || word == "uR" ||
+                       word == "UR" || word == "LR";
+      const bool enc = word == "u8" || word == "u" || word == "U" ||
+                       word == "L";
+      if (raw || enc) {
+        Token s = lex_string(raw);
+        s.line = t.line;
+        s.col = t.col;
+        s.text = src_.substr(begin, (s.text.data() + s.text.size()) -
+                                        (src_.data() + begin));
+        return s;
+      }
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' &&
+        (word == "u8" || word == "u" || word == "U" || word == "L")) {
+      Token s = lex_char();
+      s.line = t.line;
+      s.col = t.col;
+      s.text = src_.substr(begin, (s.text.data() + s.text.size()) -
+                                      (src_.data() + begin));
+      return s;
+    }
+    return finish(t, begin);
+  }
+
+  Token lex_punct() {
+    Token t = start(TokenKind::kPunct);
+    const std::size_t begin = pos_;
+    const char c = src_[pos_];
+    const char n = peek(1);
+    advance();
+    // Multi-char puncts the rules care about; everything else single-char.
+    if ((c == ':' && n == ':') || (c == '-' && n == '>') ||
+        (c == '+' && n == '+') || (c == '-' && n == '-')) {
+      advance();
+    }
+    return finish(t, begin);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) { return Scanner(src).run(); }
+
+}  // namespace bbsched::analysis

@@ -236,6 +236,7 @@ double CpuManager::policy_estimate(int app_id) const {
   return 0.0;
 }
 
+// bbsched:hot runs inside schedule_quantum on every quantum boundary
 void CpuManager::apply_staleness_policy(std::uint64_t now_us) {
   const double quantum = static_cast<double>(cfg_.quantum_us);
   const StalenessConfig& st = cfg_.staleness;
@@ -323,9 +324,10 @@ void CpuManager::apply_staleness_policy(std::uint64_t now_us) {
     }
   }
 
-  for (auto& [id, app] : apps_) app.samples_this_quantum = 0;
+  for (int id : order_) apps_.at(id).samples_this_quantum = 0;
 }
 
+// bbsched:hot per-quantum election path, runs once per scheduling quantum
 const ElectionResult& CpuManager::schedule_quantum(int nprocs,
                                                    std::uint64_t now_us) {
   // (1) Update statistics of the jobs that ran during the ending quantum,
@@ -409,8 +411,8 @@ const ElectionResult& CpuManager::schedule_quantum(int nprocs,
   last_election_us_ = now_us;
 
   running_ = result.elected;
-  for (auto& [id, app] : apps_) {
-    app.ran_last_quantum =
+  for (int id : order_) {
+    apps_.at(id).ran_last_quantum =
         std::find(running_.begin(), running_.end(), id) != running_.end();
   }
   return result;

@@ -16,6 +16,7 @@ pid_t gettid_portable() {
 }
 }  // namespace
 
+// bbsched:signal called from both handlers
 SignalGate& SignalGate::instance() {
   static SignalGate gate;
   return gate;
@@ -64,8 +65,10 @@ void SignalGate::unregister_current_thread() {
   }
 }
 
+// bbsched:signal reads only a thread_local
 int SignalGate::slot_of_self() const { return t_slot; }
 
+// bbsched:signal leader's handler fans intents out to the other threads
 void SignalGate::forward(int signo) {
   // Called from the leader's handler: fan the intent out to every other
   // registered thread. pthread_kill is async-signal-safe.
@@ -77,18 +80,21 @@ void SignalGate::forward(int signo) {
   }
 }
 
+// bbsched:signal installed as the SIGUSR1 (block) handler
 void SignalGate::handle_block(int /*signo*/) {
   const int saved_errno = errno;
   instance().on_block();
   errno = saved_errno;
 }
 
+// bbsched:signal installed as the SIGUSR2 (unblock) handler
 void SignalGate::handle_unblock(int /*signo*/) {
   const int saved_errno = errno;
   instance().on_unblock();
   errno = saved_errno;
 }
 
+// bbsched:signal the suspension loop, runs entirely in handler context
 void SignalGate::on_block() {
   const int slot = slot_of_self();
   if (slot < 0) return;  // unregistered thread (e.g. the arena updater)
@@ -114,6 +120,7 @@ void SignalGate::on_block() {
   suspended_[slot].store(false, std::memory_order_relaxed);
 }
 
+// bbsched:signal runs in handler context
 void SignalGate::on_unblock() {
   const int slot = slot_of_self();
   if (slot < 0) return;

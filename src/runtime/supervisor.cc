@@ -22,6 +22,7 @@ namespace {
 // interrupting the same thread. Lock-free atomics are async-signal-safe.
 std::atomic<int> g_child_term{0};
 
+// bbsched:signal SIGTERM handler installed by the supervised child
 void child_term_handler(int) {
   g_child_term.store(1, std::memory_order_relaxed);
 }

@@ -31,6 +31,7 @@ BusResolution BusModel::resolve(std::span<const double> demands,
   return std::move(ws.result);
 }
 
+// bbsched:hot workspace overload used by the per-tick path
 const BusResolution& BusModel::resolve(std::span<const double> demands,
                                        std::span<const double> weights,
                                        BusWorkspace& ws) const {

@@ -111,6 +111,7 @@ void Engine::step() {
   if (observer_) observer_(*this);
 }
 
+// bbsched:hot the per-tick simulation loop (allocation-free steady state)
 void Engine::execute_tick() {
   const double tick = static_cast<double>(ecfg_.tick_us);
   const auto& cache_cfg = mcfg_.cache;
@@ -391,6 +392,7 @@ void Engine::execute_tick() {
   barrier_transitions();
 }
 
+// bbsched:hot runs every tick from execute_tick
 void Engine::apply_cache_disturbance(double tick) {
   // A running thread's working set evicts cached state of the other threads
   // whose affinity home shares a cache with the runner: the same context
@@ -416,6 +418,7 @@ void Engine::apply_cache_disturbance(double tick) {
   }
 }
 
+// bbsched:hot runs every tick from execute_tick
 void Engine::account_unplaced(double tick) {
   is_placed_.assign(machine_.threads().size(), 0);
   for (const auto& c : machine_.cpus()) {
@@ -444,6 +447,7 @@ void Engine::account_unplaced(double tick) {
   }
 }
 
+// bbsched:hot runs every tick from execute_tick
 void Engine::barrier_transitions() {
   // Progress advanced this tick: rebuild the cached fronts once, then both
   // this wake-up pass and the next tick's barrier-limit computation read
@@ -467,6 +471,7 @@ void Engine::barrier_transitions() {
   }
 }
 
+// bbsched:hot runs every tick from execute_tick
 void Engine::refresh_job_fronts() {
   job_front_.assign(machine_.jobs().size(),
                     std::numeric_limits<double>::infinity());

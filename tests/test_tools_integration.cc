@@ -9,7 +9,9 @@
 
 #include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -83,6 +85,50 @@ TEST(ToolsIntegration, DaemonSchedulesKernelProcesses) {
   EXPECT_EQ(wait_exit(k1), 0);
   EXPECT_EQ(wait_exit(k2), 0);
   EXPECT_EQ(wait_exit(daemon), 0);
+}
+
+// Exit contract of the trace checker: 0 = valid, 1 = validation failure,
+// 2 = usage/IO error. An I/O problem (missing file, directory argument)
+// must never be reported as a trace verdict.
+TEST(ToolsIntegration, TraceValidateExitContract) {
+  const std::string validate = tool("trace_validate");
+  if (!executable_exists(validate)) {
+    GTEST_SKIP() << "tools not built";
+  }
+  const std::string base =
+      "/tmp/bbsched-tvtest-" + std::to_string(::getpid());
+
+  // Usage error: no argument.
+  EXPECT_EQ(wait_exit(spawn({validate})), 2);
+  // I/O error: file does not exist.
+  EXPECT_EQ(wait_exit(spawn({validate, base + "-missing.jsonl"})), 2);
+  // I/O error: a directory is not a trace, on both input routes.
+  const std::string dir_plain = base + "-dir";
+  const std::string dir_jsonl = base + "-dir.jsonl";
+  ASSERT_EQ(::mkdir(dir_plain.c_str(), 0700), 0);
+  ASSERT_EQ(::mkdir(dir_jsonl.c_str(), 0700), 0);
+  EXPECT_EQ(wait_exit(spawn({validate, dir_plain})), 2);
+  EXPECT_EQ(wait_exit(spawn({validate, dir_jsonl})), 2);
+  ::rmdir(dir_plain.c_str());
+  ::rmdir(dir_jsonl.c_str());
+
+  // Validation failure: readable but not a trace.
+  const std::string bad = base + "-bad.jsonl";
+  {
+    std::ofstream out(bad);
+    out << "this is not json\n";
+  }
+  EXPECT_EQ(wait_exit(spawn({validate, bad})), 1);
+  ::unlink(bad.c_str());
+
+  // Valid JSONL trace.
+  const std::string good = base + "-good.jsonl";
+  {
+    std::ofstream out(good);
+    out << R"({"t":1,"type":"QuantumStart"})" << "\n";
+  }
+  EXPECT_EQ(wait_exit(spawn({validate, good})), 0);
+  ::unlink(good.c_str());
 }
 
 TEST(ToolsIntegration, KernelFailsCleanlyWithoutDaemon) {

@@ -29,6 +29,7 @@ namespace {
 
 std::atomic<bool> g_stop{false};
 
+// bbsched:signal SIGINT/SIGTERM handler
 void handle_stop(int) { g_stop.store(true); }
 
 double arg_double(const std::string& arg, const char* prefix, double fallback) {

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Full local gate: build + lint + test across the sanitizer matrix.
+#
+#   tools/check.sh            # plain, thread, address, undefined
+#   tools/check.sh plain tsan # subset: plain + thread
+#
+# Each configuration gets its own build directory (build-check-<name>), so
+# repeat runs are incremental. The plain configuration runs the whole suite;
+# sanitizer configurations run the concurrency/robustness labels that the
+# instrumentation is for (chaos, soak) plus the lint gate — except that the
+# thread configuration skips the soak: the recovery soak forks a supervised
+# manager from a multi-threaded process, which TSan refuses to run
+# ("starting new threads after multi-threaded fork is not supported").
+# Stops on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+
+configs=("$@")
+if [ ${#configs[@]} -eq 0 ]; then
+  configs=(plain thread address undefined)
+fi
+
+for cfg in "${configs[@]}"; do
+  case "$cfg" in
+    plain)               sanitize="" ;;
+    thread|tsan)         cfg=thread;    sanitize=thread ;;
+    address|asan)        cfg=address;   sanitize=address ;;
+    undefined|ubsan)     cfg=undefined; sanitize=undefined ;;
+    *) echo "check.sh: unknown configuration '$cfg'" >&2; exit 2 ;;
+  esac
+  dir="build-check-$cfg"
+  echo "==> [$cfg] configure"
+  cmake -S . -B "$dir" -DBBSCHED_SANITIZE="$sanitize" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "==> [$cfg] build"
+  cmake --build "$dir" -j "$jobs"
+  echo "==> [$cfg] lint"
+  "$dir/tools/bbsched_lint" --root="$PWD"
+  echo "==> [$cfg] ctest"
+  case "$cfg" in
+    plain)  (cd "$dir" && ctest --output-on-failure -j "$jobs") ;;
+    thread) (cd "$dir" && ctest --output-on-failure -j "$jobs" -L 'chaos|lint') ;;
+    *)      (cd "$dir" && ctest --output-on-failure -j "$jobs" -L 'chaos|soak|lint') ;;
+  esac
+done
+
+echo "==> all configurations passed: ${configs[*]}"

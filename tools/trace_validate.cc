@@ -23,6 +23,7 @@
 // This is the checker behind the `obs_smoke` and `soak` ctest labels.
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -54,6 +55,12 @@ int validate_jsonl(std::istream& in) {
       return 1;
     }
     ++counts[v.string_or("type", "?")];
+  }
+  // A stream that stopped for any reason other than end-of-file lost data
+  // mid-read; that is an I/O error (2), not a verdict about the trace (1).
+  if (in.bad() || (in.fail() && !in.eof())) {
+    std::fprintf(stderr, "read error after line %zu\n", lineno);
+    return 2;
   }
   if (counts.empty()) {
     std::fprintf(stderr, "no events\n");
@@ -207,6 +214,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string path = argv[1];
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    std::fprintf(stderr, "%s is a directory\n", path.c_str());
+    return 2;
+  }
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -217,5 +229,9 @@ int main(int argc, char** argv) {
   if (jsonl) return validate_jsonl(in);
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) {
+    std::fprintf(stderr, "read error on %s\n", path.c_str());
+    return 2;
+  }
   return validate_chrome(buf.str());
 }
