@@ -3,7 +3,8 @@
 //
 //   {
 //     "hardware_threads": ...,
-//     "tick_bench": { ticks, wall_s, ticks_per_sec, allocs, allocs_per_tick },
+//     "tick_bench": { ticks, wall_s, ticks_per_sec, allocs, allocs_per_tick,
+//                     batched_ticks, batches, batched_frac },
 //     "tick_bench_traced": { ..., events, dropped, overhead_pct },
 //     "tick_bench_managed": { ..., fault_overhead_pct },
 //     "sweep":      { seeds, runs, serial_wall_s, parallel_wall_s, workers,
@@ -94,6 +95,8 @@ struct TickBench {
   double ticks_per_sec = 0.0;
   std::uint64_t allocs = 0;
   double allocs_per_tick = 0.0;
+  std::uint64_t batched_ticks = 0;  ///< ticks replayed by quantum batching
+  std::uint64_t batches = 0;        ///< event-free batches entered
   std::uint64_t events = 0;   ///< traced variant only
   std::uint64_t dropped = 0;  ///< traced variant only
 };
@@ -116,20 +119,36 @@ TickBench bench_ticks(std::uint64_t ticks, bool trace_enabled) {
 
   // Warm up: scratch buffers reach steady-state capacity, placements settle.
   for (int i = 0; i < 512; ++i) engine.step();
+  // Also warm the batch-replay scratch (step() never batches): one short
+  // run_until lets those vectors reach steady capacity before measuring.
+  engine.run_until(engine.now() + 2048 * engine.config().tick_us);
 
+  // Measured region drives run_until so quantum batching (DESIGN.md §11)
+  // engages exactly as in real experiments. run_until stops early once every
+  // finite job completes, so throughput is computed over the ticks the
+  // engine actually executed (EngineStats::total_ticks delta), not the
+  // requested horizon.
+  const sim::SimTime until =
+      engine.now() + ticks * engine.config().tick_us;
+  const std::uint64_t ticks_before = engine.stats().total_ticks;
+  const std::uint64_t batched_before = engine.stats().batched_ticks;
+  const std::uint64_t batches_before = engine.stats().batches;
   const std::uint64_t allocs_before =
       g_allocs.load(std::memory_order_relaxed);
   const auto start = Clock::now();
-  for (std::uint64_t i = 0; i < ticks; ++i) engine.step();
+  engine.run_until(until);
   TickBench out;
-  out.ticks = ticks;
   out.wall_s = seconds_since(start);
+  out.ticks = engine.stats().total_ticks - ticks_before;
   out.allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
   out.ticks_per_sec =
-      out.wall_s > 0.0 ? static_cast<double>(ticks) / out.wall_s : 0.0;
+      out.wall_s > 0.0 ? static_cast<double>(out.ticks) / out.wall_s : 0.0;
   out.allocs_per_tick =
-      ticks > 0 ? static_cast<double>(out.allocs) / static_cast<double>(ticks)
-                : 0.0;
+      out.ticks > 0
+          ? static_cast<double>(out.allocs) / static_cast<double>(out.ticks)
+          : 0.0;
+  out.batched_ticks = engine.stats().batched_ticks - batched_before;
+  out.batches = engine.stats().batches - batches_before;
   out.events = tracer.events().size();
   out.dropped = tracer.dropped();
   return out;
@@ -154,20 +173,31 @@ TickBench bench_managed_ticks(std::uint64_t ticks, bool faults_enabled) {
   for (const auto& spec : w.jobs) engine.add_job(spec);
 
   for (int i = 0; i < 512; ++i) engine.step();
+  // Also warm the batch-replay scratch (step() never batches): one short
+  // run_until lets those vectors reach steady capacity before measuring.
+  engine.run_until(engine.now() + 2048 * engine.config().tick_us);
 
+  const sim::SimTime until =
+      engine.now() + ticks * engine.config().tick_us;
+  const std::uint64_t ticks_before = engine.stats().total_ticks;
+  const std::uint64_t batched_before = engine.stats().batched_ticks;
+  const std::uint64_t batches_before = engine.stats().batches;
   const std::uint64_t allocs_before =
       g_allocs.load(std::memory_order_relaxed);
   const auto start = Clock::now();
-  for (std::uint64_t i = 0; i < ticks; ++i) engine.step();
+  engine.run_until(until);
   TickBench out;
-  out.ticks = ticks;
   out.wall_s = seconds_since(start);
+  out.ticks = engine.stats().total_ticks - ticks_before;
   out.allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
   out.ticks_per_sec =
-      out.wall_s > 0.0 ? static_cast<double>(ticks) / out.wall_s : 0.0;
+      out.wall_s > 0.0 ? static_cast<double>(out.ticks) / out.wall_s : 0.0;
   out.allocs_per_tick =
-      ticks > 0 ? static_cast<double>(out.allocs) / static_cast<double>(ticks)
-                : 0.0;
+      out.ticks > 0
+          ? static_cast<double>(out.allocs) / static_cast<double>(out.ticks)
+          : 0.0;
+  out.batched_ticks = engine.stats().batched_ticks - batched_before;
+  out.batches = engine.stats().batches - batches_before;
   return out;
 }
 
@@ -228,10 +258,12 @@ int main(int argc, char** argv) {
   int seeds = 6;
   bool smoke = false;
   double sweep_scale = opt.time_scale != 1.0 ? opt.time_scale : 0.1;
+  int workers = opt.jobs;  // --workers=N is an alias for --jobs=N
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--ticks=", 0) == 0) ticks = std::stoull(arg.substr(8));
     if (arg.rfind("--seeds=", 0) == 0) seeds = std::stoi(arg.substr(8));
+    if (arg.rfind("--workers=", 0) == 0) workers = std::stoi(arg.substr(10));
     if (arg == "--smoke") smoke = true;
   }
   if (smoke) {
@@ -244,7 +276,7 @@ int main(int argc, char** argv) {
   const TickBench tt = bench_ticks(ticks, /*trace_enabled=*/true);
   const TickBench tm = bench_managed_ticks(ticks, /*faults_enabled=*/false);
   const TickBench tf = bench_managed_ticks(ticks, /*faults_enabled=*/true);
-  const SweepBench sb = bench_sweep(seeds, opt.jobs, sweep_scale);
+  const SweepBench sb = bench_sweep(seeds, workers, sweep_scale);
 
   const double overhead_pct =
       tb.wall_s > 0.0 ? (tt.wall_s - tb.wall_s) / tb.wall_s * 100.0 : 0.0;
@@ -256,14 +288,16 @@ int main(int argc, char** argv) {
       "  \"hardware_threads\": %d,\n"
       "  \"tick_bench\": {\"ticks\": %llu, \"wall_s\": %.6f, "
       "\"ticks_per_sec\": %.1f, \"allocs\": %llu, "
-      "\"allocs_per_tick\": %.6f},\n"
+      "\"allocs_per_tick\": %.6f, \"batched_ticks\": %llu, "
+      "\"batches\": %llu, \"batched_frac\": %.4f},\n"
       "  \"tick_bench_traced\": {\"ticks\": %llu, \"wall_s\": %.6f, "
       "\"ticks_per_sec\": %.1f, \"allocs\": %llu, "
       "\"allocs_per_tick\": %.6f, \"events\": %llu, \"dropped\": %llu, "
       "\"overhead_pct\": %.2f},\n"
       "  \"tick_bench_managed\": {\"ticks\": %llu, \"wall_s\": %.6f, "
       "\"ticks_per_sec\": %.1f, \"allocs\": %llu, "
-      "\"allocs_per_tick\": %.6f, \"fault_overhead_pct\": %.2f},\n"
+      "\"allocs_per_tick\": %.6f, \"batched_ticks\": %llu, "
+      "\"batches\": %llu, \"fault_overhead_pct\": %.2f},\n"
       "  \"sweep\": {\"seeds\": %d, \"runs\": %d, \"serial_wall_s\": %.6f, "
       "\"parallel_wall_s\": %.6f, \"workers\": %d, \"speedup\": %.3f, "
       "\"results_identical\": %s}\n"
@@ -271,12 +305,20 @@ int main(int argc, char** argv) {
       runtime::ThreadPool::hardware_workers(),
       static_cast<unsigned long long>(tb.ticks), tb.wall_s, tb.ticks_per_sec,
       static_cast<unsigned long long>(tb.allocs), tb.allocs_per_tick,
+      static_cast<unsigned long long>(tb.batched_ticks),
+      static_cast<unsigned long long>(tb.batches),
+      tb.ticks > 0
+          ? static_cast<double>(tb.batched_ticks) /
+                static_cast<double>(tb.ticks)
+          : 0.0,
       static_cast<unsigned long long>(tt.ticks), tt.wall_s, tt.ticks_per_sec,
       static_cast<unsigned long long>(tt.allocs), tt.allocs_per_tick,
       static_cast<unsigned long long>(tt.events),
       static_cast<unsigned long long>(tt.dropped), overhead_pct,
       static_cast<unsigned long long>(tm.ticks), tm.wall_s, tm.ticks_per_sec,
       static_cast<unsigned long long>(tm.allocs), tm.allocs_per_tick,
+      static_cast<unsigned long long>(tm.batched_ticks),
+      static_cast<unsigned long long>(tm.batches),
       fault_overhead_pct,
       sb.seeds, sb.runs, sb.serial_wall_s, sb.parallel_wall_s, sb.workers,
       sb.speedup, sb.results_identical ? "true" : "false");
@@ -298,6 +340,13 @@ int main(int argc, char** argv) {
     }
     if (tt.events == 0) {
       std::fprintf(stderr, "FAIL: traced tick bench recorded no events\n");
+      ok = false;
+    }
+    if (tb.batched_ticks == 0) {
+      std::fprintf(stderr,
+                   "FAIL: quantum batching inactive in tick bench (0 of "
+                   "%llu ticks batched)\n",
+                   static_cast<unsigned long long>(tb.ticks));
       ok = false;
     }
     if (tm.allocs_per_tick > 0.01) {

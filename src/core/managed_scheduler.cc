@@ -7,6 +7,7 @@
 namespace bbsched::core {
 
 using sim::Cpu;
+using sim::kForever;
 using sim::Machine;
 using sim::SimTime;
 using sim::ThreadState;
@@ -155,7 +156,7 @@ void ManagedScheduler::apply_block_states(Machine& m,
     const bool elected = std::find(running.begin(), running.end(),
                                    ait->second) != running.end();
     for (int tid : job.thread_ids) {
-      auto& t = m.thread(tid);
+      auto t = m.thread(tid);
       if (elected && t.state == ThreadState::kManagerBlocked) {
         t.state = ThreadState::kReady;
         trace.event({now, trace::EventKind::kUnblock, job.id, tid, -1, 0.0});
@@ -185,7 +186,7 @@ void ManagedScheduler::place_elected(Machine& m) {
     auto jit = app_to_job_.find(app);
     if (jit == app_to_job_.end()) continue;
     for (int tid : m.job(jit->second).thread_ids) {
-      auto& t = m.thread(tid);
+      const auto t = m.thread(tid);
       if (t.state != ThreadState::kReady) continue;
       if (m.cpu_of(tid) != -1) continue;  // already placed
       if (t.last_cpu != -1 &&
@@ -243,6 +244,77 @@ void ManagedScheduler::handle_completions(Machine& m, SimTime now,
       manager_.app_count() > 0) {
     run_election(m, now, trace);
   }
+}
+
+SimTime ManagedScheduler::quiescent_until(const Machine& m,
+                                          SimTime now) const {
+  // Mirror tick() top to bottom; any branch that would mutate manager
+  // bookkeeping, thread states or placements pins the result to `now`.
+
+  // Pending connect (live job unconnected) or disconnect (completed job
+  // still connected).
+  for (const auto& job : m.jobs()) {
+    if (job.completed == job_to_app_.contains(job.id)) return now;
+  }
+  if (manager_.app_count() == 0) return kForever;
+
+  // apply_block_states would flip a thread on the very next tick.
+  const auto& running = manager_.running();
+  for (const auto& job : m.jobs()) {
+    if (job.completed) continue;
+    auto ait = job_to_app_.find(job.id);
+    if (ait == job_to_app_.end()) continue;
+    const bool elected = std::find(running.begin(), running.end(),
+                                   ait->second) != running.end();
+    for (int tid : job.thread_ids) {
+      const ThreadState st = m.thread(tid).state;
+      if (elected && st == ThreadState::kManagerBlocked) return now;
+      if (!elected && st == ThreadState::kReady) return now;
+    }
+  }
+
+  // Sampling points and the quantum-boundary election bound the horizon.
+  const SimTime quantum = cfg_.manager.quantum_us;
+  const int per_quantum = cfg_.manager.samples_per_quantum;
+  SimTime horizon = quantum_start_ + quantum;
+  if (per_quantum > 0 && samples_taken_ + 1 < per_quantum) {
+    const SimTime interval = quantum / static_cast<SimTime>(per_quantum);
+    horizon = std::min(
+        horizon, quantum_start_ +
+                     interval * static_cast<SimTime>(samples_taken_ + 1));
+  }
+
+  if (now < busy_until_) {
+    // The overhead window vacates every tick: a no-op only while nothing
+    // is placed, and place_elected resumes when the window closes.
+    for (const auto& c : m.cpus()) {
+      if (c.thread != Cpu::kIdle) return now;
+    }
+    horizon = std::min(horizon, busy_until_);
+  } else {
+    // place_elected acts when an elected ready thread awaits placement and
+    // a context is free.
+    bool idle_cpu = false;
+    for (const auto& c : m.cpus()) {
+      if (c.thread == Cpu::kIdle) {
+        idle_cpu = true;
+        break;
+      }
+    }
+    if (idle_cpu) {
+      for (int app : running) {
+        auto jit = app_to_job_.find(app);
+        if (jit == app_to_job_.end()) continue;
+        for (int tid : m.job(jit->second).thread_ids) {
+          if (m.thread(tid).state == ThreadState::kReady &&
+              m.cpu_of(tid) == -1) {
+            return now;
+          }
+        }
+      }
+    }
+  }
+  return horizon;
 }
 
 void ManagedScheduler::tick(Machine& m, SimTime now,

@@ -59,6 +59,13 @@ class ManagedScheduler final : public sim::Scheduler {
   void tick(sim::Machine& m, sim::SimTime now,
             trace::ScheduleTrace& trace) override;
 
+  /// Quantum batching support (sim::Scheduler contract): between sampling
+  /// points, election boundaries and the end of the overhead window, tick()
+  /// provably mutates nothing as long as no job connects/disconnects, no
+  /// block-state flip is pending and no elected thread awaits placement.
+  [[nodiscard]] sim::SimTime quiescent_until(const sim::Machine& m,
+                                             sim::SimTime now) const override;
+
   [[nodiscard]] const char* name() const override {
     switch (cfg_.manager.policy) {
       case PolicyKind::kLatestQuantum: return "manager/latest-quantum";

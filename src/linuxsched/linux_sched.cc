@@ -52,7 +52,7 @@ void LinuxScheduler::maybe_epoch_refill(Machine& m) {
 
 void LinuxScheduler::reschedule_idle(Machine& m, int tid,
                                      trace::ScheduleTrace& trace) {
-  ThreadCtx& t = m.thread(tid);
+  const ThreadCtx t = m.thread(tid);
 
   // Prefer the task's cache home if idle, then any idle CPU.
   if (t.last_cpu != -1 &&

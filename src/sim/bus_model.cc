@@ -38,8 +38,10 @@ const BusResolution& BusModel::resolve(std::span<const double> demands,
   BusResolution& out = ws.result;
   const std::size_t n = demands.size();
   assert(weights.empty() || weights.size() == n);
-  out.slowdown.assign(n, 1.0);
-  out.granted.assign(n, 0.0);
+  // bbsched:allow(hotpath): ws.result buffers are reused and size-stable
+  out.slowdown.resize(n);
+  // bbsched:allow(hotpath): ws.result buffers are reused and size-stable
+  out.granted.resize(n);
   out.stretch = 1.0;
   out.offered_rho = 0.0;
   out.saturated = false;
@@ -47,9 +49,14 @@ const BusResolution& BusModel::resolve(std::span<const double> demands,
 
   std::vector<double>& alphas = ws.alphas;
   std::vector<double>& inv_w = ws.inv_w;
-  alphas.assign(n, 0.0);
-  inv_w.assign(n, 1.0);
+  // bbsched:allow(hotpath): workspace scratch, reused and size-stable
+  alphas.resize(n);
+  // bbsched:allow(hotpath): workspace scratch, reused and size-stable
+  inv_w.resize(n);
 
+  // Single fused gather: one pass writes every per-agent array (the neutral
+  // slowdown/granted values double as the idle-bus result) instead of the
+  // former assign() pre-fills that re-touched each array before the loop.
   double total_demand = 0.0;
   int demanding = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -59,7 +66,11 @@ const BusResolution& BusModel::resolve(std::span<const double> demands,
     if (!weights.empty()) {
       assert(weights[i] >= 1.0 && "arbitration weight must be >= 1");
       inv_w[i] = 1.0 / weights[i];
+    } else {
+      inv_w[i] = 1.0;
     }
+    out.slowdown[i] = 1.0;
+    out.granted[i] = 0.0;
     if (demands[i] > cfg_.demanding_threshold_tps) ++demanding;
   }
 

@@ -111,6 +111,14 @@ struct EngineConfig {
   /// policies remove.
   SimTime spin_grace_us = 30 * kUsPerMs;
 
+  /// Upper bound on the number of ticks the engine may advance in one
+  /// event-free batch (quantum batching, DESIGN.md §11). Batched ticks
+  /// replay the exact per-tick arithmetic — results are bit-identical to
+  /// per-tick stepping — but skip the bus resolve and scheduler work whose
+  /// inputs are provably constant. 0 or 1 forces per-tick stepping (the
+  /// differential tests use this).
+  std::uint32_t max_batch_ticks = 4096;
+
   /// Record a full schedule trace (tests enable this; big benches don't).
   bool trace = false;
 

@@ -9,7 +9,14 @@ namespace bbsched::sim {
 
 namespace {
 constexpr double kEps = 1e-9;
+
+/// Number of tick start times in {start, start+tick, ...} strictly before
+/// `bound` (the batch-horizon helper: how many replay ticks fit).
+std::uint64_t ticks_before(SimTime start, SimTime tick, SimTime bound) {
+  if (bound <= start) return 0;
+  return (bound - start + tick - 1) / tick;
 }
+}  // namespace
 
 Engine::Engine(const MachineConfig& mcfg, const EngineConfig& ecfg,
                std::unique_ptr<Scheduler> scheduler)
@@ -76,12 +83,22 @@ SimTime Engine::run_until(SimTime until) {
   while (now_ < until &&
          !(pending_next_ >= pending_.size() && machine_.has_finite_jobs() &&
            machine_.all_finite_jobs_done())) {
-    step();
+    const bool structural = step_once();
+    // Quantum batching: after an event-free tick, fast-forward through the
+    // ticks in which provably nothing can happen. An attached observer
+    // expects a callback per tick, so it forces per-tick stepping.
+    if (!structural && observer_ == nullptr && ecfg_.max_batch_ticks > 1) {
+      replay_quiet_ticks(until);
+    }
   }
   return now_;
 }
 
 void Engine::step() {
+  (void)step_once();
+}
+
+bool Engine::step_once() {
   if (!started_) {
     scheduler_->start(machine_, trace_);
     started_ = true;
@@ -106,15 +123,18 @@ void Engine::step() {
     }
   }
   scheduler_->tick(machine_, now_, trace_);
-  execute_tick();
+  const bool structural = execute_tick();
   now_ += ecfg_.tick_us;
   if (observer_) observer_(*this);
+  return structural;
 }
 
 // bbsched:hot the per-tick simulation loop (allocation-free steady state)
-void Engine::execute_tick() {
+bool Engine::execute_tick() {
   const double tick = static_cast<double>(ecfg_.tick_us);
   const auto& cache_cfg = mcfg_.cache;
+  SoAStore& s = machine_.store();
+  bool structural = false;
 
   // Barrier front per job, needed once at tick start so sibling updates
   // within the tick are order-independent. The cache is maintained at the
@@ -139,7 +159,9 @@ void Engine::execute_tick() {
     }
   }
 
-  // Gather placed threads and their demands (into reusable scratch).
+  // Gather placed threads and their demands (into reusable scratch). All
+  // inputs stream from the SoA arrays; the flattened spec constants avoid
+  // the Job -> JobSpec pointer chase of the old AoS layout.
   placed_.clear();
   demands_.clear();
   weights_.clear();
@@ -147,56 +169,54 @@ void Engine::execute_tick() {
   for (std::size_t c = 0; c < machine_.cpus().size(); ++c) {
     const int tid = machine_.cpus()[c].thread;
     if (tid == Cpu::kIdle) continue;
+    const auto ti = static_cast<std::size_t>(tid);
     if (now_ < noise_until_[c]) {
       // The kernel stole this CPU for the tick: the resident thread makes
       // no progress and issues no traffic.
-      machine_.thread(tid).stolen_us += tick;
+      s.stolen_us[ti] += tick;
       continue;
     }
-    ThreadCtx& t = machine_.thread(tid);
-    assert(t.state == ThreadState::kReady &&
+    assert(s.state[ti] == ThreadState::kReady &&
            "only runnable threads may be placed");
-    const Job& j = machine_.job(t.app_id);
 
-    double limit = j.spec.work_us;
+    double limit = s.work_us[ti];
     bool barrier_limited = false;
-    if (j.spec.barrier_interval_us > 0.0) {
+    if (s.coupled[ti]) {
       const double barrier_limit =
-          job_front_[static_cast<std::size_t>(j.id)] +
-          j.spec.barrier_interval_us;
+          job_front_[static_cast<std::size_t>(s.app_id[ti])] +
+          s.barrier_interval_us[ti];
       if (barrier_limit < limit) {
         limit = barrier_limit;
         barrier_limited = true;
       }
     }
-    if (j.spec.io.enabled() && t.next_io_at_progress < limit) {
+    if (s.io_enabled[ti] && s.next_io_at_progress[ti] < limit) {
       // Computation pauses at the next I/O issue point.
-      limit = t.next_io_at_progress;
+      limit = s.next_io_at_progress[ti];
       barrier_limited = false;
     }
-    const bool spinning = barrier_limited && t.progress_us >= limit - kEps;
+    const bool spinning = barrier_limited && s.progress_us[ti] >= limit - kEps;
 
     double demand = 0.0;
     if (!spinning) {
-      demand = j.spec.demand->rate(t.tidx, t.progress_us);
+      demand = s.demand[ti]->rate(s.tidx[ti], s.progress_us[ti]);
       // Cold caches refill from memory: extra uncontended demand.
-      demand *= 1.0 + j.spec.cache.cold_demand_boost * (1.0 - t.warmth);
+      demand *= 1.0 + s.cold_demand_boost[ti] * (1.0 - s.warmth[ti]);
     }
     placed_.push_back(
         {static_cast<int>(c), tid, limit, spinning, barrier_limited});
     demands_.push_back(demand);
-    weights_.push_back(j.spec.bus_priority);
+    weights_.push_back(s.bus_priority[ti]);
   }
 
   // I/O DMA agents: devices transferring on behalf of blocked threads are
   // additional bus masters; their demand entries follow the placed ones.
   dma_tids_.clear();
-  for (const auto& t : machine_.threads()) {
-    if (t.state != ThreadState::kIoWait) continue;
-    const auto& io = machine_.job(t.app_id).spec.io;
-    if (io.dma_tps <= 0.0) continue;
-    dma_tids_.push_back(t.id);
-    demands_.push_back(io.dma_tps);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s.state[i] != ThreadState::kIoWait) continue;
+    if (s.io_dma_tps[i] <= 0.0) continue;
+    dma_tids_.push_back(static_cast<int>(i));
+    demands_.push_back(s.io_dma_tps[i]);
     weights_.push_back(mcfg_.bus.dma_arbitration_weight);
   }
 
@@ -275,23 +295,23 @@ void Engine::execute_tick() {
   // Advance placed threads.
   for (std::size_t i = 0; i < placed_.size(); ++i) {
     const PlacedThread& p = placed_[i];
-    ThreadCtx& t = machine_.thread(p.tid);
-    const Job& j = machine_.job(t.app_id);
-    const bool coupled = j.spec.barrier_interval_us > 0.0;
+    const auto ti = static_cast<std::size_t>(p.tid);
+    const bool coupled = s.coupled[ti] != 0;
 
-    trace_.occupy(now_, now_ + ecfg_.tick_us, t.app_id, t.id, p.cpu);
+    trace_.occupy(now_, now_ + ecfg_.tick_us, s.app_id[ti], p.tid, p.cpu);
 
     if (p.spinning) {
-      t.spin_us += tick;
-      t.consecutive_spin_us += tick;
-      if (coupled && t.consecutive_spin_us >=
+      s.spin_us[ti] += tick;
+      s.consecutive_spin_us[ti] += tick;
+      if (coupled && s.consecutive_spin_us[ti] >=
                          static_cast<double>(ecfg_.spin_grace_us)) {
         // Spin-then-block: yield the processor until siblings catch up.
-        t.state = ThreadState::kBarrierWait;
-        t.consecutive_spin_us = 0.0;
+        s.state[ti] = ThreadState::kBarrierWait;
+        s.consecutive_spin_us[ti] = 0.0;
         machine_.vacate(p.cpu);
+        structural = true;
         if (tracer_ && tracer_->enabled()) {
-          tracer_->job_state_change(now_, {t.app_id, t.id,
+          tracer_->job_state_change(now_, {s.app_id[ti], p.tid,
                                            obs::JobState::kReady,
                                            obs::JobState::kBarrierWait});
         }
@@ -300,41 +320,42 @@ void Engine::execute_tick() {
     }
 
     const double affinity_penalty =
-        1.0 + j.spec.cache.migration_sensitivity * (1.0 - t.warmth);
+        1.0 + s.migration_sensitivity[ti] * (1.0 - s.warmth[ti]);
     const double total_slowdown =
         bus.slowdown[i] * affinity_penalty * smt_penalty_[i];
     assert(total_slowdown >= 1.0 - kEps);
 
     const double delta = tick / total_slowdown;
-    const double allowed = std::max(0.0, p.limit - t.progress_us);
+    const double allowed = std::max(0.0, p.limit - s.progress_us[ti]);
     const double frac = delta > 0.0 ? std::min(1.0, allowed / delta) : 1.0;
 
-    t.progress_us += delta * frac;
-    t.run_us += tick * frac;
-    t.bus_transactions += bus.granted[i] * tick * frac;
-    t.bus_attempts += demands_[i] * tick * frac;
+    s.progress_us[ti] += delta * frac;
+    s.run_us[ti] += tick * frac;
+    s.bus_transactions[ti] += bus.granted[i] * tick * frac;
+    s.bus_attempts[ti] += demands_[i] * tick * frac;
     if (frac < 1.0 && p.barrier_limited) {
       // Ran into the barrier mid-tick: the remainder was spent spinning.
-      t.spin_us += tick * (1.0 - frac);
-      t.consecutive_spin_us += tick * (1.0 - frac);
+      s.spin_us[ti] += tick * (1.0 - frac);
+      s.consecutive_spin_us[ti] += tick * (1.0 - frac);
     } else {
-      t.consecutive_spin_us = 0.0;
+      s.consecutive_spin_us[ti] = 0.0;
     }
-    t.warmth = std::min(
-        1.0, t.warmth + tick / static_cast<double>(cache_cfg.warmup_us));
+    s.warmth[ti] = std::min(
+        1.0, s.warmth[ti] + tick / static_cast<double>(cache_cfg.warmup_us));
 
     // I/O issue: computation reached the next I/O point (and not the end
     // of the job) — block and start the DMA transfer.
-    if (j.spec.io.enabled() &&
-        t.progress_us >= t.next_io_at_progress - kEps &&
-        t.progress_us < j.spec.work_us - kEps) {
-      t.state = ThreadState::kIoWait;
-      t.io_wake_us =
-          now_ + ecfg_.tick_us + static_cast<SimTime>(j.spec.io.burst_us);
-      t.next_io_at_progress += j.spec.io.period_progress_us;
+    if (s.io_enabled[ti] &&
+        s.progress_us[ti] >= s.next_io_at_progress[ti] - kEps &&
+        s.progress_us[ti] < s.work_us[ti] - kEps) {
+      s.state[ti] = ThreadState::kIoWait;
+      s.io_wake_us[ti] =
+          now_ + ecfg_.tick_us + static_cast<SimTime>(s.io_burst_us[ti]);
+      s.next_io_at_progress[ti] += s.io_period_progress_us[ti];
       machine_.vacate(p.cpu);
+      structural = true;
       if (tracer_ && tracer_->enabled()) {
-        tracer_->job_state_change(now_, {t.app_id, t.id,
+        tracer_->job_state_change(now_, {s.app_id[ti], p.tid,
                                          obs::JobState::kReady,
                                          obs::JobState::kIoWait});
       }
@@ -342,13 +363,15 @@ void Engine::execute_tick() {
     }
 
     // Completion.
-    if (t.progress_us >= j.spec.work_us - kEps) {
-      t.state = ThreadState::kDone;
+    if (s.progress_us[ti] >= s.work_us[ti] - kEps) {
+      s.state[ti] = ThreadState::kDone;
       machine_.vacate(p.cpu);
-      Job& jm = machine_.job(t.app_id);
+      structural = true;
+      Job& jm = machine_.job(s.app_id[ti]);
       const bool all_done = std::all_of(
           jm.thread_ids.begin(), jm.thread_ids.end(), [&](int tid) {
-            return machine_.thread(tid).state == ThreadState::kDone;
+            return s.state[static_cast<std::size_t>(tid)] ==
+                   ThreadState::kDone;
           });
       if (all_done && !jm.completed) {
         jm.completed = true;
@@ -369,19 +392,21 @@ void Engine::execute_tick() {
   // device transfers, which is why I/O "stresses the bus").
   for (std::size_t k = 0; k < dma_tids_.size(); ++k) {
     const std::size_t idx = placed_.size() + k;
-    auto& t = machine_.thread(dma_tids_[k]);
-    t.bus_transactions += bus.granted[idx] * tick;
-    t.bus_attempts += demands_[idx] * tick;
+    const auto ti = static_cast<std::size_t>(dma_tids_[k]);
+    s.bus_transactions[ti] += bus.granted[idx] * tick;
+    s.bus_attempts[ti] += demands_[idx] * tick;
   }
 
   // I/O completions.
-  for (auto& t : machine_.threads()) {
-    if (t.state == ThreadState::kIoWait &&
-        now_ + ecfg_.tick_us >= t.io_wake_us) {
-      t.state = ThreadState::kReady;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s.state[i] == ThreadState::kIoWait &&
+        now_ + ecfg_.tick_us >= s.io_wake_us[i]) {
+      s.state[i] = ThreadState::kReady;
+      structural = true;
       if (tracer_ && tracer_->enabled()) {
         tracer_->job_state_change(now_ + ecfg_.tick_us,
-                                  {t.app_id, t.id, obs::JobState::kIoWait,
+                                  {s.app_id[i], static_cast<int>(i),
+                                   obs::JobState::kIoWait,
                                    obs::JobState::kReady});
       }
     }
@@ -389,7 +414,8 @@ void Engine::execute_tick() {
 
   apply_cache_disturbance(tick);
   account_unplaced(tick);
-  barrier_transitions();
+  if (barrier_transitions()) structural = true;
+  return structural;
 }
 
 // bbsched:hot runs every tick from execute_tick
@@ -399,47 +425,49 @@ void Engine::apply_cache_disturbance(double tick) {
   // when threads_per_core == 1, the whole core's contexts under SMT (the
   // sibling context shares the L2).
   const auto& cache_cfg = mcfg_.cache;
+  SoAStore& s = machine_.store();
+  const std::size_t n = s.size();
   for (std::size_t c = 0; c < machine_.cpus().size(); ++c) {
     const int runner = machine_.cpus()[c].thread;
     if (runner == Cpu::kIdle) continue;
-    const ThreadCtx& rt = machine_.thread(runner);
-    const double footprint_frac = std::min(
-        1.0, machine_.job(rt.app_id).spec.cache.footprint_kb / cache_cfg.l2_kb);
+    const double footprint_frac =
+        s.footprint_frac[static_cast<std::size_t>(runner)];
     if (footprint_frac <= 0.0) continue;
+    const double dec =
+        footprint_frac * tick / static_cast<double>(cache_cfg.warmup_us);
     const int runner_core = mcfg_.core_of(static_cast<int>(c));
-    for (auto& t : machine_.threads()) {
-      if (t.id == runner || t.last_cpu < 0) continue;
-      if (mcfg_.core_of(t.last_cpu) != runner_core) continue;
-      if (t.state == ThreadState::kDone) continue;
-      t.warmth = std::max(
-          0.0, t.warmth - footprint_frac * tick /
-                              static_cast<double>(cache_cfg.warmup_us));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (static_cast<int>(i) == runner || s.last_cpu[i] < 0) continue;
+      if (mcfg_.core_of(s.last_cpu[i]) != runner_core) continue;
+      if (s.state[i] == ThreadState::kDone) continue;
+      s.warmth[i] = std::max(0.0, s.warmth[i] - dec);
     }
   }
 }
 
 // bbsched:hot runs every tick from execute_tick
 void Engine::account_unplaced(double tick) {
-  is_placed_.assign(machine_.threads().size(), 0);
+  SoAStore& s = machine_.store();
+  is_placed_.assign(s.size(), 0);
   for (const auto& c : machine_.cpus()) {
     if (c.thread != Cpu::kIdle) {
       is_placed_[static_cast<std::size_t>(c.thread)] = 1;
     }
   }
-  for (auto& t : machine_.threads()) {
-    if (is_placed_[static_cast<std::size_t>(t.id)]) continue;
-    switch (t.state) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (is_placed_[i]) continue;
+    switch (s.state[i]) {
       case ThreadState::kReady:
-        t.ready_wait_us += tick;
+        s.ready_wait_us[i] += tick;
         break;
       case ThreadState::kBarrierWait:
-        t.barrier_wait_us += tick;
+        s.barrier_wait_us[i] += tick;
         break;
       case ThreadState::kIoWait:
-        t.io_wait_us += tick;
+        s.io_wait_us[i] += tick;
         break;
       case ThreadState::kManagerBlocked:
-        t.mgr_blocked_us += tick;
+        s.mgr_blocked_us[i] += tick;
         break;
       case ThreadState::kDone:
         break;
@@ -448,37 +476,404 @@ void Engine::account_unplaced(double tick) {
 }
 
 // bbsched:hot runs every tick from execute_tick
-void Engine::barrier_transitions() {
+bool Engine::barrier_transitions() {
   // Progress advanced this tick: rebuild the cached fronts once, then both
   // this wake-up pass and the next tick's barrier-limit computation read
   // the cache instead of re-scanning siblings per job.
   refresh_job_fronts();
+  SoAStore& s = machine_.store();
+  bool woke = false;
   for (const auto& j : machine_.jobs()) {
     if (j.completed || j.spec.barrier_interval_us <= 0.0) continue;
     const double front = job_front_[static_cast<std::size_t>(j.id)];
     for (int tid : j.thread_ids) {
-      ThreadCtx& t = machine_.thread(tid);
-      if (t.state == ThreadState::kBarrierWait &&
-          t.progress_us < front + j.spec.barrier_interval_us - kEps) {
-        t.state = ThreadState::kReady;
+      const auto ti = static_cast<std::size_t>(tid);
+      if (s.state[ti] == ThreadState::kBarrierWait &&
+          s.progress_us[ti] < front + j.spec.barrier_interval_us - kEps) {
+        s.state[ti] = ThreadState::kReady;
+        woke = true;
         if (tracer_ && tracer_->enabled()) {
-          tracer_->job_state_change(now_, {t.app_id, t.id,
+          tracer_->job_state_change(now_, {s.app_id[ti], tid,
                                            obs::JobState::kBarrierWait,
                                            obs::JobState::kReady});
         }
       }
     }
   }
+  return woke;
 }
 
 // bbsched:hot runs every tick from execute_tick
 void Engine::refresh_job_fronts() {
+  // Completed jobs keep an infinity front: nothing reads it — the gather
+  // loop only consults fronts of placed (live) threads and the wake-up scan
+  // skips completed jobs — so skipping their thread scans keeps this pass
+  // proportional to live work. Done threads of *live* jobs still
+  // participate: their progress can sit a hair below work_us (within the
+  // completion epsilon) and the front min must see the same values it
+  // always did.
   job_front_.assign(machine_.jobs().size(),
                     std::numeric_limits<double>::infinity());
-  for (const auto& t : machine_.threads()) {
-    double& front = job_front_[static_cast<std::size_t>(t.app_id)];
-    front = std::min(front, t.progress_us);
+  const SoAStore& s = machine_.store();
+  for (const auto& j : machine_.jobs()) {
+    if (j.completed) continue;
+    double front = std::numeric_limits<double>::infinity();
+    for (int tid : j.thread_ids) {
+      front = std::min(front, s.progress_us[static_cast<std::size_t>(tid)]);
+    }
+    job_front_[static_cast<std::size_t>(j.id)] = front;
   }
+}
+
+// bbsched:hot validates batch soundness and computes the event horizon
+std::uint64_t Engine::prepare_batch(SimTime until) {
+  const SimTime tick_us = ecfg_.tick_us;
+  const double tick = static_cast<double>(tick_us);
+  const SimTime start = now_;  // time of the first candidate replay tick
+  const SoAStore& s = machine_.store();
+
+  std::uint64_t budget = ecfg_.max_batch_ticks;
+  budget = std::min(budget, ticks_before(start, tick_us, until));
+  if (budget == 0) return 0;
+
+  // The scheduler must certify its tick() calls are no-ops over the window
+  // (given frozen states/placements — every replayed tick preserves both).
+  budget = std::min(
+      budget,
+      ticks_before(start, tick_us,
+                   scheduler_->quiescent_until(machine_, start)));
+  if (budget == 0) return 0;
+
+  // Open-system arrivals admit jobs at tick start.
+  if (pending_next_ < pending_.size()) {
+    budget = std::min(
+        budget, ticks_before(start, tick_us, pending_[pending_next_].when));
+  }
+
+  // OS noise: opening a steal window consumes RNG draws and flips the
+  // resident thread's stolen status, so every window boundary ends the
+  // batch. A currently-stolen CPU must stay stolen for the whole window.
+  if (ecfg_.os_noise_interval_us > 0) {
+    for (std::size_t c = 0; c < noise_next_.size(); ++c) {
+      budget = std::min(budget, ticks_before(start, tick_us, noise_next_[c]));
+      if (machine_.cpus()[c].thread != Cpu::kIdle &&
+          start - tick_us < noise_until_[c]) {
+        budget = std::min(budget,
+                          ticks_before(start, tick_us, noise_until_[c]));
+      }
+    }
+  }
+  if (budget == 0) return 0;
+
+  // I/O wake-ups fire when T + tick >= io_wake_us.
+  batch_dma_.clear();
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s.state[i] != ThreadState::kIoWait) continue;
+    const SimTime wake = s.io_wake_us[i];
+    if (wake <= tick_us) return 0;
+    budget = std::min(budget, ticks_before(start, tick_us, wake - tick_us));
+  }
+  if (budget == 0) return 0;
+
+  // Per-placed-thread soundness: the bus resolution from the last full tick
+  // is reused for every replayed tick, which is only bit-exact if each
+  // agent's demand is provably constant over the window.
+  const BusResolution& bus = bus_ws_.result;
+  batch_threads_.clear();
+  batch_stolen_.clear();
+  for (std::size_t i = 0; i < placed_.size(); ++i) {
+    const PlacedThread& p = placed_[i];
+    const auto ti = static_cast<std::size_t>(p.tid);
+    BatchThread bt;
+    bt.tid = p.tid;
+    bt.job = s.app_id[ti];
+    bt.cpu = p.cpu;
+    bt.pi = i;
+    bt.spinning = p.spinning;
+    bt.coupled = s.coupled[ti] != 0;
+    bt.io_enabled = s.io_enabled[ti] != 0;
+    bt.work = s.work_us[ti];
+    bt.interval = s.barrier_interval_us[ti];
+    bt.next_io = s.next_io_at_progress[ti];
+    bt.delta = 0.0;
+    bt.granted_tick = bus.granted[i] * tick;
+    bt.attempt_tick = demands_[i] * tick;
+    if (!p.spinning) {
+      // Demand must not drift: the cold-cache boost and migration penalty
+      // freeze only at full warmth (or when their coefficients are zero),
+      // and the demand model must be inside a constant-rate interval.
+      const double w = s.warmth[ti];
+      if ((s.cold_demand_boost[ti] != 0.0 ||
+           s.migration_sensitivity[ti] != 0.0) &&
+          w != 1.0) {
+        return 0;
+      }
+      double d = s.demand[ti]->rate(s.tidx[ti], s.progress_us[ti]);
+      d *= 1.0 + s.cold_demand_boost[ti] * (1.0 - w);
+      if (d != demands_[i]) return 0;  // bitwise: resolve inputs must match
+
+      const double affinity_penalty =
+          1.0 + s.migration_sensitivity[ti] * (1.0 - w);
+      const double total_slowdown =
+          bus.slowdown[i] * affinity_penalty * smt_penalty_[i];
+      bt.delta = tick / total_slowdown;
+
+      const double steady_to =
+          s.demand[ti]->steady_until(s.tidx[ti], s.progress_us[ti]);
+      if (std::isfinite(steady_to)) {
+        const double avail = steady_to - s.progress_us[ti];
+        if (!(avail > 0.0) || !(bt.delta > 0.0)) return 0;
+        // One-tick safety margin against the horizon's own rounding.
+        const double nd = std::floor(avail / bt.delta) - 1.0;
+        if (nd < 1.0) return 0;
+        budget = std::min(budget, static_cast<std::uint64_t>(nd));
+      }
+    }
+    batch_threads_.push_back(bt);
+  }
+  if (budget == 0) return 0;
+
+  // DMA agents behind placed entries: constant demand by construction.
+  for (std::size_t k = 0; k < dma_tids_.size(); ++k) {
+    const std::size_t idx = placed_.size() + k;
+    batch_dma_.push_back(
+        {dma_tids_[k], bus.granted[idx] * tick, demands_[idx] * tick});
+  }
+
+  // Noise-stolen residents accrue stolen time each tick.
+  if (ecfg_.os_noise_interval_us > 0) {
+    for (std::size_t c = 0; c < machine_.cpus().size(); ++c) {
+      const int tid = machine_.cpus()[c].thread;
+      if (tid != Cpu::kIdle && start - tick_us < noise_until_[c]) {
+        batch_stolen_.push_back(tid);
+      }
+    }
+  }
+
+  // Cache-disturbance pairs (runner evicting a same-core thread's warmth)
+  // are fixed while placements and states hold. A victim that is itself an
+  // advancing placed thread with warmth-sensitive demand would invalidate
+  // the frozen bus resolution, so such pairs veto the batch.
+  batch_dist_.clear();
+  batch_dist_dec_.clear();
+  SoAStore& sm = machine_.store();
+  const std::size_t n = s.size();
+  for (std::size_t c = 0; c < machine_.cpus().size(); ++c) {
+    const int runner = machine_.cpus()[c].thread;
+    if (runner == Cpu::kIdle) continue;
+    const double footprint_frac =
+        s.footprint_frac[static_cast<std::size_t>(runner)];
+    if (footprint_frac <= 0.0) continue;
+    const double dec =
+        footprint_frac * tick / static_cast<double>(mcfg_.cache.warmup_us);
+    const int runner_core = mcfg_.core_of(static_cast<int>(c));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (static_cast<int>(i) == runner || s.last_cpu[i] < 0) continue;
+      if (mcfg_.core_of(s.last_cpu[i]) != runner_core) continue;
+      if (s.state[i] == ThreadState::kDone) continue;
+      for (const BatchThread& bt : batch_threads_) {
+        if (bt.tid == static_cast<int>(i) && !bt.spinning &&
+            (s.cold_demand_boost[i] != 0.0 ||
+             s.migration_sensitivity[i] != 0.0)) {
+          return 0;
+        }
+      }
+      batch_dist_.push_back(&sm.warmth[i]);
+      batch_dist_dec_.push_back(dec);
+    }
+  }
+
+  // Unplaced live threads accrue per-state wait time. States are frozen
+  // for the whole batch (every transition ends it), so resolve each
+  // thread's accumulator once.
+  batch_wait_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_placed_[i]) continue;  // current: account_unplaced ran this tick
+    switch (s.state[i]) {
+      case ThreadState::kReady:
+        batch_wait_.push_back(&sm.ready_wait_us[i]);
+        break;
+      case ThreadState::kBarrierWait:
+        batch_wait_.push_back(&sm.barrier_wait_us[i]);
+        break;
+      case ThreadState::kIoWait:
+        batch_wait_.push_back(&sm.io_wait_us[i]);
+        break;
+      case ThreadState::kManagerBlocked:
+        batch_wait_.push_back(&sm.mgr_blocked_us[i]);
+        break;
+      case ThreadState::kDone:
+        break;
+    }
+  }
+
+  return budget;
+}
+
+// bbsched:hot the batched-tick replay loop (quantum batching)
+void Engine::replay_quiet_ticks(SimTime until) {
+  const std::uint64_t budget = prepare_batch(until);
+  if (budget == 0) return;
+
+  const SimTime tick_us = ecfg_.tick_us;
+  const double tick = static_cast<double>(tick_us);
+  const double warm_inc =
+      tick / static_cast<double>(mcfg_.cache.warmup_us);
+  const double grace = static_cast<double>(ecfg_.spin_grace_us);
+  SoAStore& s = machine_.store();
+  const BusResolution& bus = bus_ws_.result;
+
+  // Per-tick constants of the frozen resolution.
+  const bool has_demands = !demands_.empty();
+  const double util = has_demands
+                          ? bus.total_granted / bus.effective_capacity
+                          : 0.0;
+  const double granted_x_tick = bus.total_granted * tick;
+  const bool trace_on = trace_.enabled();
+  const bool tracer_on = tracer_ && tracer_->enabled();
+  obs::BusResolutionPayload bus_payload{};
+  if (tracer_on) {
+    bus_payload.demand_tps = bus.offered_rho * bus.effective_capacity;
+    bus_payload.granted_tps = bus.total_granted;
+    bus_payload.capacity_tps = bus.effective_capacity;
+    bus_payload.utilization =
+        bus.effective_capacity > 0.0
+            ? bus.total_granted / bus.effective_capacity
+            : 0.0;
+    bus_payload.stretch = bus.stretch;
+    bus_payload.agents = static_cast<std::int32_t>(demands_.size());
+    bus_payload.saturated = bus.saturated ? 1 : 0;
+  }
+
+  batch_frac_.resize(batch_threads_.size());
+  batch_pnew_.resize(batch_threads_.size());
+
+  std::uint64_t done = 0;
+  while (done < budget) {
+    // ---- phase A: per-tick event checks, no mutation. Every expression
+    // matches the full path bit for bit; any event defers the tick to the
+    // full path, which handles the transition exactly. ----
+    bool event = false;
+    for (std::size_t b = 0; b < batch_threads_.size() && !event; ++b) {
+      const BatchThread& bt = batch_threads_[b];
+      const auto ti = static_cast<std::size_t>(bt.tid);
+      double limit = bt.work;
+      bool barrier_limited = false;
+      if (bt.coupled) {
+        const double barrier_limit =
+            job_front_[static_cast<std::size_t>(bt.job)] + bt.interval;
+        if (barrier_limit < limit) {
+          limit = barrier_limit;
+          barrier_limited = true;
+        }
+      }
+      if (bt.io_enabled && bt.next_io < limit) {
+        limit = bt.next_io;
+        barrier_limited = false;
+      }
+      const double p = s.progress_us[ti];
+      const bool spinning_now = barrier_limited && p >= limit - kEps;
+      if (spinning_now != bt.spinning) {
+        event = true;  // spin classification flipped: demand set changes
+        break;
+      }
+      if (bt.spinning) {
+        if (bt.coupled && s.consecutive_spin_us[ti] + tick >= grace) {
+          event = true;  // spin-then-block would fire
+        }
+        continue;
+      }
+      const double allowed = std::max(0.0, limit - p);
+      const double frac =
+          bt.delta > 0.0 ? std::min(1.0, allowed / bt.delta) : 1.0;
+      const double p_new = p + bt.delta * frac;
+      if (frac < 1.0 && !barrier_limited) {
+        event = true;  // ran into an I/O point or end of work
+        break;
+      }
+      if (bt.io_enabled && p_new >= bt.next_io - kEps &&
+          p_new < bt.work - kEps) {
+        event = true;  // I/O issue
+        break;
+      }
+      if (p_new >= bt.work - kEps) {
+        event = true;  // completion
+        break;
+      }
+      batch_frac_[b] = frac;
+      batch_pnew_[b] = p_new;
+    }
+    if (event) break;
+
+    // ---- phase B: commit the tick (same operation order as the full
+    // path: stats, observability, advance, DMA, disturbance, waits). ----
+    ++stats_.total_ticks;
+    ++stats_.batched_ticks;
+    if (has_demands) {
+      stats_.bus_utilization.add(util);
+      stats_.stretch.add(bus.stretch);
+      if (bus.saturated) ++stats_.saturated_ticks;
+      stats_.total_granted_transactions += granted_x_tick;
+    }
+    if (metrics_) {
+      m_ticks_->inc();
+      if (has_demands) {
+        m_bus_utilization_->observe(util);
+        m_bus_stretch_->observe(bus.stretch);
+        if (bus.saturated) m_saturated_ticks_->inc();
+        m_granted_transactions_->inc(granted_x_tick);
+      }
+    }
+    if (tracer_on) tracer_->bus_resolution(now_, bus_payload);
+
+    for (std::size_t b = 0; b < batch_threads_.size(); ++b) {
+      const BatchThread& bt = batch_threads_[b];
+      const auto ti = static_cast<std::size_t>(bt.tid);
+      if (trace_on) {
+        trace_.occupy(now_, now_ + tick_us, bt.job, bt.tid, bt.cpu);
+      }
+      if (bt.spinning) {
+        s.spin_us[ti] += tick;
+        s.consecutive_spin_us[ti] += tick;
+        continue;
+      }
+      const double frac = batch_frac_[b];
+      s.progress_us[ti] = batch_pnew_[b];
+      s.run_us[ti] += tick * frac;
+      s.bus_transactions[ti] += bt.granted_tick * frac;
+      s.bus_attempts[ti] += bt.attempt_tick * frac;
+      if (frac < 1.0) {
+        // Only barrier-limited threads can be here with frac < 1 (phase A
+        // defers the other limits): the remainder was spent spinning.
+        s.spin_us[ti] += tick * (1.0 - frac);
+        s.consecutive_spin_us[ti] += tick * (1.0 - frac);
+      } else {
+        s.consecutive_spin_us[ti] = 0.0;
+      }
+      s.warmth[ti] = std::min(1.0, s.warmth[ti] + warm_inc);
+    }
+    for (const BatchDma& d : batch_dma_) {
+      const auto ti = static_cast<std::size_t>(d.tid);
+      s.bus_transactions[ti] += d.granted_tick;
+      s.bus_attempts[ti] += d.attempt_tick;
+    }
+    for (const int tid : batch_stolen_) {
+      s.stolen_us[static_cast<std::size_t>(tid)] += tick;
+    }
+    for (std::size_t k = 0; k < batch_dist_.size(); ++k) {
+      *batch_dist_[k] = std::max(0.0, *batch_dist_[k] - batch_dist_dec_[k]);
+    }
+    for (double* acc : batch_wait_) *acc += tick;
+
+    // ---- phase C: barrier fronts and wake-ups, exactly as the full path
+    // ends a tick. A wake changes a thread state, so it closes the batch
+    // (the scheduler may react next tick). ----
+    const bool woke = barrier_transitions();
+    now_ += tick_us;
+    ++done;
+    if (woke) break;
+  }
+  if (done > 0) ++stats_.batches;
 }
 
 }  // namespace bbsched::sim

@@ -29,6 +29,11 @@ struct EngineStats {
   std::uint64_t saturated_ticks = 0;    ///< ticks the saturation eq. was active
   std::uint64_t total_ticks = 0;
   double total_granted_transactions = 0.0;
+  /// Quantum batching (DESIGN.md §11): event-free batches entered and the
+  /// ticks they replayed (a subset of total_ticks; results bit-identical to
+  /// per-tick stepping).
+  std::uint64_t batches = 0;
+  std::uint64_t batched_ticks = 0;
 };
 
 class Engine {
@@ -81,14 +86,38 @@ class Engine {
   void set_metrics(obs::MetricsRegistry* metrics);
 
  private:
-  void execute_tick();
+  /// One full tick: arrivals, scheduler, execute, observer. Returns true
+  /// when a structural event occurred (any thread state or placement
+  /// change), which invalidates quantum-batch preconditions.
+  bool step_once();
+
+  /// Returns true on a structural event (see step_once).
+  bool execute_tick();
   void account_unplaced(double tick);
   void apply_cache_disturbance(double tick);
-  void barrier_transitions();
+  /// Wakes barrier waiters whose siblings caught up; true if any woke.
+  bool barrier_transitions();
 
   /// Recomputes the cached per-job barrier front (min progress over the
-  /// job's threads) in one pass over all threads.
+  /// job's live threads); completed jobs keep an (unread) infinity front.
   void refresh_job_fronts();
+
+  // ---- quantum batching (DESIGN.md §11) ----
+  //
+  // After an event-free full tick, replay_quiet_ticks() advances through
+  // ticks in which provably nothing changes shape — no arrival, noise
+  // boundary, I/O wake, scheduler action or demand-model change — repeating
+  // the exact per-tick arithmetic (same operations, same order, bit-identical
+  // results) while skipping the bus resolve, scheduler tick and per-tick
+  // gather whose inputs are constant. Any per-tick event check that fires
+  // falls back to full stepping for that tick.
+
+  /// Validates batch preconditions, computes the event horizon (max replay
+  /// ticks) and fills the batch_* scratch. Returns 0 when batching is not
+  /// currently sound.
+  std::uint64_t prepare_batch(SimTime until);
+  /// Replays up to prepare_batch() ticks; advances now_.
+  void replay_quiet_ticks(SimTime until);
 
   MachineConfig mcfg_;
   EngineConfig ecfg_;
@@ -155,6 +184,40 @@ class Engine {
   /// per-job min scans the tick-start loop and barrier_transitions() used
   /// to duplicate.
   std::vector<double> job_front_;
+
+  // ---- quantum-batching scratch (reused across batches; allocation-free
+  // in steady state) ----
+
+  /// One placed thread's batch-constant view, in placed_ order.
+  struct BatchThread {
+    int tid;
+    int job;
+    int cpu;
+    std::size_t pi;       ///< index into demands_ / bus workspace arrays
+    bool spinning;        ///< pure spinner at batch start
+    bool coupled;
+    bool io_enabled;
+    double delta;         ///< tick / total_slowdown (constant in-batch)
+    double granted_tick;  ///< granted rate * tick
+    double attempt_tick;  ///< demand * tick
+    double work;
+    double interval;
+    double next_io;
+  };
+  std::vector<BatchThread> batch_threads_;
+  std::vector<double> batch_frac_;  ///< per-BatchThread tick fraction
+  std::vector<double> batch_pnew_;  ///< per-BatchThread predicted progress
+  /// DMA agents: (thread id, granted*tick, demand*tick).
+  struct BatchDma {
+    int tid;
+    double granted_tick;
+    double attempt_tick;
+  };
+  std::vector<BatchDma> batch_dma_;
+  std::vector<int> batch_stolen_;        ///< noise-stolen resident threads
+  std::vector<double*> batch_dist_;      ///< disturbance victims' warmth
+  std::vector<double> batch_dist_dec_;   ///< matching warmth decrement
+  std::vector<double*> batch_wait_;      ///< unplaced wait accumulators
 };
 
 }  // namespace bbsched::sim

@@ -27,6 +27,17 @@ class DemandModel {
   /// Transactions/µs thread `tidx` would issue at virtual progress
   /// `progress_us` on an uncontended machine.
   [[nodiscard]] virtual double rate(int tidx, double progress_us) const = 0;
+
+  /// Upper end of the progress interval [progress_us, steady_until) over
+  /// which rate(tidx, ·) is guaranteed constant. The engine's tick batching
+  /// (DESIGN.md §11) uses this to bound event-free horizons; the
+  /// conservative default — the current point itself — claims no constant
+  /// interval, which disables batching for models that do not opt in.
+  [[nodiscard]] virtual double steady_until(int tidx,
+                                            double progress_us) const {
+    (void)tidx;
+    return progress_us;
+  }
 };
 
 /// Constant-rate demand — adequate for most of the paper's applications,
@@ -35,6 +46,9 @@ class SteadyDemand final : public DemandModel {
  public:
   explicit SteadyDemand(double tps) : tps_(tps) { assert(tps >= 0.0); }
   [[nodiscard]] double rate(int, double) const override { return tps_; }
+  [[nodiscard]] double steady_until(int, double) const override {
+    return std::numeric_limits<double>::infinity();
+  }
 
  private:
   double tps_;
@@ -111,45 +125,9 @@ enum class ThreadState {
   kDone,           ///< all work complete
 };
 
-/// Mutable per-thread simulation state plus accumulated accounting.
-struct ThreadCtx {
-  int id = -1;      ///< global thread id (index in Machine::threads())
-  int app_id = -1;  ///< owning job id
-  int tidx = 0;     ///< index within the job
-
-  ThreadState state = ThreadState::kReady;
-
-  double progress_us = 0.0;  ///< virtual work completed
-  int last_cpu = -1;         ///< CPU it last ran on (-1: never ran)
-  double warmth = 0.0;       ///< cache state on last_cpu, in [0, 1]
-
-  /// Consecutive time spent spinning at the current barrier (for
-  /// spin-then-block).
-  double consecutive_spin_us = 0.0;
-
-  /// I/O bookkeeping: absolute wake time of the in-flight I/O, and the
-  /// progress point at which the next I/O will be issued.
-  SimTime io_wake_us = 0;
-  double next_io_at_progress = 0.0;
-
-  // ---- accounting (monotonically increasing) ----
-  double bus_transactions = 0.0;  ///< granted (data-moving) transactions
-  /// Attempted transactions: demand-side count including the retries a
-  /// starved agent issues while arbitrating for the bus. This is what the
-  /// Xeon's bus counters (IOQ allocations) see and hence what the CPU
-  /// manager samples; it can legitimately exceed the data actually moved —
-  /// the paper itself reports a cumulative Raytrace rate above the
-  /// STREAM-sustainable limit (34.89 vs 29.5 trans/µs).
-  double bus_attempts = 0.0;
-  double run_us = 0.0;            ///< time occupying a CPU and progressing
-  double spin_us = 0.0;           ///< time occupying a CPU but barrier-spinning
-  double stolen_us = 0.0;         ///< time lost to OS noise while placed
-  double ready_wait_us = 0.0;     ///< time runnable but not placed
-  double barrier_wait_us = 0.0;   ///< time blocked at barriers
-  double io_wait_us = 0.0;        ///< time blocked on I/O
-  double mgr_blocked_us = 0.0;    ///< time blocked by the CPU manager
-  std::uint64_t migrations = 0;   ///< times placed on a different CPU
-};
+// Per-thread simulation state lives in sim::SoAStore (soa_store.h) as
+// structure-of-arrays; ThreadCtx — the per-thread view schedulers and tests
+// use — is defined there as a proxy of references into the arrays.
 
 /// Mutable per-job simulation state.
 struct Job {

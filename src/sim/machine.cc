@@ -13,19 +13,15 @@ int Machine::add_job(const JobSpec& spec, SimTime now) {
   j.id = static_cast<int>(jobs_.size());
   j.spec = spec;
   j.release_us = now;
-  for (int t = 0; t < spec.nthreads; ++t) {
-    ThreadCtx ctx;
-    ctx.id = static_cast<int>(threads_.size());
-    ctx.app_id = j.id;
-    ctx.tidx = t;
-    if (spec.io.enabled()) {
-      ctx.next_io_at_progress = spec.io.period_progress_us;
-    }
-    j.thread_ids.push_back(ctx.id);
-    threads_.push_back(ctx);
-  }
   jobs_.push_back(std::move(j));
-  return jobs_.back().id;
+  Job& stored = jobs_.back();
+  for (int t = 0; t < spec.nthreads; ++t) {
+    // Flatten the stored spec (its DemandModel pointer must outlive the
+    // threads, which the Job's shared_ptr guarantees).
+    const int tid = store_.push_back(stored.spec, stored.id, t, cfg_.cache.l2_kb);
+    stored.thread_ids.push_back(tid);
+  }
+  return stored.id;
 }
 
 void Machine::place(int cpu, int tid) {
@@ -34,21 +30,21 @@ void Machine::place(int cpu, int tid) {
   // A thread must never occupy two CPUs.
   assert(cpu_of(tid) == -1 && "thread already placed on another CPU");
   slot.thread = tid;
-  ThreadCtx& t = thread(tid);
-  if (t.last_cpu != cpu) {
-    if (t.last_cpu != -1) {
-      ++t.migrations;
+  const auto i = static_cast<std::size_t>(tid);
+  if (store_.last_cpu[i] != cpu) {
+    if (store_.last_cpu[i] != -1) {
+      ++store_.migrations[i];
     }
     // Cache state was built on the previous CPU; start cold here.
-    t.warmth = 0.0;
-    t.last_cpu = cpu;
+    store_.warmth[i] = 0.0;
+    store_.last_cpu[i] = cpu;
   }
 }
 
 double Machine::job_min_progress(const Job& j) const {
   double lo = std::numeric_limits<double>::infinity();
   for (int tid : j.thread_ids) {
-    lo = std::min(lo, thread(tid).progress_us);
+    lo = std::min(lo, store_.progress_us[static_cast<std::size_t>(tid)]);
   }
   return lo;
 }
@@ -69,13 +65,17 @@ bool Machine::all_finite_jobs_done() const {
 
 double Machine::job_bus_transactions(const Job& j) const {
   double sum = 0.0;
-  for (int tid : j.thread_ids) sum += thread(tid).bus_transactions;
+  for (int tid : j.thread_ids) {
+    sum += store_.bus_transactions[static_cast<std::size_t>(tid)];
+  }
   return sum;
 }
 
 double Machine::job_bus_attempts(const Job& j) const {
   double sum = 0.0;
-  for (int tid : j.thread_ids) sum += thread(tid).bus_attempts;
+  for (int tid : j.thread_ids) {
+    sum += store_.bus_attempts[static_cast<std::size_t>(tid)];
+  }
   return sum;
 }
 

@@ -7,6 +7,7 @@
 
 #include "sim/config.h"
 #include "sim/job.h"
+#include "sim/soa_store.h"
 
 namespace bbsched::sim {
 
@@ -41,16 +42,18 @@ class Machine {
     return jobs_.at(static_cast<std::size_t>(id));
   }
 
-  [[nodiscard]] std::vector<ThreadCtx>& threads() noexcept { return threads_; }
-  [[nodiscard]] const std::vector<ThreadCtx>& threads() const noexcept {
-    return threads_;
+  /// Iterable proxy views over all threads (SoA-backed; see soa_store.h).
+  [[nodiscard]] ThreadRange threads() noexcept { return ThreadRange(&store_); }
+  [[nodiscard]] ConstThreadRange threads() const noexcept {
+    return ConstThreadRange(&store_);
   }
-  [[nodiscard]] ThreadCtx& thread(int id) {
-    return threads_.at(static_cast<std::size_t>(id));
-  }
-  [[nodiscard]] const ThreadCtx& thread(int id) const {
-    return threads_.at(static_cast<std::size_t>(id));
-  }
+  [[nodiscard]] ThreadCtx thread(int id) { return store_.ctx(id); }
+  [[nodiscard]] ConstThreadCtx thread(int id) const { return store_.ctx(id); }
+
+  /// The underlying parallel arrays; the engine's hot loops index these
+  /// directly instead of going through the proxies.
+  [[nodiscard]] SoAStore& store() noexcept { return store_; }
+  [[nodiscard]] const SoAStore& store() const noexcept { return store_; }
 
   [[nodiscard]] std::vector<Cpu>& cpus() noexcept { return cpus_; }
   [[nodiscard]] const std::vector<Cpu>& cpus() const noexcept { return cpus_; }
@@ -98,7 +101,7 @@ class Machine {
   MachineConfig cfg_;
   std::vector<Cpu> cpus_;
   std::vector<Job> jobs_;
-  std::vector<ThreadCtx> threads_;
+  SoAStore store_;
 };
 
 }  // namespace bbsched::sim

@@ -30,6 +30,21 @@ class Scheduler {
   virtual void tick(Machine& machine, SimTime now,
                     trace::ScheduleTrace& trace) = 0;
 
+  /// Latest time T such that every tick() call at a time in [now, T) is
+  /// guaranteed to be a no-op — neither mutating the machine nor any
+  /// scheduler-internal state — PROVIDED thread states, placements and the
+  /// job set do not change in the interim. The engine uses this to batch
+  /// event-free ticks (DESIGN.md §11); any event that could invalidate the
+  /// premise ends the batch and resumes per-tick stepping. The conservative
+  /// default (`now`) declares the scheduler never quiescent, which disables
+  /// batching for implementations that do not opt in (LinuxScheduler's
+  /// timeslice accounting mutates state every tick, for example).
+  [[nodiscard]] virtual SimTime quiescent_until(const Machine& machine,
+                                                SimTime now) const {
+    (void)machine;
+    return now;
+  }
+
   [[nodiscard]] virtual const char* name() const = 0;
 };
 
@@ -41,13 +56,29 @@ class PinnedScheduler final : public Scheduler {
  public:
   void tick(Machine& m, SimTime /*now*/,
             trace::ScheduleTrace& /*trace*/) override {
-    for (auto& t : m.threads()) {
+    for (const auto& t : m.threads()) {
       if (t.state != ThreadState::kReady) continue;
       const int cpu = t.id % m.num_cpus();
       if (m.cpus()[static_cast<std::size_t>(cpu)].thread == Cpu::kIdle) {
         m.place(cpu, t.id);
       }
     }
+  }
+
+  /// tick() only ever places a ready thread onto its idle home CPU; with no
+  /// such thread it is a no-op forever (until an engine event changes a
+  /// state or placement, which ends any batch).
+  [[nodiscard]] SimTime quiescent_until(const Machine& m,
+                                        SimTime now) const override {
+    for (const auto& t : m.threads()) {
+      if (t.state != ThreadState::kReady) continue;
+      const int cpu = t.id % m.num_cpus();
+      if (m.cpus()[static_cast<std::size_t>(cpu)].thread == t.id) continue;
+      if (m.cpus()[static_cast<std::size_t>(cpu)].thread == Cpu::kIdle) {
+        return now;  // tick() would place this thread
+      }
+    }
+    return kForever;
   }
 
   [[nodiscard]] const char* name() const override { return "pinned"; }
