@@ -67,6 +67,10 @@ int CpuManager::connect(const std::string& name, int nthreads) {
 }
 
 void CpuManager::disconnect(int app_id) {
+  credit_.release(app_id);
+  if (m_qos_reserved_apps_ != nullptr) {
+    m_qos_reserved_apps_->set(static_cast<double>(credit_.reserved_count()));
+  }
   apps_.erase(app_id);
   order_.remove(app_id);
   restore_pos_.erase(app_id);
@@ -149,6 +153,11 @@ void CpuManager::set_metrics(obs::MetricsRegistry* metrics) {
     m_quarantines_ = nullptr;
     m_degraded_elections_ = nullptr;
     m_degradation_state_ = nullptr;
+    m_qos_replenishes_ = nullptr;
+    m_qos_violations_ = nullptr;
+    m_qos_rejected_ = nullptr;
+    m_qos_slack_elections_ = nullptr;
+    m_qos_reserved_apps_ = nullptr;
     return;
   }
   m_missed_quanta_ = &metrics_->counter("manager.faults.missed_quanta");
@@ -159,6 +168,32 @@ void CpuManager::set_metrics(obs::MetricsRegistry* metrics) {
   m_degraded_elections_ = &metrics_->counter("manager.degraded_elections");
   m_degradation_state_ = &metrics_->gauge("manager.degradation_state");
   m_degradation_state_->set(degraded_ ? 1.0 : 0.0);
+  m_qos_replenishes_ = &metrics_->counter("manager.qos.replenishes");
+  m_qos_violations_ =
+      &metrics_->counter("manager.qos.reservation_violations");
+  m_qos_rejected_ = &metrics_->counter("manager.qos.reservations_rejected");
+  m_qos_slack_elections_ = &metrics_->counter("manager.qos.slack_elections");
+  m_qos_reserved_apps_ = &metrics_->gauge("manager.qos.reserved_apps");
+  m_qos_reserved_apps_->set(static_cast<double>(credit_.reserved_count()));
+}
+
+QosError CpuManager::set_reservation(int app_id, double frac,
+                                     std::uint64_t now_us) {
+  QosError err = QosError::kNone;
+  if (!connected(app_id)) {
+    err = QosError::kUnknownApp;
+  } else {
+    err = credit_.reserve(app_id, frac);
+  }
+  if (err != QosError::kNone) {
+    if (m_qos_rejected_ != nullptr) m_qos_rejected_->inc();
+    count_fault(obs::FaultKind::kReservationRejected, app_id, frac, now_us);
+    return err;
+  }
+  if (m_qos_reserved_apps_ != nullptr) {
+    m_qos_reserved_apps_->set(static_cast<double>(credit_.reserved_count()));
+  }
+  return err;
 }
 
 void CpuManager::count_fault(obs::FaultKind kind, int app_id, double value,
@@ -217,6 +252,9 @@ void CpuManager::record_sample(int app_id, double delta_transactions,
   }
   app.tracker.record_sample(delta_transactions);
   ++app.samples_this_quantum;
+  // The validated delta also debits the app's credit: the same measurement
+  // drives the fitness estimate and utilization_over_bandwidth.
+  if (cfg_.qos.enabled) credit_.debit(app_id, delta_transactions);
 }
 
 double CpuManager::policy_estimate(int app_id) const {
@@ -355,12 +393,36 @@ const ElectionResult& CpuManager::schedule_quantum(int nprocs,
   // In degraded mode every estimate is fiction, so the election falls back
   // to plain round-robin gang scheduling: head-of-list first-fit, which the
   // post-election rotation turns into a fair rotor (docs/ROBUSTNESS.md).
-  const bool predictive = cfg_.use_predictive && !degraded_;
+  // The credit tier (when enabled and feeds are healthy) takes precedence
+  // over the predictive election: guarantees outrank optimization. In
+  // degraded mode neither runs — with every feed dead there are no debits,
+  // so "credit remaining" is as fictional as any estimate; reservations
+  // pause and the round-robin fallback takes over until feeds revive.
+  const bool use_credit = cfg_.qos.enabled && !degraded_;
+  const bool predictive = cfg_.use_predictive && !degraded_ && !use_credit;
   const ElectionRule rule =
       degraded_ ? ElectionRule::kFirstFit : cfg_.election_rule;
+  if (use_credit) {
+    const CreditScheduler::ReplenishReport rep =
+        credit_.replenish_if_due(now_us, tracer_);
+    if (rep.replenished > 0 && m_qos_replenishes_ != nullptr) {
+      m_qos_replenishes_->inc(static_cast<double>(rep.replenished));
+    }
+    if (rep.violations > 0 && m_qos_violations_ != nullptr) {
+      m_qos_violations_->inc(static_cast<double>(rep.violations));
+    }
+  }
   if (predictive) {
     result_ = elect_predictive(candidates, nprocs, cfg_.predictor,
                                cfg_.predictive_objective);
+  } else if (use_credit) {
+    credit_.elect(candidates, nprocs, cfg_.total_bus_bw_tps, rule,
+                  tracing ? &audit_ : nullptr, result_);
+    if (credit_.last_slack_elected() > 0 &&
+        m_qos_slack_elections_ != nullptr) {
+      m_qos_slack_elections_->inc(
+          static_cast<double>(credit_.last_slack_elected()));
+    }
   } else {
     elect_into(candidates, nprocs, cfg_.total_bus_bw_tps, rule,
                tracing ? &audit_ : nullptr, result_);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/bandwidth_stats.h"
+#include "core/credit_scheduler.h"
 #include "core/election.h"
 #include "core/journal.h"
 #include "core/predictor.h"
@@ -113,6 +114,12 @@ struct ManagerConfig {
   /// every quantum, so behaviour is bit-identical to the pre-hardening
   /// manager until a fault actually occurs).
   StalenessConfig staleness{};
+
+  /// Credit-based bandwidth reservations (core/credit_scheduler.h,
+  /// docs/POLICIES.md). Disabled by default: with qos.enabled == false the
+  /// manager's behaviour is bit-identical to a build without the tier.
+  /// When enabled, qos takes precedence over use_predictive.
+  QosConfig qos{};
 };
 
 /// Connected-application record.
@@ -146,7 +153,8 @@ struct ManagedApp {
 
 class CpuManager {
  public:
-  explicit CpuManager(const ManagerConfig& cfg) : cfg_(cfg) {}
+  explicit CpuManager(const ManagerConfig& cfg)
+      : cfg_(cfg), credit_(cfg.qos, cfg.total_bus_bw_tps) {}
 
   /// Registers an application (the paper's 'connection' message). Returns
   /// the manager-assigned app id. New applications join the list tail.
@@ -178,6 +186,19 @@ class CpuManager {
 
   /// BBW/thread estimate the active policy would use right now.
   [[nodiscard]] double policy_estimate(int app_id) const;
+
+  /// Declares (or updates; frac == 0 releases) a bus-bandwidth reservation
+  /// for a connected application, as a fraction of total_bus_bw_tps.
+  /// Admission-checked: an invalid or over-subscribing reservation is
+  /// refused with a typed error, the ledger is untouched, the app stays
+  /// best-effort, and a kReservationRejected fault event is recorded.
+  /// Reservations only steer elections when cfg.qos.enabled is true.
+  QosError set_reservation(int app_id, double frac, std::uint64_t now_us = 0);
+
+  /// The credit ledger (reservation fractions, balances, period index).
+  [[nodiscard]] const CreditScheduler& credit() const noexcept {
+    return credit_;
+  }
 
   [[nodiscard]] const ManagerConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::size_t app_count() const noexcept { return apps_.size(); }
@@ -288,6 +309,14 @@ class CpuManager {
   obs::Counter* m_quarantines_ = nullptr;
   obs::Counter* m_degraded_elections_ = nullptr;
   obs::Gauge* m_degradation_state_ = nullptr;
+
+  // ---- credit/reservation QoS tier (core/credit_scheduler.h) ----
+  CreditScheduler credit_;
+  obs::Counter* m_qos_replenishes_ = nullptr;
+  obs::Counter* m_qos_violations_ = nullptr;
+  obs::Counter* m_qos_rejected_ = nullptr;
+  obs::Counter* m_qos_slack_elections_ = nullptr;
+  obs::Gauge* m_qos_reserved_apps_ = nullptr;
 };
 
 }  // namespace bbsched::core

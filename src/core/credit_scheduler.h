@@ -1,0 +1,158 @@
+// Credit-based bus-bandwidth reservations (the QoS policy tier).
+//
+// Modeled on gxen's band_scheduler_t / credit_scheduler_t (SNIPPETS.md):
+// a reserved application declares a fraction of the calibrated bus capacity;
+// every replenish period the scheduler grants it that fraction's worth of
+// bus transactions as *credit*, and the measured counter feed — the same
+// samples the fitness election consumes — debits the credit as the app
+// actually moves traffic (`utilization_over_bandwidth`). The election then
+// becomes two-phase:
+//
+//  1. Guarantee: applications holding credit are allocated first, in
+//     applications-list order, while their gangs fit. A reserved app is
+//     never passed over by a fitness score as long as it has credit.
+//  2. Slack: remaining processors are filled from the rest of the list
+//     (best-effort apps, and reserved apps that spent their credit) under
+//     the ordinary election rule — unused credit is work-conservingly
+//     redistributed rather than left idle. While reserved apps hold
+//     processors, slack admission refuses candidates whose estimated
+//     demand would over-subscribe the bus, so a best-effort bus hog
+//     cannot starve a guarantee it was packed next to.
+//
+// At each period boundary the ledger closes: a reserved application that
+// still holds credit *and* was denied the CPU for part of the period was
+// failed by the scheduler — that is a ReservationViolation event. Zero
+// violations on a feasible mix is the tier's contract (bench/ext_qos).
+//
+// See docs/POLICIES.md for the catalog entry and docs/OBSERVABILITY.md for
+// the event/metric schema.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/election.h"
+#include "obs/tracer.h"
+#include "sim/time.h"
+
+namespace bbsched::core {
+
+/// Typed reservation-admission errors. Reservations are admission-checked:
+/// a refused reservation leaves the ledger untouched and the application
+/// best-effort.
+enum class QosError {
+  kNone,
+  kUnknownApp,       ///< app id not connected
+  kInvalidFraction,  ///< not a finite value in (0, 1]
+  kOversubscribed,   ///< sum of reservations would exceed the bus capacity
+};
+
+[[nodiscard]] const char* to_string(QosError err);
+
+struct QosConfig {
+  /// Master switch. Off by default: every other subsystem behaves
+  /// bit-identically to a build without the credit tier.
+  bool enabled = false;
+
+  /// Credit replenish period. Longer periods average the guarantee over
+  /// more quanta (smoother, laxer); the default spans two paper quanta.
+  sim::SimTime period_us = 400 * sim::kUsPerMs;
+
+  /// Fraction of the reservation an app may miss before the period counts
+  /// as violated (guards against boundary jitter, not real shortfalls).
+  double violation_tolerance = 0.05;
+};
+
+/// Per-application credit ledger entry.
+struct CreditAccount {
+  double reservation_frac = 0.0;  ///< of total bus capacity, in (0, 1]
+  double credit_tx = 0.0;         ///< transactions remaining this period
+  double granted_tx = 0.0;        ///< credit granted at the last replenish
+  double spent_tx = 0.0;          ///< transactions debited this period
+  int quanta_elected = 0;         ///< elections this period that picked the app
+};
+
+class CreditScheduler {
+ public:
+  CreditScheduler(const QosConfig& cfg, double total_bus_bw_tps)
+      : cfg_(cfg), total_bus_bw_tps_(total_bus_bw_tps) {}
+
+  /// Admits (or updates) a reservation. `frac` must be finite and in
+  /// (0, 1], and the sum over all reserved apps must stay ≤ 1 — otherwise
+  /// the ledger is left untouched and the error says why. frac == 0
+  /// releases an existing reservation.
+  QosError reserve(int app_id, double frac);
+
+  /// Drops an application's reservation (disconnect path). No-op when the
+  /// app holds none.
+  void release(int app_id);
+
+  /// Debits measured traffic against the app's credit (no-op for apps
+  /// without a reservation). Called with the validated counter delta.
+  void debit(int app_id, double transactions);
+
+  /// Closes the period if `now_us` reached the boundary (and opens the
+  /// first period on the first call): detects violations, emits one
+  /// kCreditReplenish per reserved app plus kReservationViolation events
+  /// through `tracer` (may be null), and resets every account's credit.
+  struct ReplenishReport {
+    int replenished = 0;  ///< accounts granted fresh credit (0 = not due)
+    int violations = 0;   ///< reservations violated in the closed period
+  };
+  ReplenishReport replenish_if_due(std::uint64_t now_us, obs::Tracer* tracer);
+
+  /// The two-phase credit election (see file comment). With an empty
+  /// ledger this is exactly elect_into() — zero reservations degenerate to
+  /// the best-effort election by construction. Counts the quantum and the
+  /// elected reserved apps for the period's violation accounting.
+  void elect(const std::vector<Candidate>& candidates, int nprocs,
+             double total_bus_bw, ElectionRule slack_rule,
+             std::vector<CandidateDecision>* audit, ElectionResult& out);
+
+  [[nodiscard]] const QosConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] bool reserved(int app_id) const {
+    return accounts_.find(app_id) != accounts_.end();
+  }
+  [[nodiscard]] double reservation_frac(int app_id) const {
+    const auto it = accounts_.find(app_id);
+    return it == accounts_.end() ? 0.0 : it->second.reservation_frac;
+  }
+  [[nodiscard]] double credit(int app_id) const {
+    const auto it = accounts_.find(app_id);
+    return it == accounts_.end() ? 0.0 : it->second.credit_tx;
+  }
+  /// Sum of admitted reservation fractions (≤ 1 by admission control).
+  [[nodiscard]] double reserved_sum() const noexcept { return reserved_sum_; }
+  [[nodiscard]] std::size_t reserved_count() const noexcept {
+    return accounts_.size();
+  }
+  /// Replenish periods opened so far.
+  [[nodiscard]] std::uint64_t period_index() const noexcept {
+    return period_index_;
+  }
+  /// Best-effort apps elected into reservation slack by the last elect().
+  [[nodiscard]] int last_slack_elected() const noexcept {
+    return last_slack_elected_;
+  }
+
+ private:
+  QosConfig cfg_;
+  double total_bus_bw_tps_ = 0.0;
+  std::unordered_map<int, CreditAccount> accounts_;
+  /// Reserved app ids in ascending order — replenish iterates this, never
+  /// the unordered map, so event order and violation counts stay
+  /// deterministic (the bbsched_lint determinism contract).
+  std::vector<int> reserved_order_;
+  double reserved_sum_ = 0.0;
+
+  bool started_ = false;             ///< first period opened
+  std::uint64_t period_start_us_ = 0;
+  std::uint64_t period_index_ = 0;   ///< index of the open period
+  int quanta_in_period_ = 0;         ///< elections since the last replenish
+  int last_slack_elected_ = 0;
+
+  std::vector<char> taken_;  ///< reused election scratch (zero-alloc path)
+};
+
+}  // namespace bbsched::core

@@ -14,7 +14,7 @@ using sim::ThreadState;
 
 void ManagedScheduler::start(Machine& m, trace::ScheduleTrace& trace) {
   for (const auto& job : m.jobs()) {
-    const int app = manager_.connect(job.spec.name, job.spec.nthreads);
+    const int app = connect_app(job, 0);
     job_to_app_[job.id] = app;
     app_to_job_[app] = job.id;
     last_read_[app] = 0.0;
@@ -22,6 +22,17 @@ void ManagedScheduler::start(Machine& m, trace::ScheduleTrace& trace) {
   quantum_start_ = 0;
   samples_taken_ = 0;
   run_election(m, 0, trace);
+}
+
+int ManagedScheduler::connect_app(const sim::Job& job, SimTime now) {
+  const int app = manager_.connect(job.spec.name, job.spec.nthreads);
+  // Plumb the job's declared reservation into the credit ledger. A refused
+  // reservation (oversubscription at admission time) leaves the app
+  // best-effort; the manager records the kReservationRejected fault.
+  if (job.spec.bw_reservation > 0.0) {
+    (void)manager_.set_reservation(app, job.spec.bw_reservation, now);
+  }
+  return app;
 }
 
 double ManagedScheduler::read_counters(const Machine& m, int job_id) const {
@@ -324,7 +335,7 @@ void ManagedScheduler::tick(Machine& m, SimTime now,
   // election considers them.
   for (const auto& job : m.jobs()) {
     if (job.completed || job_to_app_.contains(job.id)) continue;
-    const int app = manager_.connect(job.spec.name, job.spec.nthreads);
+    const int app = connect_app(job, now);
     job_to_app_[job.id] = app;
     app_to_job_[app] = job.id;
     last_read_[app] = read_counters(m, job.id);

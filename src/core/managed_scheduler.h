@@ -67,6 +67,7 @@ class ManagedScheduler final : public sim::Scheduler {
                                              sim::SimTime now) const override;
 
   [[nodiscard]] const char* name() const override {
+    if (cfg_.manager.qos.enabled) return "manager/credit";
     switch (cfg_.manager.policy) {
       case PolicyKind::kLatestQuantum: return "manager/latest-quantum";
       case PolicyKind::kQuantaWindow: return "manager/quanta-window";
@@ -101,6 +102,7 @@ class ManagedScheduler final : public sim::Scheduler {
   [[nodiscard]] std::uint64_t elections() const noexcept { return elections_; }
 
  private:
+  int connect_app(const sim::Job& job, sim::SimTime now);
   [[nodiscard]] double read_counters(const sim::Machine& m, int job_id) const;
   void take_sample(sim::Machine& m, sim::SimTime now,
                    trace::ScheduleTrace& trace);

@@ -1,0 +1,107 @@
+// Offline optimal co-schedule solver and certified lower bounds.
+//
+// Answers the question the online policies cannot: how far is a measured
+// schedule from optimal? Two instruments, with different guarantees:
+//
+//  * certified_bounds() — lower bounds on makespan and mean turnaround that
+//    NO schedule (and no simulator run) can beat, derived from three
+//    invariants of the simulator: a thread's progress rate never exceeds 1
+//    (slowdown >= 1), the P processors deliver at most P progress-µs per
+//    µs, and the bus grants at most its calibrated capacity. Because every
+//    further effect (contention, barriers, cache cooling, manager overhead)
+//    only slows execution, `measured >= bound` holds for every policy on
+//    every run — which is what makes a regret_vs_optimal column sound
+//    (regret >= 0 by construction).
+//  * solve_batches() — a subset-DP (Held-Karp style, in the DP/ILP-lite
+//    spirit of Eremeev et al., arXiv:2010.16058) over gang batches: the
+//    optimal non-preemptive co-schedule value under the analytic contention
+//    model itself (sim/bus_model.h). This is the achievable optimum for a
+//    scheduler restricted to "run a gang to completion, then the next" —
+//    tighter than the certified bounds but a model value, not a certificate
+//    (the full simulator adds barrier/cache/overhead effects the DP
+//    ignores). Cross-checked against brute_force() in tests.
+//
+// Instances are closed systems (every app released at time 0) of
+// steady-demand apps; make_instance() extracts one from a workload's
+// measured set. Ignoring the workload's background jobs keeps the bounds
+// valid: background contention only slows the measured apps further.
+//
+// tools/opt_solve is the CLI; bench/ext_qos threads regret_vs_optimal
+// through its policy tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/bus_model.h"
+#include "sim/config.h"
+#include "workload/workload.h"
+
+namespace bbsched::experiments {
+
+/// One application as the offline solver sees it.
+struct OptApp {
+  std::string name;
+  int nthreads = 1;
+  double work_us = 0.0;    ///< per-thread virtual work (µs of progress)
+  double demand_tps = 0.0; ///< per-thread uncontended demand; 0 when the
+                           ///< demand model is not steady (bounds then fall
+                           ///< back to the work/processor invariants)
+  double weight = 1.0;     ///< bus arbitration weight (JobSpec::bus_priority)
+};
+
+/// A closed-system co-scheduling instance.
+struct OptInstance {
+  std::vector<OptApp> apps;
+  int nprocs = 4;
+  sim::BusConfig bus{};
+};
+
+/// Lower bounds no schedule of the instance can beat (see file comment).
+struct OptBounds {
+  double makespan_lb_us = 0.0;
+  double mean_turnaround_lb_us = 0.0;
+};
+
+enum class OptObjective {
+  kMakespan,
+  kMeanTurnaround,
+};
+
+/// An explicit batch co-schedule and its value under the analytic model.
+struct OptSchedule {
+  double makespan_us = 0.0;
+  double mean_turnaround_us = 0.0;
+  /// Gang batches in execution order; each batch lists app indices.
+  std::vector<std::vector<int>> batches;
+};
+
+/// Extracts an instance from `workload`'s measured set (all finite jobs
+/// when no measured set is declared). Apps with non-steady demand models
+/// contribute demand_tps = 0 (see OptApp). `time_scale` matches
+/// ExperimentConfig::time_scale so bounds line up with scaled runs.
+[[nodiscard]] OptInstance make_instance(const workload::Workload& workload,
+                                        const sim::MachineConfig& machine,
+                                        double time_scale = 1.0);
+
+/// Certified lower bounds (valid for every scheduler, every run).
+[[nodiscard]] OptBounds certified_bounds(const OptInstance& instance);
+
+/// Optimal batch co-schedule under the analytic contention model, by
+/// subset DP. Requires apps.size() <= 16 and every app to fit the machine.
+[[nodiscard]] OptSchedule solve_batches(
+    const OptInstance& instance,
+    OptObjective objective = OptObjective::kMeanTurnaround);
+
+/// Exhaustive enumeration of batch sequences (testing cross-check for
+/// solve_batches; exponential — keep instances at <= ~6 apps).
+[[nodiscard]] OptSchedule brute_force(
+    const OptInstance& instance,
+    OptObjective objective = OptObjective::kMeanTurnaround);
+
+/// Regret of a measured value against a lower bound, in percent
+/// (>= 0 whenever `bound` came from certified_bounds on the same
+/// instance). Returns 0 for non-positive bounds.
+[[nodiscard]] double regret_pct(double measured_us, double bound_us);
+
+}  // namespace bbsched::experiments

@@ -13,6 +13,7 @@ const char* to_string(SchedulerKind kind) {
     case SchedulerKind::kPredictiveThroughput: return "predictive-throughput";
     case SchedulerKind::kPredictiveFair: return "predictive-fair";
     case SchedulerKind::kEquipartition: return "equipartition";
+    case SchedulerKind::kCreditReservation: return "credit-reservation";
     case SchedulerKind::kManagedCustom: return "managed-custom";
   }
   return "unknown";
@@ -49,6 +50,15 @@ std::unique_ptr<sim::Scheduler> make_scheduler(SchedulerKind kind,
     case SchedulerKind::kEquipartition:
       return std::make_unique<spacesched::EquipartitionScheduler>(
           spacesched::EquipartitionConfig{});
+    case SchedulerKind::kCreditReservation: {
+      // The credit tier on top of the paper's smoothed estimate: jobs'
+      // JobSpec::bw_reservation fields reach the ledger via the managed
+      // scheduler's connect path.
+      core::ManagedSchedulerConfig mcfg = cfg.managed;
+      mcfg.manager.policy = core::PolicyKind::kQuantaWindow;
+      mcfg.manager.qos.enabled = true;
+      return std::make_unique<core::ManagedScheduler>(mcfg);
+    }
     case SchedulerKind::kManagedCustom:
       return std::make_unique<core::ManagedScheduler>(cfg.managed);
   }

@@ -25,6 +25,7 @@ enum class SchedulerKind {
   kPredictiveThroughput,  ///< model-driven (§6 future work), max throughput
   kPredictiveFair,        ///< model-driven, max worst-thread speed
   kEquipartition,         ///< §2 related work: dynamic space sharing
+  kCreditReservation,     ///< credit/reservation QoS tier (docs/POLICIES.md)
   kManagedCustom,         ///< CPU manager with cfg.managed used verbatim
 };
 

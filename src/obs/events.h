@@ -26,6 +26,8 @@ enum class EventType : std::uint8_t {
   kRecovery,
   kReattach,
   kSupervisorRestart,
+  kCreditReplenish,
+  kReservationViolation,
 };
 
 [[nodiscard]] const char* to_string(EventType type);
@@ -111,6 +113,8 @@ enum class FaultKind : std::uint8_t {
   kStaleSocket,       ///< dead socket file unlinked and rebound at start
   kClientReconnect,   ///< client retried the manager connection
   kBadMessage,        ///< corrupt/truncated protocol frame rejected
+  kReservationRejected,  ///< bandwidth reservation refused (invalid or
+                         ///< over-subscribed); the app runs best-effort
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -165,6 +169,34 @@ struct ReattachPayload {
   std::uint8_t adopted_state = 0;    ///< journaled feed state was adopted
 };
 
+/// The credit scheduler granted a reserved application a fresh period of
+/// bus-bandwidth credit (docs/POLICIES.md, credit/reservation tier). One
+/// event per reserved application per replenish period; `spent_tx` vs
+/// `granted_tx` shows how much of the reservation the app actually used,
+/// and `leftover_tx` is the slack that was work-conservingly available to
+/// best-effort applications during the ended period.
+struct CreditReplenishPayload {
+  std::int32_t app_id = -1;
+  std::uint64_t period = 0;   ///< 0-based replenish-period index being opened
+  double granted_tx = 0.0;    ///< credit for the new period (transactions)
+  double spent_tx = 0.0;      ///< transactions debited during the ended period
+  double leftover_tx = 0.0;   ///< unused credit at the end of the period
+};
+
+/// A reserved application failed to receive its bandwidth guarantee over a
+/// replenish period: it had credit left over *and* was denied the CPU for
+/// part of the period (so the shortfall is the scheduler's fault, not the
+/// app idling below its reservation). Zero of these on a feasible mix is
+/// the credit tier's contract (bench/ext_qos.cc).
+struct ReservationViolationPayload {
+  std::int32_t app_id = -1;
+  std::uint64_t period = 0;        ///< replenish period that was violated
+  double reserved_tps = 0.0;       ///< reserved bandwidth (trans/µs)
+  double delivered_tps = 0.0;      ///< spent credit / period length
+  std::int32_t quanta_elected = 0;     ///< quanta the app held the CPU
+  std::int32_t quanta_in_period = 0;   ///< elections in the period
+};
+
 /// The supervisor restarted (or gave up on) the manager process.
 struct SupervisorRestartPayload {
   std::uint32_t generation = 0;   ///< epoch of the manager being started
@@ -189,6 +221,8 @@ struct TraceEvent {
     RecoveryPayload recovery;
     ReattachPayload reattach;
     SupervisorRestartPayload supervisor;
+    CreditReplenishPayload credit;
+    ReservationViolationPayload violation;
   };
 
   // The variant members have default member initializers (so they are not
@@ -274,6 +308,22 @@ struct TraceEvent {
     e.time_us = t;
     e.type = EventType::kSupervisorRestart;
     e.supervisor = p;
+    return e;
+  }
+  [[nodiscard]] static TraceEvent make_credit_replenish(
+      std::uint64_t t, const CreditReplenishPayload& p) {
+    TraceEvent e;
+    e.time_us = t;
+    e.type = EventType::kCreditReplenish;
+    e.credit = p;
+    return e;
+  }
+  [[nodiscard]] static TraceEvent make_reservation_violation(
+      std::uint64_t t, const ReservationViolationPayload& p) {
+    TraceEvent e;
+    e.time_us = t;
+    e.type = EventType::kReservationViolation;
+    e.violation = p;
     return e;
   }
 };

@@ -19,6 +19,8 @@ const char* to_string(EventType type) {
     case EventType::kRecovery: return "Recovery";
     case EventType::kReattach: return "Reattach";
     case EventType::kSupervisorRestart: return "SupervisorRestart";
+    case EventType::kCreditReplenish: return "CreditReplenish";
+    case EventType::kReservationViolation: return "ReservationViolation";
   }
   return "unknown";
 }
@@ -40,6 +42,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kStaleSocket: return "stale-socket";
     case FaultKind::kClientReconnect: return "client-reconnect";
     case FaultKind::kBadMessage: return "bad-message";
+    case FaultKind::kReservationRejected: return "reservation-rejected";
   }
   return "unknown";
 }
@@ -136,6 +139,21 @@ void write_payload_fields(std::ostream& os, const TraceEvent& e) {
          << ", \"restarts\": " << e.supervisor.restarts
          << ", \"backoff_us\": " << e.supervisor.backoff_us
          << ", \"gave_up\": " << (e.supervisor.gave_up ? "true" : "false");
+      break;
+    case EventType::kCreditReplenish:
+      os << "\"app\": " << e.credit.app_id
+         << ", \"period\": " << e.credit.period
+         << ", \"granted_tx\": " << e.credit.granted_tx
+         << ", \"spent_tx\": " << e.credit.spent_tx
+         << ", \"leftover_tx\": " << e.credit.leftover_tx;
+      break;
+    case EventType::kReservationViolation:
+      os << "\"app\": " << e.violation.app_id
+         << ", \"period\": " << e.violation.period
+         << ", \"reserved_tps\": " << e.violation.reserved_tps
+         << ", \"delivered_tps\": " << e.violation.delivered_tps
+         << ", \"quanta_elected\": " << e.violation.quanta_elected
+         << ", \"quanta_in_period\": " << e.violation.quanta_in_period;
       break;
   }
 }

@@ -69,6 +69,13 @@ class Tracer {
   void supervisor_restart(std::uint64_t t, const SupervisorRestartPayload& p) {
     if (enabled_) ring_.push(TraceEvent::make_supervisor_restart(t, p));
   }
+  void credit_replenish(std::uint64_t t, const CreditReplenishPayload& p) {
+    if (enabled_) ring_.push(TraceEvent::make_credit_replenish(t, p));
+  }
+  void reservation_violation(std::uint64_t t,
+                             const ReservationViolationPayload& p) {
+    if (enabled_) ring_.push(TraceEvent::make_reservation_violation(t, p));
+  }
 
   [[nodiscard]] const RingBuffer<TraceEvent>& events() const noexcept {
     return ring_;

@@ -105,6 +105,13 @@ struct JobSpec {
   /// less per transaction at saturation — see bus_model.h.
   double bus_priority = 1.0;
 
+  /// Bus-bandwidth reservation as a fraction of the calibrated bus capacity
+  /// (0 = best-effort, the default). Consumed only by the credit/reservation
+  /// QoS tier (core/credit_scheduler.h, docs/POLICIES.md); with the tier
+  /// disabled the field is inert and the simulation is bit-identical to a
+  /// build without it.
+  double bw_reservation = 0.0;
+
   std::shared_ptr<const DemandModel> demand;
   CacheProfile cache{};
   IoProfile io{};

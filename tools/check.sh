@@ -38,6 +38,8 @@ for cfg in "${configs[@]}"; do
   cmake --build "$dir" -j "$jobs"
   echo "==> [$cfg] lint"
   "$dir/tools/bbsched_lint" --root="$PWD"
+  echo "==> [$cfg] opt_solve fixtures"
+  "$dir/tools/opt_solve" --self-check
   echo "==> [$cfg] ctest"
   case "$cfg" in
     plain)  (cd "$dir" && ctest --output-on-failure -j "$jobs") ;;
