@@ -1,0 +1,310 @@
+// Extension: honest-application cost of Byzantine co-clients
+// (docs/ROBUSTNESS.md §8).
+//
+// The paper's manager assumes every registered application is honest. This
+// bench attaches two honest applications to a live manager and then turns K
+// adversaries loose on the same socket — hello floods, reattach storms with
+// bogus generations, SCM_RIGHTS fd spam, never-ready squatters, slow-loris
+// half-frames, and an arena scribbler — cycling attacks for the whole
+// measurement window. Two quantities are swept against K:
+//
+//   * honest throughput — iterations/s of the honest apps' credit loops,
+//     reported as % degradation vs the K=0 baseline. The admission layer's
+//     job is to keep this bounded (≤5%) no matter what K does.
+//   * election latency — p50/p95/p99 of server.election_us. The manager
+//     runs elections on the same thread that handshakes clients, so an
+//     unbounded handshake stall would show up here first.
+//
+// The 5% gate is always *reported* but only *enforced* under --strict: on a
+// single-CPU host the K attacker threads steal CPU from the honest apps at
+// the machine level, which no admission policy can prevent — there the
+// election percentiles are the meaningful column, and the strict gate only
+// makes sense with more cores than busy threads (same policy as
+// ext_recovery).
+//
+// Usage: ext_adversarial [--fast] [--strict] [--csv] [--seed=N]
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "faults/adversarial_client.h"
+#include "obs/metrics.h"
+#include "runtime/client.h"
+#include "runtime/manager_server.h"
+
+namespace {
+
+using namespace bbsched;
+
+struct Options {
+  bool fast = false;
+  bool strict = false;
+  bool csv = false;
+  std::uint64_t seed = 42;
+};
+
+struct RowResult {
+  int adversaries = 0;
+  double honest_iters_per_s = 0.0;
+  double delta_pct = 0.0;  ///< vs the K=0 baseline (positive = slower)
+  double election_p50_us = 0.0;
+  double election_p95_us = 0.0;
+  double election_p99_us = 0.0;
+  std::uint64_t elections = 0;
+  std::uint64_t nacks = 0;        ///< rejected_full + rate_limited
+  std::uint64_t load_sheds = 0;
+  std::uint64_t quarantines = 0;  ///< adversarial feeds struck out
+  std::uint64_t timeouts = 0;     ///< handshake timeouts (loris cost)
+};
+
+void sleep_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::string unique_path(int k) {
+  return "/tmp/bbsched-ext-adv-" + std::to_string(::getpid()) + "-" +
+         std::to_string(k) + ".sock";
+}
+
+template <typename Pred>
+bool eventually(Pred&& pred, std::uint64_t budget_ms = 20'000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    sleep_ms(5);
+  }
+  return pred();
+}
+
+double counter_value(const obs::MetricsRegistry& metrics, const char* name) {
+  const obs::Counter* c = metrics.find_counter(name);
+  return c != nullptr ? c->value() : 0.0;
+}
+
+/// Upper bound of the first bucket whose cumulative count reaches the
+/// quantile. Overflow resolves to the last finite bound — good enough for a
+/// latency *ceiling* report.
+double histogram_quantile(const obs::Histogram& h, double q) {
+  const std::uint64_t total = h.count();
+  if (total == 0) return 0.0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+    cumulative += h.counts()[i];
+    if (cumulative >= target) return h.bounds()[i];
+  }
+  return h.bounds().back();
+}
+
+struct HonestApp {
+  runtime::Client client;
+  std::thread th;
+  std::atomic<std::uint64_t> iters{0};
+  std::atomic<bool> failed{false};
+};
+
+RowResult run_row(int adversaries, const Options& opt) {
+  RowResult out;
+  out.adversaries = adversaries;
+  const std::string sock_path = unique_path(adversaries);
+  ::unlink(sock_path.c_str());
+
+  obs::MetricsRegistry metrics;
+  runtime::ServerConfig cfg;
+  cfg.socket_path = sock_path;
+  cfg.manager.quantum_us = 20'000;
+  cfg.nprocs = 2;
+  cfg.metrics = &metrics;
+  cfg.handshake_timeout_ms = 25;
+  cfg.max_clients = 8;
+  runtime::ManagerServer server(cfg);
+  if (!server.start()) {
+    std::fprintf(stderr, "ext_adversarial: server start failed (K=%d)\n",
+                 adversaries);
+    return out;
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<HonestApp> apps(2);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    HonestApp& app = apps[i];
+    const std::string name = "honest" + std::to_string(i);
+    app.th = std::thread([&app, &stop, sock_path, name] {
+      if (!app.client.connect(sock_path, name, 1) || !app.client.ready()) {
+        app.failed.store(true);
+        return;
+      }
+      const int slot = app.client.leader_counter_slot();
+      while (!stop.load(std::memory_order_relaxed)) {
+        app.client.credit(slot, 400);
+        app.iters.fetch_add(1, std::memory_order_relaxed);
+        sleep_ms(1);
+      }
+      app.client.disconnect();
+    });
+  }
+  if (!eventually([&] { return server.running_app_names().size() == 2; })) {
+    std::fprintf(stderr, "ext_adversarial: honest apps never ran (K=%d)\n",
+                 adversaries);
+  }
+
+  // Attack for the whole window. Each adversary cycles the attack catalog
+  // from a different starting point so the mix stays heterogeneous.
+  static constexpr faults::AttackKind kCycle[] = {
+      faults::AttackKind::kHelloFlood,    faults::AttackKind::kReattachStorm,
+      faults::AttackKind::kFdSpam,        faults::AttackKind::kNeverReady,
+      faults::AttackKind::kSlowLoris,     faults::AttackKind::kArenaScribble,
+  };
+  std::atomic<bool> attack_stop{false};
+  std::vector<std::thread> attackers;
+  attackers.reserve(static_cast<std::size_t>(adversaries));
+  for (int k = 0; k < adversaries; ++k) {
+    attackers.emplace_back([&attack_stop, sock_path, k, &opt] {
+      std::size_t i = static_cast<std::size_t>(k);
+      while (!attack_stop.load(std::memory_order_relaxed)) {
+        faults::AdversaryConfig adv;
+        adv.socket_path = sock_path;
+        adv.kind = kCycle[i % std::size(kCycle)];
+        adv.seed = opt.seed + static_cast<std::uint64_t>(k) * 1000 + i;
+        adv.rounds = 16;
+        // The scribbler earns its quarantine one hostile *sample* at a
+        // time; give it enough connected time to be struck out, or the
+        // sweep never exercises the adversarial-feed ladder.
+        adv.hold_ms =
+            adv.kind == faults::AttackKind::kArenaScribble ? 250 : 20;
+        adv.name = "adv" + std::to_string(k);
+        faults::AdversarialClient(adv).run();
+        ++i;
+      }
+    });
+  }
+
+  // Warm up past connection churn, then measure a clean window.
+  const std::uint64_t window_ms = opt.fast ? 800 : 3000;
+  sleep_ms(opt.fast ? 100 : 400);
+  std::uint64_t before = 0;
+  for (HonestApp& app : apps) before += app.iters.load();
+  const auto t0 = std::chrono::steady_clock::now();
+  sleep_ms(window_ms);
+  std::uint64_t after = 0;
+  for (HonestApp& app : apps) after += app.iters.load();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  attack_stop.store(true);
+  for (std::thread& th : attackers) th.join();
+  stop.store(true);
+  for (HonestApp& app : apps) app.th.join();
+  server.stop();
+  ::unlink(sock_path.c_str());
+
+  out.honest_iters_per_s =
+      secs > 0.0 ? static_cast<double>(after - before) / secs : 0.0;
+  out.elections = server.elections();
+  out.nacks = static_cast<std::uint64_t>(
+      counter_value(metrics, "server.overload.rejected_full") +
+      counter_value(metrics, "server.overload.rate_limited"));
+  out.load_sheds = static_cast<std::uint64_t>(
+      counter_value(metrics, "server.overload.load_sheds"));
+  out.quarantines = static_cast<std::uint64_t>(
+      counter_value(metrics, "server.adversarial.quarantines"));
+  out.timeouts = static_cast<std::uint64_t>(
+      counter_value(metrics, "server.faults.handshake_timeouts"));
+  if (const obs::Histogram* h = metrics.find_histogram("server.election_us")) {
+    out.election_p50_us = histogram_quantile(*h, 0.50);
+    out.election_p95_us = histogram_quantile(*h, 0.95);
+    out.election_p99_us = histogram_quantile(*h, 0.99);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") opt.fast = true;
+    if (arg == "--strict") opt.strict = true;
+    if (arg == "--csv") opt.csv = true;
+    if (arg.rfind("--seed=", 0) == 0)
+      opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+  }
+
+  const std::vector<int> ks =
+      opt.fast ? std::vector<int>{0, 2} : std::vector<int>{0, 1, 2, 4};
+  std::vector<RowResult> rows;
+  rows.reserve(ks.size());
+  for (int k : ks) rows.push_back(run_row(k, opt));
+
+  const double baseline = rows.front().honest_iters_per_s;
+  for (RowResult& r : rows) {
+    r.delta_pct = baseline > 0.0
+                      ? 100.0 * (baseline - r.honest_iters_per_s) / baseline
+                      : 0.0;
+  }
+
+  if (opt.csv) {
+    std::printf(
+        "adversaries,honest_iters_per_s,delta_pct,election_p50_us,"
+        "election_p95_us,election_p99_us,elections,nacks,load_sheds,"
+        "quarantines,handshake_timeouts\n");
+    for (const RowResult& r : rows) {
+      std::printf("%d,%.1f,%.2f,%.0f,%.0f,%.0f,%llu,%llu,%llu,%llu,%llu\n",
+                  r.adversaries, r.honest_iters_per_s, r.delta_pct,
+                  r.election_p50_us, r.election_p95_us, r.election_p99_us,
+                  static_cast<unsigned long long>(r.elections),
+                  static_cast<unsigned long long>(r.nacks),
+                  static_cast<unsigned long long>(r.load_sheds),
+                  static_cast<unsigned long long>(r.quarantines),
+                  static_cast<unsigned long long>(r.timeouts));
+    }
+  } else {
+    std::printf(
+        "  K   honest it/s   delta%%   elect p50/p95/p99 us   nacks  sheds  "
+        "quar  timeouts\n");
+    for (const RowResult& r : rows) {
+      std::printf(
+          "%3d   %11.1f   %+6.2f   %6.0f %6.0f %6.0f   %5llu  %5llu  %4llu  "
+          "%8llu\n",
+          r.adversaries, r.honest_iters_per_s, r.delta_pct, r.election_p50_us,
+          r.election_p95_us, r.election_p99_us,
+          static_cast<unsigned long long>(r.nacks),
+          static_cast<unsigned long long>(r.load_sheds),
+          static_cast<unsigned long long>(r.quarantines),
+          static_cast<unsigned long long>(r.timeouts));
+    }
+  }
+
+  double worst = 0.0;
+  bool attacks_landed = true;
+  for (const RowResult& r : rows) {
+    if (r.delta_pct > worst) worst = r.delta_pct;
+    if (r.adversaries > 0 &&
+        r.nacks + r.load_sheds + r.quarantines + r.timeouts == 0) {
+      attacks_landed = false;  // the storm never reached the server
+    }
+  }
+  std::printf("ext_adversarial: worst honest degradation %.2f%% across K, "
+              "attacks %s\n",
+              worst, attacks_landed ? "accounted" : "NOT accounted");
+
+  if (!attacks_landed) return 1;
+  if (opt.strict && worst > 5.0) {
+    std::fprintf(stderr,
+                 "ext_adversarial: STRICT FAIL — degradation %.2f%% > 5%%\n",
+                 worst);
+    return 1;
+  }
+  return 0;
+}

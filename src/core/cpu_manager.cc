@@ -257,6 +257,25 @@ void CpuManager::record_sample(int app_id, double delta_transactions,
   if (cfg_.qos.enabled) credit_.debit(app_id, delta_transactions);
 }
 
+void CpuManager::quarantine(int app_id, std::uint64_t now_us) {
+  auto it = apps_.find(app_id);
+  if (it == apps_.end()) return;
+  ManagedApp& app = it->second;
+  if (app.quarantined) return;
+  const obs::DegradationState before = app.feed_state();
+  app.quarantined = true;
+  app.decayed_estimate = std::nan("");
+  // Jump the miss streak to the ladder's quarantine rung so a subsequent
+  // silent quantum keeps the feed where we put it instead of re-walking
+  // hold → decay from scratch.
+  app.miss_streak = std::max(app.miss_streak, cfg_.staleness.quarantine_after);
+  if (m_quarantines_ != nullptr) m_quarantines_->inc();
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->degradation_change(
+        now_us, {app_id, before, obs::DegradationState::kQuarantined});
+  }
+}
+
 double CpuManager::policy_estimate(int app_id) const {
   const ManagedApp& app = apps_.at(app_id);
   // Degradation overrides, strongest first (docs/ROBUSTNESS.md ladder).

@@ -187,6 +187,17 @@ class CpuManager {
   /// BBW/thread estimate the active policy would use right now.
   [[nodiscard]] double policy_estimate(int app_id) const;
 
+  /// Force-quarantines an application's feed: the estimate is written off
+  /// to the initial (fair-share) value immediately, exactly as if the feed
+  /// had missed `quarantine_after` quanta. Used by the serving layer when a
+  /// feed is classified *adversarial* (docs/ROBUSTNESS.md §8) — a client
+  /// caught lying loses measurement-driven treatment at once instead of
+  /// poisoning elections while the miss-streak ladder catches up. The feed
+  /// recovers through the ordinary ladder: one valid folded sample walks it
+  /// back to kLive (the serving layer withholds samples from feeds it still
+  /// distrusts, which keeps them quarantined).
+  void quarantine(int app_id, std::uint64_t now_us = 0);
+
   /// Declares (or updates; frac == 0 releases) a bus-bandwidth reservation
   /// for a connected application, as a fraction of total_bus_bw_tps.
   /// Admission-checked: an invalid or over-subscribing reservation is

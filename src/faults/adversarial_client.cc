@@ -1,0 +1,384 @@
+#include "faults/adversarial_client.h"
+
+#include <atomic>
+#include <chrono>
+#include <climits>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "runtime/arena.h"
+#include "runtime/protocol.h"
+#include "runtime/signal_gate.h"
+#include "stats/rng.h"
+
+namespace bbsched::faults {
+
+using runtime::Arena;
+using runtime::HelloAck;
+using runtime::HelloMsg;
+using runtime::HelloNackMsg;
+using runtime::MsgHeader;
+using runtime::MsgType;
+using runtime::RecvStatus;
+
+const char* to_string(AttackKind kind) noexcept {
+  switch (kind) {
+    case AttackKind::kHelloFlood: return "hello-flood";
+    case AttackKind::kSlowLoris: return "slow-loris";
+    case AttackKind::kNeverReady: return "never-ready";
+    case AttackKind::kReattachStorm: return "reattach-storm";
+    case AttackKind::kDuplicatePid: return "duplicate-pid";
+    case AttackKind::kAbsurdNthreads: return "absurd-nthreads";
+    case AttackKind::kFdSpam: return "fd-spam";
+    case AttackKind::kArenaScribble: return "arena-scribble";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Dials the manager socket with a receive timeout so the *adversary*
+/// cannot hang its own harness either; -1 on failure.
+int dial(const std::string& path) {
+  const int sock = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (sock < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(sock);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(sock);
+    return -1;
+  }
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(sock, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return sock;
+}
+
+HelloMsg make_hello(std::int32_t pid, std::int32_t leader_tid,
+                    std::int32_t nthreads, const std::string& name) {
+  HelloMsg hello{};
+  hello.pid = pid;
+  hello.leader_tid = leader_tid;
+  hello.nthreads = nthreads;
+  std::strncpy(hello.name, name.c_str(), sizeof(hello.name) - 1);
+  return hello;
+}
+
+/// Reads the manager's answer to a hello and tallies it. Returns the
+/// received arena fd (>= 0 only on accept) or -1.
+int tally_response(int sock, AdversaryReport& rep) {
+  MsgHeader hdr{};
+  HelloAck ack{};
+  int arena_fd = -1;
+  const RecvStatus st = recv_msg(sock, hdr, &ack, sizeof(ack), &arena_fd);
+  if (st == RecvStatus::kOk &&
+      hdr.type == static_cast<std::uint16_t>(MsgType::kHelloAck)) {
+    ++rep.accepted;
+    return arena_fd;
+  }
+  if (arena_fd >= 0) ::close(arena_fd);
+  if (st == RecvStatus::kOk &&
+      hdr.type == static_cast<std::uint16_t>(MsgType::kHelloNack)) {
+    HelloNackMsg nack{};
+    std::memcpy(static_cast<void*>(&nack), static_cast<const void*>(&ack),
+                sizeof(nack));
+    ++rep.nacked;
+    rep.last_nack_reason = nack.reason;
+    return -1;
+  }
+  ++rep.dropped;
+  return -1;
+}
+
+/// Sends one framed hello with `nfds` copies of `spam_fd` stapled on as
+/// SCM_RIGHTS ancillary data — more descriptors than any legitimate frame
+/// carries. Mirrors protocol.cc's framing so the frame itself is valid.
+bool send_hello_with_fd_spam(int sock, std::uint32_t generation,
+                             const HelloMsg& hello, int spam_fd, int nfds) {
+  MsgHeader hdr{};
+  hdr.type = static_cast<std::uint16_t>(MsgType::kHello);
+  hdr.payload_len = sizeof(hello);
+  hdr.generation = generation;
+
+  unsigned char frame[sizeof(hdr) + sizeof(hello)];
+  std::memcpy(frame, &hdr, sizeof(hdr));
+  std::memcpy(frame + sizeof(hdr), &hello, sizeof(hello));
+
+  iovec iov{};
+  iov.iov_base = frame;
+  iov.iov_len = sizeof(frame);
+
+  constexpr int kMaxSpam = 8;
+  if (nfds > kMaxSpam) nfds = kMaxSpam;
+  alignas(cmsghdr) char control[CMSG_SPACE(kMaxSpam * sizeof(int))] = {};
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = CMSG_SPACE(static_cast<std::size_t>(nfds) *
+                                  sizeof(int));
+  cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+  cmsg->cmsg_level = SOL_SOCKET;
+  cmsg->cmsg_type = SCM_RIGHTS;
+  cmsg->cmsg_len = CMSG_LEN(static_cast<std::size_t>(nfds) * sizeof(int));
+  auto* fds = reinterpret_cast<int*>(CMSG_DATA(cmsg));
+  for (int i = 0; i < nfds; ++i) fds[i] = spam_fd;
+
+  for (;;) {
+    const ssize_t n = ::sendmsg(sock, &msg, MSG_NOSIGNAL);
+    if (n == static_cast<ssize_t>(sizeof(frame))) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+}
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+AdversarialClient::AdversarialClient(AdversaryConfig cfg)
+    : cfg_(std::move(cfg)) {}
+
+AdversaryReport AdversarialClient::run() {
+  switch (cfg_.kind) {
+    case AttackKind::kHelloFlood: return hello_flood();
+    case AttackKind::kSlowLoris: return slow_loris();
+    case AttackKind::kNeverReady: return never_ready();
+    case AttackKind::kReattachStorm: return reattach_storm();
+    case AttackKind::kDuplicatePid: return duplicate_pid();
+    case AttackKind::kAbsurdNthreads: return absurd_nthreads();
+    case AttackKind::kFdSpam: return fd_spam();
+    case AttackKind::kArenaScribble: return arena_scribble();
+  }
+  return {};
+}
+
+AdversaryReport AdversarialClient::hello_flood() {
+  AdversaryReport rep;
+  const auto tid = static_cast<std::int32_t>(::syscall(SYS_gettid));
+  for (int round = 0; round < cfg_.rounds; ++round) {
+    const int sock = dial(cfg_.socket_path);
+    if (sock < 0) continue;
+    ++rep.attempts;
+    const HelloMsg hello = make_hello(::getpid(), tid, 1,
+                                      cfg_.name + std::to_string(round));
+    // Collect the verdict even when the send itself failed: a rate-limited
+    // peer can lose the race — the server nacks-and-closes before reading,
+    // the send dies with EPIPE, yet the typed nack sits readable in our
+    // queue. Only a genuinely answerless close counts as dropped.
+    send_msg(sock, MsgType::kHello, cfg_.generation, &hello, sizeof(hello));
+    const int arena_fd = tally_response(sock, rep);
+    if (arena_fd >= 0) ::close(arena_fd);
+    ::close(sock);  // abandon: never kReady, never disconnect politely
+  }
+  return rep;
+}
+
+AdversaryReport AdversarialClient::slow_loris() {
+  AdversaryReport rep;
+  std::vector<int> socks;
+  for (int round = 0; round < cfg_.rounds; ++round) {
+    const int sock = dial(cfg_.socket_path);
+    if (sock < 0) continue;
+    ++rep.attempts;
+    // Half a header, then silence: the classic loris. The manager's
+    // SO_RCVTIMEO owns this socket's fate from here.
+    MsgHeader hdr{};
+    hdr.type = static_cast<std::uint16_t>(MsgType::kHello);
+    hdr.payload_len = sizeof(HelloMsg);
+    send_all(sock, &hdr, sizeof(hdr) / 2);
+    socks.push_back(sock);
+  }
+  sleep_ms(cfg_.hold_ms);
+  for (int sock : socks) ::close(sock);
+  rep.dropped = static_cast<int>(socks.size());
+  return rep;
+}
+
+AdversaryReport AdversarialClient::never_ready() {
+  AdversaryReport rep;
+  const auto tid = static_cast<std::int32_t>(::syscall(SYS_gettid));
+  std::vector<int> socks;
+  for (int round = 0; round < cfg_.rounds; ++round) {
+    const int sock = dial(cfg_.socket_path);
+    if (sock < 0) continue;
+    ++rep.attempts;
+    const HelloMsg hello = make_hello(::getpid(), tid, 1,
+                                      cfg_.name + std::to_string(round));
+    send_msg(sock, MsgType::kHello, cfg_.generation, &hello, sizeof(hello));
+    const int arena_fd = tally_response(sock, rep);
+    if (arena_fd >= 0) ::close(arena_fd);
+    socks.push_back(sock);  // squat: registered, never kReady
+  }
+  sleep_ms(cfg_.hold_ms);
+  for (int sock : socks) ::close(sock);
+  return rep;
+}
+
+AdversaryReport AdversarialClient::reattach_storm() {
+  AdversaryReport rep;
+  stats::Rng rng(cfg_.seed);
+  const auto tid = static_cast<std::int32_t>(::syscall(SYS_gettid));
+  for (int round = 0; round < cfg_.rounds; ++round) {
+    const int sock = dial(cfg_.socket_path);
+    if (sock < 0) continue;
+    ++rep.attempts;
+    // Stale (0), far-future, and random epochs — kReattach is generation-
+    // exempt by design, so all must be answered, none believed blindly.
+    std::uint32_t gen;
+    switch (rng() % 3) {
+      case 0: gen = 0; break;
+      case 1: gen = cfg_.generation + 1000; break;
+      default: gen = static_cast<std::uint32_t>(rng()); break;
+    }
+    const HelloMsg hello = make_hello(::getpid(), tid, 1,
+                                      cfg_.name + std::to_string(round));
+    send_msg(sock, MsgType::kReattach, gen, &hello, sizeof(hello));
+    const int arena_fd = tally_response(sock, rep);
+    if (arena_fd >= 0) ::close(arena_fd);
+    ::close(sock);
+  }
+  return rep;
+}
+
+AdversaryReport AdversarialClient::duplicate_pid() {
+  AdversaryReport rep;
+  const auto tid = static_cast<std::int32_t>(::syscall(SYS_gettid));
+  const std::int32_t own_pid = ::getpid();
+  for (int round = 0; round < cfg_.rounds; ++round) {
+    const int sock = dial(cfg_.socket_path);
+    if (sock < 0) continue;
+    ++rep.attempts;
+    // Even rounds: duplicate registration under our real pid (tolerated —
+    // in-process gangs legitimately share one). Odd rounds: a *spoofed*
+    // pid, which SO_PEERCRED validation must refuse.
+    const std::int32_t pid = (round % 2 == 0) ? own_pid : own_pid + 1;
+    const HelloMsg hello = make_hello(pid, tid, 1,
+                                      cfg_.name + std::to_string(round));
+    send_msg(sock, MsgType::kHello, cfg_.generation, &hello, sizeof(hello));
+    const int arena_fd = tally_response(sock, rep);
+    if (arena_fd >= 0) ::close(arena_fd);
+    ::close(sock);
+  }
+  return rep;
+}
+
+AdversaryReport AdversarialClient::absurd_nthreads() {
+  AdversaryReport rep;
+  const auto tid = static_cast<std::int32_t>(::syscall(SYS_gettid));
+  static constexpr std::int32_t kAbsurd[] = {0, -1, INT32_MAX, 1 << 20,
+                                             INT32_MIN};
+  for (int round = 0; round < cfg_.rounds; ++round) {
+    const int sock = dial(cfg_.socket_path);
+    if (sock < 0) continue;
+    ++rep.attempts;
+    const HelloMsg hello =
+        make_hello(::getpid(), tid,
+                   kAbsurd[static_cast<std::size_t>(round) % std::size(kAbsurd)],
+                   cfg_.name + std::to_string(round));
+    send_msg(sock, MsgType::kHello, cfg_.generation, &hello, sizeof(hello));
+    const int arena_fd = tally_response(sock, rep);
+    if (arena_fd >= 0) ::close(arena_fd);
+    ::close(sock);
+  }
+  return rep;
+}
+
+AdversaryReport AdversarialClient::fd_spam() {
+  AdversaryReport rep;
+  stats::Rng rng(cfg_.seed);
+  const auto tid = static_cast<std::int32_t>(::syscall(SYS_gettid));
+  for (int round = 0; round < cfg_.rounds; ++round) {
+    const int sock = dial(cfg_.socket_path);
+    if (sock < 0) continue;
+    ++rep.attempts;
+    const HelloMsg hello = make_hello(::getpid(), tid, 1,
+                                      cfg_.name + std::to_string(round));
+    const int nfds = 1 + static_cast<int>(rng() % 8);
+    send_hello_with_fd_spam(sock, cfg_.generation, hello, sock, nfds);
+    const int arena_fd = tally_response(sock, rep);
+    if (arena_fd >= 0) ::close(arena_fd);
+    ::close(sock);
+  }
+  return rep;
+}
+
+AdversaryReport AdversarialClient::arena_scribble() {
+  AdversaryReport rep;
+  stats::Rng rng(cfg_.seed);
+
+  // The manager signals the declared leader tid at every election, so
+  // SIGUSR1's process-wide disposition must be the gate's handler (the
+  // default action would kill the harness). Installing is enough: on an
+  // *unregistered* thread the handler is a no-op, so this thread can
+  // declare itself leader, soak up the suspension signals, and keep
+  // scribbling — the manager can never actually suspend it. Crucially this
+  // consumes no gate slot; the gate never recycles slots, so a fresh
+  // registered decoy thread per attack run would exhaust the table under a
+  // long adversarial soak.
+  runtime::SignalGate::instance().install();
+
+  const int sock = dial(cfg_.socket_path);
+  if (sock < 0) return rep;
+  ++rep.attempts;
+  const HelloMsg hello =
+      make_hello(::getpid(),
+                 static_cast<std::int32_t>(::syscall(SYS_gettid)), 1,
+                 cfg_.name);
+  Arena* arena = nullptr;
+  send_msg(sock, MsgType::kHello, cfg_.generation, &hello, sizeof(hello));
+  const int arena_fd = tally_response(sock, rep);
+  if (arena_fd >= 0) {
+    void* mem = ::mmap(nullptr, sizeof(Arena), PROT_READ | PROT_WRITE,
+                       MAP_SHARED, arena_fd, 0);
+    ::close(arena_fd);
+    if (mem != MAP_FAILED) arena = static_cast<Arena*>(mem);
+  }
+
+  if (arena != nullptr) {
+    runtime::ReadyMsg msg{};
+    send_msg(sock, MsgType::kReady, cfg_.generation, &msg, sizeof(msg));
+
+    // Scribble: backwards jumps, saturating values, raw garbage — while
+    // dutifully bumping the heartbeat so the feed never looks *stale*,
+    // only *hostile*. The two failure ladders must stay distinguishable.
+    const int slices = std::max(1, cfg_.hold_ms);
+    for (int slice = 0; slice < slices; ++slice) {
+      std::uint64_t value;
+      switch (rng() % 3) {
+        case 0:  // backwards: below everything previously published
+          value = 0;
+          break;
+        case 1:  // saturating: no bus could have carried this
+          value = ~0ULL;
+          break;
+        default:  // raw garbage
+          value = rng();
+          break;
+      }
+      arena->transactions.store(value, std::memory_order_relaxed);
+      arena->heartbeats.fetch_add(1, std::memory_order_relaxed);
+      ++rep.scribbles;
+      sleep_ms(1);
+    }
+    ::munmap(arena, sizeof(Arena));
+  }
+  ::close(sock);
+  return rep;
+}
+
+}  // namespace bbsched::faults

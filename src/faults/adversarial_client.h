@@ -1,0 +1,106 @@
+// Byzantine client simulator (docs/ROBUSTNESS.md §8): a deterministic,
+// seedable peer that speaks just enough of protocol v2 to be dangerous.
+// Where fault_injector.h corrupts the manager's *counter feed* (trusted
+// in-process data gone bad), AdversarialClient attacks from *outside* the
+// trust boundary — the UNIX socket and the shared arena — the way a
+// malicious or buggy application process would.
+//
+// Every attack is a pure function of (config, seed): no wall-clock
+// randomness, so a failing run replays exactly under a debugger or
+// sanitizer. The simulator never asserts on the manager's behaviour itself
+// — it reports what happened (accepted / typed-nack / dropped) and the
+// tests own the expectations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bbsched::faults {
+
+/// One hostile behaviour per run (compose several attacks by running
+/// several AdversarialClients, as bench/ext_adversarial does).
+enum class AttackKind {
+  /// Dial + valid hello + abandon, `rounds` times, never sending kReady.
+  /// Exhausts accept slots and arenas if admission is uncapped.
+  kHelloFlood,
+  /// Dial, send a *partial* MsgHeader, then stall for hold_ms. The
+  /// manager's SO_RCVTIMEO must end the squat (handshake-timeout fault);
+  /// without it one loris freezes the accept path forever.
+  kSlowLoris,
+  /// Complete a valid handshake, then hold the connection for hold_ms
+  /// without ever sending kReady: a registered-but-unschedulable squatter
+  /// that load shedding should prefer to evict.
+  kNeverReady,
+  /// Dial + kReattach with stale and far-future generations, `rounds`
+  /// times in a tight loop — the reconnect stampede after a manager
+  /// restart, plus epoch confusion.
+  kReattachStorm,
+  /// Alternates hellos reusing this process's own pid (duplicate
+  /// registration — tolerated by design: in-process gangs share a pid)
+  /// with hellos *spoofing* a foreign pid, which SO_PEERCRED validation
+  /// must reject as invalid-hello.
+  kDuplicatePid,
+  /// Hellos declaring absurd thread counts (0, negative, INT32_MAX):
+  /// each must be answered with a typed invalid-hello nack, never an
+  /// allocation sized by the attacker.
+  kAbsurdNthreads,
+  /// Valid hello frames with SCM_RIGHTS descriptors stapled on — spam the
+  /// manager must close (server.faults.unexpected_fd), never accumulate.
+  kFdSpam,
+  /// Valid handshake + kReady, then scribble the writable arena with
+  /// backwards and bus-impossible counter values while keeping the
+  /// heartbeat alive. Exercises feed validation, the adversarial strike
+  /// ladder, and forced quarantine.
+  kArenaScribble,
+};
+
+[[nodiscard]] const char* to_string(AttackKind kind) noexcept;
+
+struct AdversaryConfig {
+  std::string socket_path;
+  AttackKind kind = AttackKind::kHelloFlood;
+  std::uint64_t seed = 1;
+  /// Connections / frames / scribbles to issue (meaning is per-attack).
+  int rounds = 16;
+  /// Socket-holding attacks (kSlowLoris, kNeverReady, kArenaScribble):
+  /// how long the connection is held or scribbled, total.
+  int hold_ms = 100;
+  /// Generation echoed on non-exempt frames (reattach storms perturb it).
+  std::uint32_t generation = 0;
+  /// Name stamped into hellos (suffixed with the round number).
+  std::string name = "adversary";
+};
+
+/// What the manager did with the attack — tallied, never asserted.
+struct AdversaryReport {
+  int attempts = 0;       ///< connections (or frames) issued
+  int accepted = 0;       ///< HelloAck received
+  int nacked = 0;         ///< typed HelloNack received
+  int dropped = 0;        ///< closed/ignored with no explanation
+  int scribbles = 0;      ///< hostile arena writes performed
+  std::int32_t last_nack_reason = 0;  ///< runtime::HelloNackReason as int
+};
+
+class AdversarialClient {
+ public:
+  explicit AdversarialClient(AdversaryConfig cfg);
+
+  /// Executes the configured attack to completion. Blocking; bounded by
+  /// rounds/hold_ms. Safe to run from several threads against one manager
+  /// (each instance owns its sockets and arena mappings).
+  AdversaryReport run();
+
+ private:
+  AdversaryReport hello_flood();
+  AdversaryReport slow_loris();
+  AdversaryReport never_ready();
+  AdversaryReport reattach_storm();
+  AdversaryReport duplicate_pid();
+  AdversaryReport absurd_nthreads();
+  AdversaryReport fd_spam();
+  AdversaryReport arena_scribble();
+
+  AdversaryConfig cfg_;
+};
+
+}  // namespace bbsched::faults

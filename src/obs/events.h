@@ -115,6 +115,17 @@ enum class FaultKind : std::uint8_t {
   kBadMessage,        ///< corrupt/truncated protocol frame rejected
   kReservationRejected,  ///< bandwidth reservation refused (invalid or
                          ///< over-subscribed); the app runs best-effort
+  // ---- adversary tolerance (docs/ROBUSTNESS.md §8) ----
+  kUnexpectedFd,      ///< SCM_RIGHTS descriptor the peer had no business
+                      ///< sending; drained and closed, never installed
+  kInvalidHello,      ///< hello failed trust-boundary validation (absurd
+                      ///< nthreads, unterminated name, pid != SO_PEERCRED)
+  kAdversarialFeed,   ///< arena feed posted a value no honest client could
+                      ///< produce (backwards / bus-impossible delta)
+  kAcceptBackoff,     ///< accept() failed (EMFILE/ENFILE…); listen socket
+                      ///< parked under bounded backoff instead of re-polled
+  kAdmissionRejected, ///< handshake refused with a typed HelloNack
+                      ///< (value = HelloNackReason)
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);

@@ -43,6 +43,11 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kClientReconnect: return "client-reconnect";
     case FaultKind::kBadMessage: return "bad-message";
     case FaultKind::kReservationRejected: return "reservation-rejected";
+    case FaultKind::kUnexpectedFd: return "unexpected-fd";
+    case FaultKind::kInvalidHello: return "invalid-hello";
+    case FaultKind::kAdversarialFeed: return "adversarial-feed";
+    case FaultKind::kAcceptBackoff: return "accept-backoff";
+    case FaultKind::kAdmissionRejected: return "admission-rejected";
   }
   return "unknown";
 }

@@ -71,11 +71,12 @@ int dial(const std::string& socket_path) {
 /// Hello/Reattach handshake on an already-dialed socket: sends the request,
 /// receives HelloAck + arena fd, maps and validates the arena. On success
 /// fills *arena_out / *ack_out / *generation_out and returns true; on any
-/// failure closes nothing but the resources it created itself.
+/// failure closes nothing but the resources it created itself. A typed
+/// manager rejection (kHelloNack) stores its HelloNackReason in *nack_out.
 bool handshake(int sock, MsgType type, std::uint32_t generation,
                std::int32_t pid, std::int32_t leader_tid, int nthreads,
                const std::string& name, Arena** arena_out, HelloAck* ack_out,
-               std::uint32_t* generation_out) {
+               std::uint32_t* generation_out, std::int32_t* nack_out) {
   HelloMsg hello{};
   hello.pid = pid;
   hello.leader_tid = leader_tid;
@@ -86,7 +87,20 @@ bool handshake(int sock, MsgType type, std::uint32_t generation,
   MsgHeader hdr{};
   HelloAck ack{};
   int arena_fd = -1;
-  if (recv_msg(sock, hdr, &ack, sizeof(ack), &arena_fd) != RecvStatus::kOk ||
+  const RecvStatus st = recv_msg(sock, hdr, &ack, sizeof(ack), &arena_fd);
+  if (st == RecvStatus::kOk &&
+      hdr.type == static_cast<std::uint16_t>(MsgType::kHelloNack)) {
+    // The manager refused admission and said why (overload, rate limit,
+    // invalid hello). The raw bytes arrived in `ack`'s buffer.
+    HelloNackMsg nack{};
+    static_assert(sizeof(nack) <= sizeof(ack), "nack reuses the ack buffer");
+    std::memcpy(static_cast<void*>(&nack), static_cast<const void*>(&ack),
+                sizeof(nack));
+    if (nack_out != nullptr) *nack_out = nack.reason;
+    if (arena_fd >= 0) ::close(arena_fd);
+    return false;
+  }
+  if (st != RecvStatus::kOk ||
       hdr.type != static_cast<std::uint16_t>(MsgType::kHelloAck) ||
       arena_fd < 0) {
     if (arena_fd >= 0) ::close(arena_fd);
@@ -129,8 +143,11 @@ bool Client::connect(const std::string& socket_path, const std::string& name,
   Arena* arena = nullptr;
   HelloAck ack{};
   std::uint32_t gen = 0;
+  std::int32_t nack = 0;
+  last_nack_reason_.store(0, std::memory_order_relaxed);
   if (!handshake(sock, MsgType::kHello, 0, ::getpid(), leader_tid, nthreads,
-                 name, &arena, &ack, &gen)) {
+                 name, &arena, &ack, &gen, &nack)) {
+    last_nack_reason_.store(nack, std::memory_order_relaxed);
     ::close(sock);
     return false;
   }
@@ -214,12 +231,14 @@ bool Client::try_reattach() {
   Arena* arena = nullptr;
   HelloAck ack{};
   std::uint32_t gen = 0;
+  std::int32_t nack = 0;
   // A reattach announces the same identity the dead manager knew — above
   // all the original leader tid, so the new generation signals the same
   // thread and the workers never restart.
   if (!handshake(sock, MsgType::kReattach,
                  generation_.load(std::memory_order_relaxed), ::getpid(),
-                 leader_tid_, nthreads_, name_, &arena, &ack, &gen)) {
+                 leader_tid_, nthreads_, name_, &arena, &ack, &gen, &nack)) {
+    if (nack != 0) last_nack_reason_.store(nack, std::memory_order_relaxed);
     ::close(sock);
     return false;
   }

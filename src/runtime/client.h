@@ -126,6 +126,14 @@ class Client {
     return last_connect_retries_;
   }
 
+  /// HelloNackReason (as int) from the manager's most recent typed
+  /// rejection of this client; 0 = never refused. Lets a refused client
+  /// distinguish "server full / rate limited, retry later" from "my hello
+  /// is broken" (see protocol.h).
+  [[nodiscard]] std::int32_t last_nack_reason() const noexcept {
+    return last_nack_reason_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] std::uint64_t update_period_us() const noexcept {
     return update_period_us_.load(std::memory_order_relaxed);
   }
@@ -177,6 +185,7 @@ class Client {
   std::atomic<bool> stop_updater_{false};
   std::atomic<bool> unmanaged_{false};
   int last_connect_retries_ = 0;
+  std::atomic<std::int32_t> last_nack_reason_{0};
 };
 
 }  // namespace bbsched::runtime

@@ -26,6 +26,42 @@ int tgkill_portable(pid_t tgid, pid_t tid, int sig) {
   return static_cast<int>(::syscall(SYS_tgkill, tgid, tid, sig));
 }
 
+/// SO_PEERCRED credential layout. glibc's `struct ucred` is hidden behind
+/// _GNU_SOURCE, which the strict -std=c++20 build does not define; the wire
+/// layout is kernel-ABI-fixed, so declaring it locally is safe.
+struct PeerCred {
+  pid_t pid;
+  uid_t uid;
+  gid_t gid;
+};
+
+#ifndef SO_PEERCRED
+#define SO_PEERCRED 17
+#endif
+
+/// Kernel pid of the connecting peer, or 0 when unavailable.
+pid_t peer_pid(int sock) {
+  PeerCred cred{};
+  socklen_t len = sizeof(cred);
+  if (::getsockopt(sock, SOL_SOCKET, SO_PEERCRED, &cred, &len) != 0) return 0;
+  return cred.pid;
+}
+
+/// Upper bound on worker threads one hello may declare. Far above any real
+/// gang (the paper's machines have tens of processors), far below the
+/// "nthreads = INT_MAX" resource-exhaustion probe.
+constexpr int kMaxNthreads = 4096;
+
+/// Bounded size of the per-peer handshake-rate table: a pid-spraying
+/// adversary recycles the oldest window instead of growing manager memory.
+constexpr std::size_t kPeerWindowSlots = 64;
+
+/// Largest client->manager payload: reused as the receive buffer so an
+/// unexpected-but-well-formed frame type is classified (bad-message fault)
+/// instead of being conflated with a truncated read.
+constexpr std::size_t kMaxClientPayload =
+    sizeof(HelloMsg) > sizeof(ReadyMsg) ? sizeof(HelloMsg) : sizeof(ReadyMsg);
+
 }  // namespace
 
 std::uint64_t monotonic_now_us() {
@@ -56,7 +92,22 @@ ManagerServer::ManagerServer(const ServerConfig& cfg)
         &cfg_.metrics->counter("server.recovery.journal_appends");
     m_journal_errors_ =
         &cfg_.metrics->counter("server.recovery.journal_errors");
+    m_unexpected_fd_ = &cfg_.metrics->counter("server.faults.unexpected_fd");
+    m_invalid_hello_ = &cfg_.metrics->counter("server.faults.invalid_hello");
+    m_scribbles_ = &cfg_.metrics->counter("server.adversarial.scribbles");
+    m_adv_quarantines_ =
+        &cfg_.metrics->counter("server.adversarial.quarantines");
+    m_accept_backoffs_ =
+        &cfg_.metrics->counter("server.overload.accept_backoffs");
+    m_rejected_full_ = &cfg_.metrics->counter("server.overload.rejected_full");
+    m_rate_limited_ = &cfg_.metrics->counter("server.overload.rate_limited");
+    m_load_sheds_ = &cfg_.metrics->counter("server.overload.load_sheds");
+    m_election_us_ = &cfg_.metrics->histogram(
+        "server.election_us",
+        {5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+         10000.0});
   }
+  peer_windows_.reserve(kPeerWindowSlots);
 }
 
 ManagerServer::~ManagerServer() { stop(); }
@@ -78,6 +129,27 @@ void ManagerServer::count_fault(obs::FaultKind kind, int app_id, double value,
       break;
     case obs::FaultKind::kBadMessage:
       if (m_bad_messages_ != nullptr) m_bad_messages_->inc();
+      break;
+    case obs::FaultKind::kUnexpectedFd:
+      if (m_unexpected_fd_ != nullptr) m_unexpected_fd_->inc(value);
+      break;
+    case obs::FaultKind::kInvalidHello:
+      if (m_invalid_hello_ != nullptr) m_invalid_hello_->inc();
+      break;
+    case obs::FaultKind::kAdversarialFeed:
+      if (m_scribbles_ != nullptr) m_scribbles_->inc();
+      break;
+    case obs::FaultKind::kAcceptBackoff:
+      if (m_accept_backoffs_ != nullptr) m_accept_backoffs_->inc();
+      break;
+    case obs::FaultKind::kAdmissionRejected:
+      // value carries the HelloNackReason: split into the overload metrics.
+      if (static_cast<std::int32_t>(value) ==
+          static_cast<std::int32_t>(HelloNackReason::kRateLimited)) {
+        if (m_rate_limited_ != nullptr) m_rate_limited_->inc();
+      } else if (m_rejected_full_ != nullptr) {
+        m_rejected_full_->inc();
+      }
       break;
     default:
       break;
@@ -210,9 +282,117 @@ bool ManagerServer::set_blocked(AppConn& app, bool blocked) {
   return true;
 }
 
+bool ManagerServer::admit_peer(pid_t pid, std::uint64_t now_us) {
+  if (cfg_.handshake_attempts_per_peer <= 0 || pid == 0) return true;
+  const std::uint64_t window_us =
+      static_cast<std::uint64_t>(std::max(1, cfg_.handshake_window_ms)) *
+      1000ULL;
+  PeerWindow* slot = nullptr;
+  PeerWindow* oldest = nullptr;
+  for (auto& w : peer_windows_) {
+    if (w.pid == pid) {
+      slot = &w;
+      break;
+    }
+    if (oldest == nullptr || w.window_start_us < oldest->window_start_us) {
+      oldest = &w;
+    }
+  }
+  if (slot == nullptr) {
+    if (peer_windows_.size() < kPeerWindowSlots) {
+      peer_windows_.push_back({});
+      slot = &peer_windows_.back();
+    } else {
+      slot = oldest;  // recycle: the table never grows past its cap
+    }
+    slot->pid = pid;
+    slot->window_start_us = now_us;
+    slot->attempts = 0;
+  } else if (now_us - slot->window_start_us >= window_us) {
+    slot->window_start_us = now_us;
+    slot->attempts = 0;
+  }
+  return ++slot->attempts <= cfg_.handshake_attempts_per_peer;
+}
+
+void ManagerServer::nack_and_close(int sock, HelloNackReason reason,
+                                   std::uint32_t retry_after_ms,
+                                   std::uint64_t now_us) {
+  HelloNackMsg msg{};
+  msg.reason = static_cast<std::int32_t>(reason);
+  msg.retry_after_ms = retry_after_ms;
+  // Account for the rejection before the nack hits the wire: once the peer
+  // can read it, a metrics observer must already see the rejection counted.
+  count_fault(obs::FaultKind::kAdmissionRejected, -1,
+              static_cast<double>(static_cast<std::int32_t>(reason)), now_us);
+  // Best-effort: a peer that already vanished just loses the explanation.
+  send_msg(sock, MsgType::kHelloNack, cfg_.generation, &msg, sizeof(msg));
+  ::close(sock);
+}
+
+bool ManagerServer::shed_victim_locked(std::uint64_t now_us) {
+  // Shedding order: a classified-adversarial feed first, then a feed the
+  // staleness ladder already quarantined (its estimate is written off
+  // anyway), then a connection that never reached kReady (a slow-loris
+  // squatter holds a socket but no schedulable job). Oldest first within a
+  // class. A healthy ready feed is never shed for a newcomer.
+  std::size_t victim = apps_.size();
+  int best_class = 0;
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    const AppConn& app = *apps_[i];
+    int cls = 0;
+    if (app.adversarial) {
+      cls = 3;
+    } else if (app.manager_id >= 0 &&
+               manager_.feed_state(app.manager_id) ==
+                   obs::DegradationState::kQuarantined) {
+      cls = 2;
+    } else if (!app.ready) {
+      cls = 1;
+    }
+    if (cls > best_class ||
+        (cls == best_class && cls > 0 && victim < apps_.size() &&
+         app.connected_at_us < apps_[victim]->connected_at_us)) {
+      best_class = cls;
+      victim = i;
+    }
+  }
+  if (victim >= apps_.size()) return false;
+  if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+    cfg_.tracer->job_state_change(
+        now_us, {apps_[victim]->manager_id, -1, obs::JobState::kConnected,
+                 obs::JobState::kDisconnected});
+  }
+  drop_client_locked(victim);
+  if (m_load_sheds_ != nullptr) m_load_sheds_->inc();
+  return true;
+}
+
 void ManagerServer::accept_connection() {
+  const std::uint64_t now = monotonic_now_us();
   const int sock = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-  if (sock < 0) return;
+  if (sock < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED) {
+      return;  // transient; the next poll round retries at full speed
+    }
+    // Hard accept failure — EMFILE/ENFILE fd exhaustion, ENOBUFS/ENOMEM —
+    // leaves the listen fd permanently readable. Without backoff the loop
+    // would spin at 100% CPU re-polling it; instead the listen socket is
+    // parked (loop() masks it) for an exponentially growing interval.
+    accept_backoff_ms_ =
+        accept_backoff_ms_ == 0
+            ? std::max(1, cfg_.accept_backoff_initial_ms)
+            : std::min(accept_backoff_ms_ * 2,
+                       std::max(1, cfg_.accept_backoff_max_ms));
+    accept_retry_at_us_ =
+        now + static_cast<std::uint64_t>(accept_backoff_ms_) * 1000ULL;
+    count_fault(obs::FaultKind::kAcceptBackoff, -1,
+                static_cast<double>(accept_backoff_ms_), now);
+    return;
+  }
+  accept_backoff_ms_ = 0;  // healthy again; next failure restarts small
+  accept_retry_at_us_ = 0;
 
   // Bound every receive on this connection: a client that stalls mid-
   // handshake (or later leaves a half-written ReadyMsg) must not be able to
@@ -224,24 +404,79 @@ void ManagerServer::accept_connection() {
     ::setsockopt(sock, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
 
+  // Per-peer handshake rate limit, checked before a single frame is read:
+  // a reattach storm from one process is turned away at the door instead of
+  // consuming a receive timeout each.
+  const pid_t cred_pid = peer_pid(sock);
+  if (!admit_peer(cred_pid, now)) {
+    nack_and_close(sock, HelloNackReason::kRateLimited,
+                   static_cast<std::uint32_t>(
+                       std::max(1, cfg_.handshake_window_ms)),
+                   now);
+    return;
+  }
+
   MsgHeader hdr{};
   HelloMsg hello{};
-  const RecvStatus st = recv_msg(sock, hdr, &hello, sizeof(hello));
+  int stray_fd = -1;
+  int unexpected = 0;
+  const RecvStatus st =
+      recv_msg(sock, hdr, &hello, sizeof(hello), &stray_fd, &unexpected);
+  // Clients never legitimately attach descriptors; one delivered into
+  // fd_out is as unexpected as the drained extras.
+  if (stray_fd >= 0) {
+    ::close(stray_fd);
+    ++unexpected;
+  }
+  if (unexpected > 0) {
+    count_fault(obs::FaultKind::kUnexpectedFd, -1,
+                static_cast<double>(unexpected), now);
+  }
   const bool is_hello =
       st == RecvStatus::kOk &&
       (hdr.type == static_cast<std::uint16_t>(MsgType::kHello) ||
        hdr.type == static_cast<std::uint16_t>(MsgType::kReattach));
-  if (!is_hello || hello.nthreads < 1) {
+  if (!is_hello) {
     // A clean close or a receive timeout mid-handshake is a handshake
     // failure; a structurally broken frame is a corrupt message.
     count_fault(st == RecvStatus::kBad ? obs::FaultKind::kBadMessage
                                        : obs::FaultKind::kHandshakeTimeout,
-                -1, 0.0, monotonic_now_us());
+                -1, 0.0, now);
     ::close(sock);
+    return;
+  }
+
+  // Trust boundary (docs/ROBUSTNESS.md §8): every HelloMsg field is hostile
+  // until validated. nthreads bounds an allocation loop; the name must be
+  // NUL-terminable inside its buffer; a pid that contradicts the kernel's
+  // SO_PEERCRED is a spoof (0 = credentials unavailable: tolerated).
+  const bool name_ok = ::memchr(hello.name, '\0', sizeof(hello.name)) !=
+                       nullptr;
+  const bool pid_ok =
+      hello.pid > 0 && (cred_pid == 0 || hello.pid == cred_pid);
+  if (hello.nthreads < 1 || hello.nthreads > kMaxNthreads || !name_ok ||
+      !pid_ok) {
+    count_fault(obs::FaultKind::kInvalidHello, -1,
+                static_cast<double>(hello.nthreads), now);
+    nack_and_close(sock, HelloNackReason::kInvalidHello, 0, now);
     return;
   }
   const bool reattach =
       hdr.type == static_cast<std::uint16_t>(MsgType::kReattach);
+
+  // Admission cap. Prefer shedding a distrusted or never-ready connection
+  // over refusing a presumably honest newcomer.
+  if (cfg_.max_clients > 0) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (apps_.size() >= static_cast<std::size_t>(cfg_.max_clients) &&
+        !shed_victim_locked(now)) {
+      nack_and_close(sock, HelloNackReason::kServerFull,
+                     static_cast<std::uint32_t>(
+                         cfg_.manager.quantum_us / 1000ULL),
+                     now);
+      return;
+    }
+  }
 
   // Create the shared arena as an anonymous memfd and hand it over.
   const int arena_fd = static_cast<int>(
@@ -274,6 +509,7 @@ void ManagerServer::accept_connection() {
   app->arena = arena;
   app->arena_fd = arena_fd;
   app->reattached = reattach;
+  app->connected_at_us = now;
 
   HelloAck ack{};
   ack.update_period_us = period;
@@ -293,16 +529,34 @@ void ManagerServer::accept_connection() {
 bool ManagerServer::handle_client(std::size_t idx) {
   AppConn& app = *apps_[idx];
   MsgHeader hdr{};
-  ReadyMsg msg{};
-  const RecvStatus st = recv_msg(app.sock, hdr, &msg, sizeof(msg));
+  // Sized for the largest client payload so a well-formed frame of the
+  // wrong *type* (e.g. a second kHello on an established connection) is
+  // classified as a bad message rather than a truncated read.
+  alignas(HelloMsg) unsigned char buf[kMaxClientPayload] = {};
+  int stray_fd = -1;
+  int unexpected = 0;
+  const RecvStatus st =
+      recv_msg(app.sock, hdr, buf, sizeof(buf), &stray_fd, &unexpected);
+  if (stray_fd >= 0) {
+    ::close(stray_fd);
+    ++unexpected;
+  }
+  if (unexpected > 0) {
+    count_fault(obs::FaultKind::kUnexpectedFd, app.manager_id,
+                static_cast<double>(unexpected), monotonic_now_us());
+  }
   if (st != RecvStatus::kOk ||
       hdr.type != static_cast<std::uint16_t>(MsgType::kReady) ||
       hdr.generation != cfg_.generation) {
-    // EOF => plain disconnect. A corrupt frame — or a Ready stamped with a
-    // previous manager generation (stale pipeline from before a restart) —
-    // is a protocol fault worth counting before the drop.
-    if (st == RecvStatus::kBad ||
-        (st == RecvStatus::kOk && hdr.generation != cfg_.generation)) {
+    // EOF => plain disconnect. A corrupt frame, a frame started and then
+    // stalled past SO_RCVTIMEO, a well-formed frame of an unexpected type,
+    // or a Ready stamped with a previous manager generation (stale
+    // pipeline from before a restart) is a protocol fault worth counting
+    // before the drop.
+    if (st == RecvStatus::kBad || st == RecvStatus::kTimeout ||
+        (st == RecvStatus::kOk &&
+         (hdr.type != static_cast<std::uint16_t>(MsgType::kReady) ||
+          hdr.generation != cfg_.generation))) {
       count_fault(obs::FaultKind::kBadMessage, app.manager_id, 0.0,
                   monotonic_now_us());
     }
@@ -408,13 +662,42 @@ void ManagerServer::sample_running(std::uint64_t now_us) {
     }
     const std::uint64_t cum =
         app->arena->transactions.load(std::memory_order_relaxed);
-    const std::uint64_t delta = cum - app->last_read;
+    // Signed math: a scribbled-backwards counter must read as a negative
+    // delta, not wrap into a colossal positive one.
+    const double delta =
+        static_cast<double>(cum) - static_cast<double>(app->last_read);
     app->last_read = cum;
-    manager_.record_sample(app->manager_id, static_cast<double>(delta),
-                           now_us);
+
+    // Feed validation at the trust boundary (docs/ROBUSTNESS.md §8): the
+    // arena is writable by the application, so every value is hostile
+    // until checked. Backwards counters and deltas no physical bus could
+    // have carried are withheld from the estimator; repeat offenders are
+    // classified adversarial, force-quarantined, and ignored for good.
+    const double hostile_cap =
+        cfg_.manager.staleness.max_sample_factor > 0
+            ? cfg_.manager.staleness.max_sample_factor *
+                  cfg_.manager.total_bus_bw_tps *
+                  static_cast<double>(cfg_.manager.quantum_us)
+            : 0.0;
+    const bool hostile =
+        !(delta >= 0.0) || (hostile_cap > 0.0 && delta > hostile_cap);
+    if (app->adversarial) continue;  // feed written off; liveness only
+    if (hostile) {
+      count_fault(obs::FaultKind::kAdversarialFeed, app->manager_id, delta,
+                  now_us);
+      if (cfg_.adversarial_strikes > 0 &&
+          ++app->strikes >= cfg_.adversarial_strikes) {
+        app->adversarial = true;
+        if (m_adv_quarantines_ != nullptr) m_adv_quarantines_->inc();
+        manager_.quarantine(app->manager_id, now_us);
+      }
+      continue;  // never feed a hostile value into the estimator
+    }
+
+    manager_.record_sample(app->manager_id, delta, now_us);
     if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
       cfg_.tracer->counter_sample(
-          now_us, {app->manager_id, static_cast<double>(delta),
+          now_us, {app->manager_id, delta,
                    manager_.policy_estimate(app->manager_id)});
     }
   }
@@ -423,8 +706,13 @@ void ManagerServer::sample_running(std::uint64_t now_us) {
 
 void ManagerServer::quantum_boundary(std::uint64_t now_us) {
   std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t election_t0 = monotonic_now_us();
   const core::ElectionResult& result =
       manager_.schedule_quantum(cfg_.nprocs, now_us);
+  if (m_election_us_ != nullptr) {
+    m_election_us_->observe(
+        static_cast<double>(monotonic_now_us() - election_t0));
+  }
   ++elections_;
   quantum_start_us_ = now_us;
   samples_taken_ = 0;
@@ -494,13 +782,23 @@ void ManagerServer::loop() {
     } else {
       next_event = quantum_start_us_ + quantum;
     }
-    const int timeout_ms =
+    int timeout_ms =
         next_event > now
             ? static_cast<int>((next_event - now) / 1000 + 1)
             : 0;
 
     std::vector<pollfd> fds;
     fds.push_back({listen_fd_, POLLIN, 0});
+    if (accept_retry_at_us_ > now) {
+      // Accept backoff: a hard accept() failure (EMFILE/ENFILE) leaves the
+      // listen fd permanently readable. Park it — poll ignores negative
+      // fds — until the backoff expires, but wake no later than expiry so
+      // a freed descriptor is picked up promptly.
+      fds[0].fd = -1;
+      const int backoff_ms =
+          static_cast<int>((accept_retry_at_us_ - now) / 1000 + 1);
+      if (backoff_ms < timeout_ms) timeout_ms = backoff_ms;
+    }
     fds.push_back({wake_pipe_[0], POLLIN, 0});
     {
       std::lock_guard<std::mutex> lk(mu_);

@@ -28,6 +28,7 @@
 #include "core/cpu_manager.h"
 #include "obs/tracer.h"
 #include "runtime/arena.h"
+#include "runtime/protocol.h"
 
 namespace bbsched::runtime {
 
@@ -55,6 +56,38 @@ struct ServerConfig {
   /// a live one with a frozen updater is reported as kStaleArena and left
   /// to the staleness policy. >= 2 tolerates sampling/updater phase drift.
   int heartbeat_stall_intervals = 3;
+
+  // ---- overload-safe admission / adversary tolerance (ROBUSTNESS.md §8) --
+
+  /// Connected-application cap. A hello beyond the cap is answered with a
+  /// typed HelloNack(kServerFull) — unless a sheddable feed exists
+  /// (adversarial > quarantined > never-ready, oldest first), which is
+  /// evicted in favour of the newcomer. 0 = unlimited (legacy behaviour).
+  int max_clients = 0;
+
+  /// accept() failure backoff (EMFILE/ENFILE under fd exhaustion — or any
+  /// other hard accept error): the listen socket is parked for the current
+  /// backoff instead of hot re-polling a permanently-readable fd. The
+  /// backoff doubles per consecutive failure, bounded by the max, and
+  /// resets on the next successful accept.
+  int accept_backoff_initial_ms = 5;
+  int accept_backoff_max_ms = 1000;
+
+  /// Per-peer handshake-attempt rate limit: more than this many accepted
+  /// connections from one peer process (SO_PEERCRED pid) inside one window
+  /// are answered with HelloNack(kRateLimited) before any frame is read.
+  /// 0 disables. Keyed by pid, so an in-process test fleet sharing one pid
+  /// must either disable it or stay under the budget.
+  int handshake_attempts_per_peer = 0;
+  int handshake_window_ms = 1000;
+
+  /// Hostile arena samples (backwards / bus-impossible deltas) from one
+  /// feed before it is classified adversarial: its samples are withheld
+  /// from the CpuManager for good, its feed is force-quarantined (the
+  /// election treats it as written off), and it becomes the preferred
+  /// load-shedding victim. <= 0 disables classification (every hostile
+  /// value is still clamped away from the estimator, merely unattributed).
+  int adversarial_strikes = 3;
 
   // ---- crash recovery (docs/ROBUSTNESS.md §7) ----
 
@@ -131,10 +164,34 @@ class ManagerServer {
     int stall_intervals = 0;           ///< consecutive no-progress samples
     bool dead = false;                 ///< leader gone (ESRCH); reap pending
     bool reattached = false;           ///< joined via kReattach (recovery)
+    // ---- adversary tolerance (docs/ROBUSTNESS.md §8) ----
+    std::uint64_t connected_at_us = 0; ///< admission time (shedding order)
+    int strikes = 0;                   ///< hostile arena samples observed
+    bool adversarial = false;          ///< strikes exceeded; feed distrusted
+  };
+
+  /// Per-peer handshake-attempt window (rate limiting). Fixed-size table,
+  /// oldest-window slot recycled — a deliberate cap so a pid-spraying
+  /// adversary cannot grow manager memory.
+  struct PeerWindow {
+    pid_t pid = 0;
+    std::uint64_t window_start_us = 0;
+    int attempts = 0;
   };
 
   void loop();
   void accept_connection();
+  /// True when the per-peer handshake budget still admits `pid` now.
+  /// Updates the window table. Caller holds no lock (manager thread only).
+  bool admit_peer(pid_t pid, std::uint64_t now_us);
+  /// Sends a typed rejection and closes the socket (best-effort: a peer
+  /// that already vanished just loses the explanation).
+  void nack_and_close(int sock, HelloNackReason reason,
+                      std::uint32_t retry_after_ms, std::uint64_t now_us);
+  /// Picks and evicts one sheddable app (adversarial > quarantined feed >
+  /// never-ready, oldest first) to admit a newcomer. Caller must hold mu_.
+  /// Returns false when every connected app is healthy — nothing is shed.
+  bool shed_victim_locked(std::uint64_t now_us);
   bool handle_client(std::size_t idx);  ///< false => disconnect
   void drop_client(std::size_t idx);
   /// Body of drop_client for callers already holding mu_.
@@ -155,6 +212,11 @@ class ManagerServer {
   int wake_pipe_[2] = {-1, -1};
   std::thread thread_;
   bool started_ = false;
+
+  // ---- accept backoff state (manager thread only) ----
+  std::uint64_t accept_retry_at_us_ = 0;  ///< listen fd parked until then
+  int accept_backoff_ms_ = 0;             ///< current backoff (0 = healthy)
+  std::vector<PeerWindow> peer_windows_;  ///< bounded rate-limit table
 
   mutable std::mutex mu_;
   core::CpuManager manager_;
@@ -179,6 +241,17 @@ class ManagerServer {
   obs::Counter* m_restores_ = nullptr;
   obs::Counter* m_journal_appends_ = nullptr;
   obs::Counter* m_journal_errors_ = nullptr;
+
+  // ---- adversary / overload instruments (docs/ROBUSTNESS.md §8) ----
+  obs::Counter* m_unexpected_fd_ = nullptr;    ///< server.faults.unexpected_fd
+  obs::Counter* m_invalid_hello_ = nullptr;    ///< server.faults.invalid_hello
+  obs::Counter* m_scribbles_ = nullptr;        ///< server.adversarial.scribbles
+  obs::Counter* m_adv_quarantines_ = nullptr;  ///< .adversarial.quarantines
+  obs::Counter* m_accept_backoffs_ = nullptr;  ///< .overload.accept_backoffs
+  obs::Counter* m_rejected_full_ = nullptr;    ///< .overload.rejected_full
+  obs::Counter* m_rate_limited_ = nullptr;     ///< .overload.rate_limited
+  obs::Counter* m_load_sheds_ = nullptr;       ///< .overload.load_sheds
+  obs::Histogram* m_election_us_ = nullptr;    ///< server.election_us
 };
 
 /// Monotonic clock in microseconds.

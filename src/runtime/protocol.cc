@@ -7,6 +7,28 @@
 
 namespace bbsched::runtime {
 
+namespace {
+
+/// After a short read mid-frame, decide between a truncated frame (peer
+/// closed: the bytes will never come — corrupt) and a slow-loris stalling
+/// past SO_RCVTIMEO (peer still open and silent — slow). A nonblocking
+/// peek answers without consuming anything: EAGAIN means the connection is
+/// alive but idle; EOF or an error means the frame is definitively cut.
+RecvStatus classify_short_read(int sock) {
+  char probe = 0;
+  ssize_t n;
+  for (;;) {
+    n = ::recv(sock, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  const bool still_open =
+      n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+  return still_open ? RecvStatus::kTimeout : RecvStatus::kBad;
+}
+
+}  // namespace
+
 std::size_t expected_payload_len(std::uint16_t type) noexcept {
   switch (static_cast<MsgType>(type)) {
     case MsgType::kHello:
@@ -16,8 +38,19 @@ std::size_t expected_payload_len(std::uint16_t type) noexcept {
       return sizeof(HelloAck);
     case MsgType::kReady:
       return sizeof(ReadyMsg);
+    case MsgType::kHelloNack:
+      return sizeof(HelloNackMsg);
   }
   return static_cast<std::size_t>(-1);
+}
+
+const char* to_string(HelloNackReason reason) noexcept {
+  switch (reason) {
+    case HelloNackReason::kServerFull: return "server-full";
+    case HelloNackReason::kInvalidHello: return "invalid-hello";
+    case HelloNackReason::kRateLimited: return "rate-limited";
+  }
+  return "unknown";
 }
 
 bool send_msg(int sock, MsgType type, std::uint32_t generation,
@@ -36,7 +69,8 @@ bool send_msg(int sock, MsgType type, std::uint32_t generation,
 }
 
 RecvStatus recv_msg(int sock, MsgHeader& hdr, void* payload,
-                    std::size_t payload_cap, int* fd_out) {
+                    std::size_t payload_cap, int* fd_out,
+                    int* unexpected_fds) {
   if (fd_out != nullptr) *fd_out = -1;
 
   // Distinguish a clean disconnect (EOF before any byte) from a truncated
@@ -56,14 +90,23 @@ RecvStatus recv_msg(int sock, MsgHeader& hdr, void* payload,
                                                    : RecvStatus::kBad;
   }
 
-  if (!recv_with_fd(sock, &hdr, sizeof(hdr), fd_out)) return RecvStatus::kBad;
-  const bool valid =
+  if (!recv_with_fd(sock, &hdr, sizeof(hdr), fd_out, unexpected_fds)) {
+    return classify_short_read(sock);
+  }
+  const bool hdr_ok =
       hdr.magic == kProtocolMagic && hdr.version == kProtocolVersion &&
       expected_payload_len(hdr.type) == hdr.payload_len &&
-      hdr.payload_len <= payload_cap &&
-      (hdr.payload_len == 0 || recv_all(sock, payload, hdr.payload_len));
-  if (!valid) {
+      hdr.payload_len <= payload_cap;
+  if (hdr_ok && hdr.payload_len > 0 &&
+      !recv_all(sock, payload, hdr.payload_len)) {
     // Never leak a descriptor that rode in on a frame we then rejected.
+    if (fd_out != nullptr && *fd_out >= 0) {
+      ::close(*fd_out);
+      *fd_out = -1;
+    }
+    return classify_short_read(sock);
+  }
+  if (!hdr_ok) {
     if (fd_out != nullptr && *fd_out >= 0) {
       ::close(*fd_out);
       *fd_out = -1;
@@ -128,7 +171,8 @@ bool send_with_fd(int sock, const void* bytes, std::size_t len, int fd) {
   }
 }
 
-bool recv_with_fd(int sock, void* bytes, std::size_t len, int* fd_out) {
+bool recv_with_fd(int sock, void* bytes, std::size_t len, int* fd_out,
+                  int* unexpected_fds) {
   if (fd_out != nullptr) *fd_out = -1;
 
   msghdr msg{};
@@ -138,7 +182,14 @@ bool recv_with_fd(int sock, void* bytes, std::size_t len, int* fd_out) {
   msg.msg_iov = &iov;
   msg.msg_iovlen = 1;
 
-  alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int))] = {};
+  // Room for a batch of descriptors: a hostile peer may cram several into
+  // one SCM_RIGHTS cmsg (or several cmsgs). Whatever fits is received and
+  // drained below; whatever does not fit is closed by the kernel (the
+  // message is flagged MSG_CTRUNC) — either way nothing leaks into our fd
+  // table.
+  constexpr int kMaxAncillaryFds = 8;
+  alignas(cmsghdr) char control[CMSG_SPACE(kMaxAncillaryFds * sizeof(int))] =
+      {};
   msg.msg_control = control;
   msg.msg_controllen = sizeof(control);
 
@@ -148,18 +199,34 @@ bool recv_with_fd(int sock, void* bytes, std::size_t len, int* fd_out) {
     if (n < 0 && errno == EINTR) continue;
     break;
   }
-  if (n != static_cast<ssize_t>(len)) return false;
+  const bool ok = n == static_cast<ssize_t>(len);
 
-  if (fd_out != nullptr) {
-    for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
-         cmsg = CMSG_NXTHDR(&msg, cmsg)) {
-      if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SCM_RIGHTS) {
-        std::memcpy(fd_out, CMSG_DATA(cmsg), sizeof(int));
-        break;
+  // Drain every descriptor the kernel installed, wanted or not — on the
+  // failure path too (a truncated frame still delivers its ancillary
+  // payload, and rejecting the frame must not leak it).
+  bool want_fd = ok && fd_out != nullptr;
+  for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+       cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+    if (cmsg->cmsg_level != SOL_SOCKET || cmsg->cmsg_type != SCM_RIGHTS) {
+      continue;
+    }
+    const std::size_t data_len =
+        cmsg->cmsg_len - static_cast<std::size_t>(CMSG_LEN(0));
+    const std::size_t nfds = data_len / sizeof(int);
+    for (std::size_t i = 0; i < nfds; ++i) {
+      int fd = -1;
+      std::memcpy(&fd, CMSG_DATA(cmsg) + i * sizeof(int), sizeof(int));
+      if (fd < 0) continue;
+      if (want_fd) {
+        *fd_out = fd;
+        want_fd = false;
+      } else {
+        ::close(fd);
+        if (unexpected_fds != nullptr) ++*unexpected_fds;
       }
     }
   }
-  return true;
+  return ok;
 }
 
 }  // namespace bbsched::runtime

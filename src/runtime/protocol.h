@@ -36,6 +36,7 @@ enum class MsgType : std::uint16_t {
   kHelloAck = 2,  ///< manager -> app: accepted (+ arena fd via SCM_RIGHTS)
   kReady = 3,     ///< app -> manager: all workers registered; blockable
   kReattach = 4,  ///< app -> manager: reconnect after a manager restart
+  kHelloNack = 5, ///< manager -> app: admission refused (typed reason)
 };
 
 struct MsgHeader {
@@ -67,6 +68,27 @@ struct ReadyMsg {
   std::int32_t app_id = -1;
 };
 
+/// Why the manager refused an admission request (payload of kHelloNack).
+/// Typed so a rejected client can distinguish "come back later" (overload,
+/// rate limit) from "your request is broken" (invalid hello) — and so tests
+/// can assert every hostile input lands in a *specific* rejection class.
+enum class HelloNackReason : std::int32_t {
+  kServerFull = 1,   ///< max_clients reached and nothing sheddable
+  kInvalidHello = 2, ///< hello failed field validation (trust boundary)
+  kRateLimited = 3,  ///< per-peer handshake-attempt budget exceeded
+};
+
+[[nodiscard]] const char* to_string(HelloNackReason reason) noexcept;
+
+/// Payload of kHelloNack. Admission stays protocol-v2 wire compatible:
+/// accepted clients see exactly the pre-hardening byte stream; only a
+/// rejected client — which previously saw an unexplained close — receives
+/// this frame before the manager drops the connection.
+struct HelloNackMsg {
+  std::int32_t reason = 0;          ///< HelloNackReason
+  std::uint32_t retry_after_ms = 0; ///< backoff hint; 0 = do not retry
+};
+
 /// Expected payload size for `type`, or SIZE_MAX for an unknown type.
 [[nodiscard]] std::size_t expected_payload_len(std::uint16_t type) noexcept;
 
@@ -87,9 +109,14 @@ bool send_msg(int sock, MsgType type, std::uint32_t generation,
 /// Receives and validates one framed message. `payload_cap` is the caller's
 /// buffer size; the frame is rejected (kBad) if the declared payload does
 /// not match expected_payload_len() or exceeds the buffer. If the peer
-/// attached a descriptor it is stored in *fd_out (otherwise -1).
+/// attached a descriptor it is stored in *fd_out (otherwise -1). Ancillary
+/// descriptors beyond what the caller asked for are drained and closed, and
+/// their count added to *unexpected_fds (never leaked into the receiver's
+/// fd table — a hostile client must not be able to exhaust it with
+/// SCM_RIGHTS spam).
 RecvStatus recv_msg(int sock, MsgHeader& hdr, void* payload,
-                    std::size_t payload_cap, int* fd_out = nullptr);
+                    std::size_t payload_cap, int* fd_out = nullptr,
+                    int* unexpected_fds = nullptr);
 
 /// Sends `bytes` with an optional file descriptor as ancillary data.
 /// Returns false on error. Retries EINTR.
@@ -97,7 +124,11 @@ bool send_with_fd(int sock, const void* bytes, std::size_t len, int fd);
 
 /// Receives exactly `len` bytes; if the peer attached a descriptor it is
 /// stored in *fd_out (otherwise -1). Returns false on error / EOF.
-bool recv_with_fd(int sock, void* bytes, std::size_t len, int* fd_out);
+/// Every ancillary descriptor the kernel delivered beyond the one the
+/// caller wanted (fd_out == nullptr means *none* were wanted) is closed
+/// immediately and counted into *unexpected_fds when provided.
+bool recv_with_fd(int sock, void* bytes, std::size_t len, int* fd_out,
+                  int* unexpected_fds = nullptr);
 
 /// Plain full-buffer send/recv with EINTR retry.
 bool send_all(int sock, const void* bytes, std::size_t len);

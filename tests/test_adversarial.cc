@@ -1,0 +1,387 @@
+// Byzantine-client matrix (docs/ROBUSTNESS.md §8): every AdversarialClient
+// attack against a live ManagerServer, asserting the three hardening
+// guarantees — (1) the manager survives and stays answerable, (2) every
+// hostile input lands in a *typed* fault/metric, (3) no descriptor leaks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include <dirent.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "faults/adversarial_client.h"
+#include "obs/metrics.h"
+#include "runtime/client.h"
+#include "runtime/manager_server.h"
+#include "runtime/protocol.h"
+#include "runtime/signal_gate.h"
+
+namespace bbsched::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+using faults::AdversarialClient;
+using faults::AdversaryConfig;
+using faults::AdversaryReport;
+using faults::AttackKind;
+
+std::string test_socket_path() {
+  return "/tmp/bbsched-adv-" + std::to_string(::getpid()) + ".sock";
+}
+
+bool eventually(const std::function<bool()>& pred, int ms = 5000) {
+  for (int i = 0; i < ms / 5; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+int count_open_fds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int n = 0;
+  while (const dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++n;
+  }
+  ::closedir(dir);
+  return n - 1;  // the fd opendir itself holds
+}
+
+double counter(const obs::MetricsRegistry& metrics, const char* name) {
+  const obs::Counter* c = metrics.find_counter(name);
+  return c != nullptr ? c->value() : 0.0;
+}
+
+class AdversarialTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SignalGate::instance().reset_for_tests(); }
+
+  ServerConfig base_config() {
+    ServerConfig cfg;
+    cfg.socket_path = test_socket_path();
+    cfg.manager.quantum_us = 40'000;
+    cfg.nprocs = 2;
+    cfg.metrics = &metrics_;
+    cfg.handshake_timeout_ms = 100;
+    return cfg;
+  }
+
+  AdversaryConfig attack(AttackKind kind) {
+    AdversaryConfig cfg;
+    cfg.socket_path = test_socket_path();
+    cfg.kind = kind;
+    cfg.seed = 42;
+    return cfg;
+  }
+
+  /// An honest handshake still succeeds — the liveness bar every attack
+  /// must leave intact.
+  bool manager_answers() {
+    const int sock = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (sock < 0) return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, test_socket_path().c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(sock);
+      return false;
+    }
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(sock, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    HelloMsg hello{};
+    hello.pid = ::getpid();
+    hello.leader_tid = static_cast<std::int32_t>(::syscall(SYS_gettid));
+    hello.nthreads = 1;
+    std::strncpy(hello.name, "honest", sizeof(hello.name) - 1);
+    bool ok = send_msg(sock, MsgType::kHello, 0, &hello, sizeof(hello));
+    if (ok) {
+      MsgHeader hdr{};
+      HelloAck ack{};
+      int arena_fd = -1;
+      ok = recv_msg(sock, hdr, &ack, sizeof(ack), &arena_fd) ==
+               RecvStatus::kOk &&
+           hdr.type == static_cast<std::uint16_t>(MsgType::kHelloAck);
+      if (arena_fd >= 0) ::close(arena_fd);
+    }
+    ::close(sock);
+    return ok;
+  }
+
+  obs::MetricsRegistry metrics_;
+};
+
+TEST_F(AdversarialTest, NeverReadySquattersAreShedForNewcomers) {
+  ServerConfig cfg = base_config();
+  cfg.max_clients = 2;
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+
+  AdversaryConfig adv = attack(AttackKind::kNeverReady);
+  adv.rounds = 6;
+  adv.hold_ms = 50;
+  const AdversaryReport rep = AdversarialClient(adv).run();
+
+  // Every squatter beyond the cap evicted an older squatter: all admitted,
+  // and the sheds are accounted.
+  EXPECT_EQ(rep.attempts, 6);
+  EXPECT_EQ(rep.accepted, 6);
+  EXPECT_GE(counter(metrics_, "server.overload.load_sheds"), 4.0);
+  EXPECT_TRUE(eventually([&] { return server.connected_apps() == 0; }));
+  EXPECT_TRUE(manager_answers());
+  server.stop();
+}
+
+TEST_F(AdversarialTest, ServerFullGetsTypedNackWhenNothingSheddable) {
+  ServerConfig cfg = base_config();
+  cfg.max_clients = 1;
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+
+  // One honest, *ready* client occupies the only slot: healthy feeds are
+  // never shed, so every extra hello must get HelloNack(kServerFull).
+  Client honest;
+  ASSERT_TRUE(honest.connect(cfg.socket_path, "honest", 1));
+  ASSERT_TRUE(honest.ready());
+  // Wait until the server has *processed* the Ready frame, not merely
+  // admitted the connection — a still-never-ready occupant would be fair
+  // game for the shedder and the flood would walk right in.
+  ASSERT_TRUE(eventually([&] {
+    return !server.running_app_names().empty();
+  }));
+
+  AdversaryConfig adv = attack(AttackKind::kHelloFlood);
+  adv.rounds = 5;
+  const AdversaryReport rep = AdversarialClient(adv).run();
+  EXPECT_EQ(rep.accepted, 0);
+  EXPECT_EQ(rep.nacked, 5);
+  EXPECT_EQ(rep.last_nack_reason,
+            static_cast<std::int32_t>(HelloNackReason::kServerFull));
+  EXPECT_GE(counter(metrics_, "server.overload.rejected_full"), 5.0);
+  EXPECT_EQ(server.connected_apps(), 1u);  // the honest client kept its slot
+
+  // A refused Client surfaces the typed reason to the application.
+  Client refused;
+  EXPECT_FALSE(refused.connect(cfg.socket_path, "late", 1));
+  EXPECT_EQ(refused.last_nack_reason(),
+            static_cast<std::int32_t>(HelloNackReason::kServerFull));
+
+  honest.disconnect();
+  server.stop();
+}
+
+TEST_F(AdversarialTest, AbsurdNthreadsAllNackedInvalidHello) {
+  ManagerServer server(base_config());
+  ASSERT_TRUE(server.start());
+
+  AdversaryConfig adv = attack(AttackKind::kAbsurdNthreads);
+  adv.rounds = 5;  // cycles 0, -1, INT32_MAX, 1<<20, INT32_MIN
+  const AdversaryReport rep = AdversarialClient(adv).run();
+  EXPECT_EQ(rep.accepted, 0);
+  EXPECT_EQ(rep.nacked, 5);
+  EXPECT_EQ(rep.last_nack_reason,
+            static_cast<std::int32_t>(HelloNackReason::kInvalidHello));
+  EXPECT_GE(counter(metrics_, "server.faults.invalid_hello"), 5.0);
+  EXPECT_TRUE(manager_answers());
+  server.stop();
+}
+
+TEST_F(AdversarialTest, PidSpoofRejectedDuplicatePidTolerated) {
+  ManagerServer server(base_config());
+  ASSERT_TRUE(server.start());
+
+  AdversaryConfig adv = attack(AttackKind::kDuplicatePid);
+  adv.rounds = 6;  // even rounds: own pid (ok); odd rounds: spoofed pid
+  const AdversaryReport rep = AdversarialClient(adv).run();
+  EXPECT_EQ(rep.accepted, 3);
+  EXPECT_EQ(rep.nacked, 3);
+  EXPECT_EQ(rep.last_nack_reason,
+            static_cast<std::int32_t>(HelloNackReason::kInvalidHello));
+  EXPECT_TRUE(manager_answers());
+  server.stop();
+}
+
+TEST_F(AdversarialTest, UnterminatedNameIsInvalidHello) {
+  ManagerServer server(base_config());
+  ASSERT_TRUE(server.start());
+
+  const int sock = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(sock, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, test_socket_path().c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  HelloMsg hello{};
+  hello.pid = ::getpid();
+  hello.leader_tid = static_cast<std::int32_t>(::syscall(SYS_gettid));
+  hello.nthreads = 1;
+  std::memset(hello.name, 'A', sizeof(hello.name));  // no NUL anywhere
+  ASSERT_TRUE(send_msg(sock, MsgType::kHello, 0, &hello, sizeof(hello)));
+
+  MsgHeader hdr{};
+  HelloNackMsg nack{};
+  ASSERT_EQ(recv_msg(sock, hdr, &nack, sizeof(nack)), RecvStatus::kOk);
+  EXPECT_EQ(hdr.type, static_cast<std::uint16_t>(MsgType::kHelloNack));
+  EXPECT_EQ(nack.reason,
+            static_cast<std::int32_t>(HelloNackReason::kInvalidHello));
+  ::close(sock);
+  server.stop();
+}
+
+TEST_F(AdversarialTest, SlowLorisBoundedByHandshakeTimeout) {
+  ServerConfig cfg = base_config();
+  cfg.handshake_timeout_ms = 50;
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+
+  AdversaryConfig adv = attack(AttackKind::kSlowLoris);
+  adv.rounds = 3;
+  adv.hold_ms = 400;
+  const AdversaryReport rep = AdversarialClient(adv).run();
+  EXPECT_EQ(rep.attempts, 3);
+  // Each loris cost the manager at most one handshake timeout — then its
+  // socket was taken away. The accept path never wedged.
+  EXPECT_TRUE(eventually([&] {
+    return counter(metrics_, "server.faults.handshake_timeouts") >= 3.0;
+  }));
+  EXPECT_TRUE(manager_answers());
+  server.stop();
+}
+
+TEST_F(AdversarialTest, ReattachStormWithBogusGenerationsIsSurvived) {
+  ServerConfig cfg = base_config();
+  cfg.generation = 7;
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+
+  AdversaryConfig adv = attack(AttackKind::kReattachStorm);
+  adv.rounds = 12;
+  adv.generation = 7;
+  const AdversaryReport rep = AdversarialClient(adv).run();
+  // kReattach is generation-exempt by design: every storm frame gets a
+  // definite answer (ack or typed nack), none is silently ignored.
+  EXPECT_EQ(rep.attempts, 12);
+  EXPECT_EQ(rep.accepted + rep.nacked, 12);
+  EXPECT_TRUE(eventually([&] { return server.connected_apps() == 0; }));
+  EXPECT_TRUE(manager_answers());
+  server.stop();
+}
+
+TEST_F(AdversarialTest, FdSpamIsDrainedCountedAndForgiven) {
+  ManagerServer server(base_config());
+  ASSERT_TRUE(server.start());
+  const int fds_before = count_open_fds();
+
+  AdversaryConfig adv = attack(AttackKind::kFdSpam);
+  adv.rounds = 5;
+  const AdversaryReport rep = AdversarialClient(adv).run();
+  // The frames themselves are valid hellos: accepted. The stapled-on
+  // descriptors were closed at the trust boundary and counted.
+  EXPECT_EQ(rep.accepted, 5);
+  EXPECT_GE(counter(metrics_, "server.faults.unexpected_fd"), 5.0);
+
+  EXPECT_TRUE(eventually([&] { return server.connected_apps() == 0; }));
+  EXPECT_TRUE(eventually([&] { return count_open_fds() <= fds_before; }));
+  server.stop();
+}
+
+TEST_F(AdversarialTest, ArenaScribblerIsStruckOutAndQuarantined) {
+  ServerConfig cfg = base_config();
+  cfg.manager.quantum_us = 20'000;
+  cfg.adversarial_strikes = 3;
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+
+  AdversaryConfig adv = attack(AttackKind::kArenaScribble);
+  adv.hold_ms = 600;
+  std::atomic<bool> done{false};
+  AdversaryReport rep;
+  std::thread attacker([&] {
+    rep = AdversarialClient(adv).run();
+    done.store(true);
+  });
+
+  // While the scribbler runs: hostile samples are counted per-write and
+  // the third strike force-quarantines the feed.
+  EXPECT_TRUE(eventually([&] {
+    return counter(metrics_, "server.adversarial.scribbles") >= 3.0;
+  }));
+  EXPECT_TRUE(eventually([&] {
+    return counter(metrics_, "server.adversarial.quarantines") >= 1.0;
+  }));
+
+  attacker.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_GT(rep.scribbles, 0);
+  EXPECT_TRUE(manager_answers());
+  server.stop();
+}
+
+TEST_F(AdversarialTest, FdCountStableAcrossThousandHostileCycles) {
+  ServerConfig cfg = base_config();
+  cfg.max_clients = 4;
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+  const int fds_before = count_open_fds();
+
+  AdversaryConfig adv = attack(AttackKind::kHelloFlood);
+  adv.rounds = 1000;
+  const AdversaryReport rep = AdversarialClient(adv).run();
+  EXPECT_EQ(rep.attempts, 1000);
+  // Every cycle got a definite, typed outcome.
+  EXPECT_EQ(rep.accepted + rep.nacked + rep.dropped, 1000);
+
+  EXPECT_TRUE(eventually([&] { return server.connected_apps() == 0; }));
+  EXPECT_TRUE(eventually([&] { return count_open_fds() <= fds_before; }));
+  EXPECT_TRUE(manager_answers());
+  server.stop();
+}
+
+TEST_F(AdversarialTest, RateLimitTurnsAwayHandshakeBursts) {
+  ServerConfig cfg = base_config();
+  cfg.handshake_attempts_per_peer = 3;
+  cfg.handshake_window_ms = 10'000;
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+
+  AdversaryConfig adv = attack(AttackKind::kHelloFlood);
+  adv.rounds = 8;
+  const AdversaryReport rep = AdversarialClient(adv).run();
+  // First 3 attempts within the window pass the gate; the rest are turned
+  // away before a single frame is read.
+  EXPECT_EQ(rep.accepted, 3);
+  EXPECT_EQ(rep.nacked, 5);
+  EXPECT_EQ(rep.last_nack_reason,
+            static_cast<std::int32_t>(HelloNackReason::kRateLimited));
+  EXPECT_GE(counter(metrics_, "server.overload.rate_limited"), 5.0);
+  server.stop();
+}
+
+TEST_F(AdversarialTest, ElectionLatencyHistogramIsPopulated) {
+  ServerConfig cfg = base_config();
+  cfg.manager.quantum_us = 20'000;
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+  EXPECT_TRUE(eventually([&] { return server.elections() >= 3; }));
+  server.stop();
+
+  const obs::Histogram* h = metrics_.find_histogram("server.election_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->count(), 3u);
+}
+
+}  // namespace
+}  // namespace bbsched::runtime

@@ -160,6 +160,121 @@ TEST(Protocol, RecvMsgRejectsTruncatedHeader) {
   EXPECT_EQ(recv_msg(sp.b, got, &msg, sizeof(msg)), RecvStatus::kBad);
 }
 
+TEST(Protocol, RecvMsgRejectsTruncationAtEveryByteOffset) {
+  // Exhaustive mid-frame truncation: for every message type, a frame cut
+  // at every possible byte offset must classify as kBad (corrupt) — except
+  // offset 0, which is a clean EOF (kClosed). No offset may hang, crash,
+  // or be mistaken for a complete frame.
+  struct Case {
+    MsgType type;
+    std::size_t payload;
+  };
+  const Case cases[] = {
+      {MsgType::kHello, sizeof(HelloMsg)},
+      {MsgType::kHelloAck, sizeof(HelloAck)},
+      {MsgType::kReady, sizeof(ReadyMsg)},
+      {MsgType::kReattach, sizeof(HelloMsg)},
+      {MsgType::kHelloNack, sizeof(HelloNackMsg)},
+  };
+  for (const Case& c : cases) {
+    std::vector<unsigned char> frame(sizeof(MsgHeader) + c.payload, 0);
+    MsgHeader hdr{};
+    hdr.type = static_cast<std::uint16_t>(c.type);
+    hdr.payload_len = static_cast<std::uint32_t>(c.payload);
+    std::memcpy(frame.data(), &hdr, sizeof(hdr));
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      SocketPair sp;
+      ASSERT_TRUE(send_all(sp.a, frame.data(), cut));
+      ::close(sp.a);
+      sp.a = -1;
+      MsgHeader got{};
+      unsigned char buf[sizeof(HelloMsg)] = {};
+      const RecvStatus st = recv_msg(sp.b, got, buf, sizeof(buf));
+      if (cut == 0) {
+        EXPECT_EQ(st, RecvStatus::kClosed) << "type " << hdr.type;
+      } else {
+        EXPECT_EQ(st, RecvStatus::kBad)
+            << "type " << hdr.type << " cut at byte " << cut;
+      }
+    }
+  }
+}
+
+TEST(Protocol, UnwantedSingleFdIsDrainedAndCounted) {
+  // The receiver asked for no descriptor (fd_out == nullptr): an attached
+  // one must be closed — not leaked into the fd table — and counted.
+  SocketPair sp;
+  const int memfd =
+      static_cast<int>(::syscall(SYS_memfd_create, "spam", 0U));
+  ASSERT_GE(memfd, 0);
+  ReadyMsg msg{};
+  ASSERT_TRUE(send_with_fd(sp.a, &msg, sizeof(msg), memfd));
+  ::close(memfd);
+
+  ReadyMsg got{};
+  int unexpected = 0;
+  ASSERT_TRUE(recv_with_fd(sp.b, &got, sizeof(got), nullptr, &unexpected));
+  EXPECT_EQ(unexpected, 1);
+}
+
+TEST(Protocol, FdSpamBeyondTheFirstIsDrainedAndCounted) {
+  // Multiple SCM_RIGHTS descriptors on one frame: the caller wanted one, so
+  // the first lands in fd_out and every extra is closed and counted.
+  SocketPair sp;
+  int memfds[3];
+  for (int& fd : memfds) {
+    fd = static_cast<int>(::syscall(SYS_memfd_create, "spam", 0U));
+    ASSERT_GE(fd, 0);
+  }
+
+  ReadyMsg msg{};
+  iovec iov{};
+  iov.iov_base = &msg;
+  iov.iov_len = sizeof(msg);
+  alignas(cmsghdr) char control[CMSG_SPACE(3 * sizeof(int))] = {};
+  msghdr mh{};
+  mh.msg_iov = &iov;
+  mh.msg_iovlen = 1;
+  mh.msg_control = control;
+  mh.msg_controllen = sizeof(control);
+  cmsghdr* cmsg = CMSG_FIRSTHDR(&mh);
+  cmsg->cmsg_level = SOL_SOCKET;
+  cmsg->cmsg_type = SCM_RIGHTS;
+  cmsg->cmsg_len = CMSG_LEN(3 * sizeof(int));
+  std::memcpy(CMSG_DATA(cmsg), memfds, sizeof(memfds));
+  ASSERT_EQ(::sendmsg(sp.a, &mh, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(msg)));
+  for (int fd : memfds) ::close(fd);
+
+  ReadyMsg got{};
+  int fd = -1;
+  int unexpected = 0;
+  ASSERT_TRUE(recv_with_fd(sp.b, &got, sizeof(got), &fd, &unexpected));
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(unexpected, 2);
+  if (fd >= 0) ::close(fd);
+}
+
+TEST(Protocol, HelloNackRoundTrip) {
+  SocketPair sp;
+  HelloNackMsg out{};
+  out.reason = static_cast<std::int32_t>(HelloNackReason::kServerFull);
+  out.retry_after_ms = 250;
+  ASSERT_TRUE(send_msg(sp.a, MsgType::kHelloNack, 3, &out, sizeof(out)));
+
+  MsgHeader hdr{};
+  HelloNackMsg in{};
+  ASSERT_EQ(recv_msg(sp.b, hdr, &in, sizeof(in)), RecvStatus::kOk);
+  EXPECT_EQ(hdr.type, static_cast<std::uint16_t>(MsgType::kHelloNack));
+  EXPECT_EQ(hdr.generation, 3u);
+  EXPECT_EQ(in.reason,
+            static_cast<std::int32_t>(HelloNackReason::kServerFull));
+  EXPECT_EQ(in.retry_after_ms, 250u);
+  EXPECT_STREQ(to_string(HelloNackReason::kServerFull), "server-full");
+  EXPECT_STREQ(to_string(HelloNackReason::kInvalidHello), "invalid-hello");
+  EXPECT_STREQ(to_string(HelloNackReason::kRateLimited), "rate-limited");
+}
+
 TEST(Protocol, RecvAllReportsEof) {
   SocketPair sp;
   ::close(sp.a);

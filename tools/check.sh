@@ -43,8 +43,8 @@ for cfg in "${configs[@]}"; do
   echo "==> [$cfg] ctest"
   case "$cfg" in
     plain)  (cd "$dir" && ctest --output-on-failure -j "$jobs") ;;
-    thread) (cd "$dir" && ctest --output-on-failure -j "$jobs" -L 'chaos|lint') ;;
-    *)      (cd "$dir" && ctest --output-on-failure -j "$jobs" -L 'chaos|soak|lint') ;;
+    thread) (cd "$dir" && ctest --output-on-failure -j "$jobs" -L 'chaos|fuzz|lint') ;;
+    *)      (cd "$dir" && ctest --output-on-failure -j "$jobs" -L 'chaos|soak|fuzz|lint') ;;
   esac
 done
 
