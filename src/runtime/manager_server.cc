@@ -144,11 +144,18 @@ void ManagerServer::count_fault(obs::FaultKind kind, int app_id, double value,
       break;
     case obs::FaultKind::kAdmissionRejected:
       // value carries the HelloNackReason: split into the overload metrics.
-      if (static_cast<std::int32_t>(value) ==
-          static_cast<std::int32_t>(HelloNackReason::kRateLimited)) {
-        if (m_rate_limited_ != nullptr) m_rate_limited_->inc();
-      } else if (m_rejected_full_ != nullptr) {
-        m_rejected_full_->inc();
+      // Each reason maps to exactly one counter — kInvalidHello nacks are
+      // already accounted as server.faults.invalid_hello and must not
+      // inflate the server-full figure.
+      switch (static_cast<HelloNackReason>(static_cast<std::int32_t>(value))) {
+        case HelloNackReason::kRateLimited:
+          if (m_rate_limited_ != nullptr) m_rate_limited_->inc();
+          break;
+        case HelloNackReason::kServerFull:
+          if (m_rejected_full_ != nullptr) m_rejected_full_->inc();
+          break;
+        case HelloNackReason::kInvalidHello:
+          break;  // counted at the validation site (invalid_hello)
       }
       break;
     default:
@@ -438,9 +445,12 @@ void ManagerServer::accept_connection() {
        hdr.type == static_cast<std::uint16_t>(MsgType::kReattach));
   if (!is_hello) {
     // A clean close or a receive timeout mid-handshake is a handshake
-    // failure; a structurally broken frame is a corrupt message.
-    count_fault(st == RecvStatus::kBad ? obs::FaultKind::kBadMessage
-                                       : obs::FaultKind::kHandshakeTimeout,
+    // failure; a structurally broken frame — or a well-formed frame of a
+    // type that cannot open a handshake (e.g. kReady first) — is a
+    // protocol violation, not a timeout.
+    count_fault(st == RecvStatus::kTimeout || st == RecvStatus::kClosed
+                    ? obs::FaultKind::kHandshakeTimeout
+                    : obs::FaultKind::kBadMessage,
                 -1, 0.0, now);
     ::close(sock);
     return;
@@ -662,10 +672,15 @@ void ManagerServer::sample_running(std::uint64_t now_us) {
     }
     const std::uint64_t cum =
         app->arena->transactions.load(std::memory_order_relaxed);
-    // Signed math: a scribbled-backwards counter must read as a negative
-    // delta, not wrap into a colossal positive one.
-    const double delta =
-        static_cast<double>(cum) - static_cast<double>(app->last_read);
+    // Unsigned modular math: cum - last_read is the exact elapsed count
+    // even across a legitimate u64 wrap of a long-lived counter (double
+    // subtraction loses precision above 2^53 and would read a wrap as a
+    // colossal negative delta, striking an honest app toward quarantine).
+    // A scribbled-backwards counter instead lands in the top half of the
+    // u64 range — a wrapped distance no physical bus could have carried.
+    const std::uint64_t raw_delta = cum - app->last_read;
+    const bool backwards = raw_delta > (std::uint64_t{1} << 63);
+    const double delta = static_cast<double>(raw_delta);
     app->last_read = cum;
 
     // Feed validation at the trust boundary (docs/ROBUSTNESS.md §8): the
@@ -680,7 +695,7 @@ void ManagerServer::sample_running(std::uint64_t now_us) {
                   static_cast<double>(cfg_.manager.quantum_us)
             : 0.0;
     const bool hostile =
-        !(delta >= 0.0) || (hostile_cap > 0.0 && delta > hostile_cap);
+        backwards || (hostile_cap > 0.0 && delta > hostile_cap);
     if (app->adversarial) continue;  // feed written off; liveness only
     if (hostile) {
       count_fault(obs::FaultKind::kAdversarialFeed, app->manager_id, delta,
@@ -810,18 +825,26 @@ void ManagerServer::loop() {
 
     if (rc > 0) {
       if ((fds[1].revents & POLLIN) != 0) return;  // stop requested
-      if ((fds[0].revents & POLLIN) != 0) accept_connection();
       // Client messages / disconnects. fds[i+2] corresponds to apps_[i] at
       // poll time; handle back-to-front so erasures keep indices valid.
+      // This runs *before* accept_connection(): admission may load-shed an
+      // arbitrary apps_ entry and push a newcomer, which would shift every
+      // index above the victim and re-point the old last slot at the new
+      // socket — the poll-time mapping would then read (or drop) the wrong
+      // app. The fd identity check guards the same invariant against any
+      // future mid-round mutation.
       for (std::size_t i = fds.size(); i-- > 2;) {
         const std::size_t app_idx = i - 2;
-        if (app_idx >= apps_.size()) continue;
+        if (app_idx >= apps_.size() || apps_[app_idx]->sock != fds[i].fd) {
+          continue;  // apps_ mutated since poll time; stale pollfd
+        }
         if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
         if ((fds[i].revents & POLLIN) != 0 && handle_client(app_idx)) {
           continue;
         }
         drop_client(app_idx);
       }
+      if ((fds[0].revents & POLLIN) != 0) accept_connection();
     }
 
     const std::uint64_t after = monotonic_now_us();

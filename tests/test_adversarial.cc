@@ -4,6 +4,7 @@
 // hostile input lands in a *typed* fault/metric, (3) no descriptor leaks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -12,6 +13,7 @@
 #include <thread>
 
 #include <dirent.h>
+#include <sys/mman.h>
 #include <sys/socket.h>
 #include <sys/syscall.h>
 #include <sys/un.h>
@@ -81,6 +83,36 @@ class AdversarialTest : public ::testing::Test {
     cfg.kind = kind;
     cfg.seed = 42;
     return cfg;
+  }
+
+  /// Raw client socket to the server under test, receive-bounded so a
+  /// buggy server cannot hang the harness. -1 on failure.
+  int raw_dial() {
+    const int sock = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (sock < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, test_socket_path().c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(sock);
+      return -1;
+    }
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(sock, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    return sock;
+  }
+
+  /// A structurally valid HelloMsg for this process.
+  HelloMsg own_hello(const char* name) {
+    HelloMsg hello{};
+    hello.pid = ::getpid();
+    hello.leader_tid = static_cast<std::int32_t>(::syscall(SYS_gettid));
+    hello.nthreads = 1;
+    std::strncpy(hello.name, name, sizeof(hello.name) - 1);
+    return hello;
   }
 
   /// An honest handshake still succeeds — the liveness bar every attack
@@ -193,6 +225,10 @@ TEST_F(AdversarialTest, AbsurdNthreadsAllNackedInvalidHello) {
   EXPECT_EQ(rep.last_nack_reason,
             static_cast<std::int32_t>(HelloNackReason::kInvalidHello));
   EXPECT_GE(counter(metrics_, "server.faults.invalid_hello"), 5.0);
+  // Each rejection class owns exactly one counter: an invalid hello must
+  // not inflate the overload figures (docs/OBSERVABILITY.md).
+  EXPECT_EQ(counter(metrics_, "server.overload.rejected_full"), 0.0);
+  EXPECT_EQ(counter(metrics_, "server.overload.rate_limited"), 0.0);
   EXPECT_TRUE(manager_answers());
   server.stop();
 }
@@ -367,6 +403,123 @@ TEST_F(AdversarialTest, RateLimitTurnsAwayHandshakeBursts) {
   EXPECT_EQ(rep.last_nack_reason,
             static_cast<std::int32_t>(HelloNackReason::kRateLimited));
   EXPECT_GE(counter(metrics_, "server.overload.rate_limited"), 5.0);
+  server.stop();
+}
+
+// A well-formed frame of a type that cannot open a handshake (kReady as
+// the first frame) is a protocol violation, not a stall: it must land in
+// bad_message and leave the handshake-timeout figure untouched.
+TEST_F(AdversarialTest, WellFormedNonHelloOpeningFrameIsBadMessage) {
+  ManagerServer server(base_config());
+  ASSERT_TRUE(server.start());
+
+  const int sock = raw_dial();
+  ASSERT_GE(sock, 0);
+  ReadyMsg ready{};
+  ASSERT_TRUE(send_msg(sock, MsgType::kReady, 0, &ready, sizeof(ready)));
+  EXPECT_TRUE(eventually([&] {
+    return counter(metrics_, "server.faults.bad_message") >= 1.0;
+  }));
+  EXPECT_EQ(counter(metrics_, "server.faults.handshake_timeouts"), 0.0);
+  EXPECT_TRUE(manager_answers());
+  ::close(sock);
+  server.stop();
+}
+
+// Load-shedding during admission mutates apps_ mid poll-round; the
+// fd->app resolution in loop() must not act on poll-time indices that
+// the shed shifted, or a healthy ready app gets dropped in place of the
+// shed squatter (the "never evicts a healthy ready app" invariant).
+TEST_F(AdversarialTest, HonestReadyAppSurvivesShedAdmitChurn) {
+  ServerConfig cfg = base_config();
+  cfg.max_clients = 2;
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+
+  // Admit the never-ready squatter first so it sits *below* the honest app
+  // in apps_: shedding it shifts the honest app's index down by one.
+  HelloMsg hello = own_hello("squat");
+  int squatter = raw_dial();
+  ASSERT_GE(squatter, 0);
+  ASSERT_TRUE(send_msg(squatter, MsgType::kHello, 0, &hello, sizeof(hello)));
+  ASSERT_TRUE(eventually([&] { return server.connected_apps() == 1; }));
+
+  Client honest;
+  ASSERT_TRUE(honest.connect(cfg.socket_path, "honest", 1));
+  ASSERT_TRUE(honest.ready());
+  ASSERT_TRUE(eventually([&] {
+    return !server.running_app_names().empty();
+  }));
+
+  // Churn: each round lands a fresh hello (which sheds the old squatter)
+  // and the old squatter's POLLHUP as close together as possible, so both
+  // tend to fall inside one poll window.
+  for (int round = 0; round < 20; ++round) {
+    const int next = raw_dial();
+    ASSERT_GE(next, 0);
+    ASSERT_TRUE(send_msg(next, MsgType::kHello, 0, &hello, sizeof(hello)));
+    ::close(squatter);
+    squatter = next;
+    ASSERT_TRUE(eventually([&] { return server.connected_apps() == 2; }))
+        << "churn round " << round;
+    const auto names = server.running_app_names();
+    ASSERT_TRUE(std::find(names.begin(), names.end(), "honest") !=
+                names.end())
+        << "healthy ready app evicted in churn round " << round;
+  }
+  ::close(squatter);
+  honest.disconnect();
+  server.stop();
+}
+
+// An honest long-lived app whose cumulative counter wraps u64 must not be
+// struck toward adversarial quarantine: the sampler's modular delta stays
+// exact across the wrap (double subtraction would read it as a colossal
+// backwards jump).
+TEST_F(AdversarialTest, CounterWraparoundIsNotClassifiedHostile) {
+  ServerConfig cfg = base_config();
+  cfg.manager.quantum_us = 20'000;
+  cfg.adversarial_strikes = 3;
+  ManagerServer server(cfg);
+  ASSERT_TRUE(server.start());
+
+  // Same leader-decoy trick as the scribbler: install the gate handler so
+  // election signals to this (unregistered) thread are no-ops.
+  SignalGate::instance().install();
+  const int sock = raw_dial();
+  ASSERT_GE(sock, 0);
+  const HelloMsg hello = own_hello("wrapper");
+  ASSERT_TRUE(send_msg(sock, MsgType::kHello, 0, &hello, sizeof(hello)));
+  MsgHeader hdr{};
+  HelloAck ack{};
+  int arena_fd = -1;
+  ASSERT_EQ(recv_msg(sock, hdr, &ack, sizeof(ack), &arena_fd),
+            RecvStatus::kOk);
+  ASSERT_GE(arena_fd, 0);
+  void* mem = ::mmap(nullptr, sizeof(Arena), PROT_READ | PROT_WRITE,
+                     MAP_SHARED, arena_fd, 0);
+  ::close(arena_fd);
+  ASSERT_NE(mem, MAP_FAILED);
+  auto* arena = static_cast<Arena*>(mem);
+
+  // Park the counter just below the wrap *before* kReady, so the server's
+  // baseline read is pre-wrap and the increments below cross it.
+  arena->transactions.store(~0ULL - 512, std::memory_order_relaxed);
+  ReadyMsg ready{};
+  ASSERT_TRUE(send_msg(sock, MsgType::kReady, 0, &ready, sizeof(ready)));
+
+  // Small plausible increments with a live heartbeat: an honest feed.
+  for (int i = 0; i < 300; ++i) {
+    arena->transactions.fetch_add(8, std::memory_order_relaxed);
+    arena->heartbeats.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(counter(metrics_, "server.adversarial.scribbles"), 0.0);
+  EXPECT_EQ(counter(metrics_, "server.adversarial.quarantines"), 0.0);
+  EXPECT_EQ(server.connected_apps(), 1u);
+
+  ::munmap(mem, sizeof(Arena));
+  ::close(sock);
   server.stop();
 }
 
