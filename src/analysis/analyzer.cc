@@ -71,7 +71,8 @@ const std::set<std::string>& known_rules() {
   // The suppressible contracts. "annotation" findings (malformed markers)
   // are deliberately absent: a broken marker must never silence itself.
   static const std::set<std::string> kRules{"determinism", "hotpath",
-                                           "signal", "atomics", "catalog"};
+                                           "signal", "atomics", "catalog",
+                                           "sysfail"};
   return kRules;
 }
 
@@ -142,6 +143,10 @@ AnalysisResult Analyzer::run() const {
     detail::run_signal(fc, signal_safe_fns, findings);
     if (starts_with(fc.path, "src/obs/")) {
       detail::run_atomics(fc, findings);
+    }
+    if (starts_with(fc.path, "src/runtime/") ||
+        starts_with(fc.path, "src/core/")) {
+      detail::run_sysfail(fc, findings);
     }
   }
   if (events != nullptr && exporter != nullptr) {

@@ -508,6 +508,63 @@ void run_atomics(const FileContext& fc, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// sysfail
+
+namespace {
+
+const std::set<std::string>& shimmed_syscalls() {
+  // The kernel entry points faults::sys interposes (src/faults/sysfail.h).
+  // A raw global-scope call to one of these in the runtime or the core is
+  // a hole in the fault-injection net: the syschaos soak cannot exercise
+  // its failure path.
+  static const std::set<std::string> kSet{
+      "read",    "write",   "mmap",    "send",         "recv",
+      "sendmsg", "recvmsg", "accept4", "memfd_create", "ftruncate",
+      "fork",    "fwrite"};
+  return kSet;
+}
+
+/// Keywords the tokenizer reports as identifiers but that cannot qualify a
+/// name: `return ::read(...)` is still a global-scope call.
+bool is_nonqualifying_keyword(std::string_view text) {
+  static const std::set<std::string, std::less<>> kSet{
+      "return", "throw",    "else",     "do",      "case",
+      "new",    "co_await", "co_yield", "co_return"};
+  return kSet.find(text) != kSet.end();
+}
+
+}  // namespace
+
+void run_sysfail(const FileContext& fc, std::vector<Finding>& out) {
+  const std::vector<Token>& toks = fc.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_punct(toks[i], "::")) continue;
+    // Only *global-scope* qualification (`::read(...)`) is a raw syscall.
+    // A qualified name — `sys::read`, `std::fwrite`, `sysio::recv` — has
+    // an identifier before the `::` and passes.
+    const std::size_t p = prev_code(toks, i);
+    if (p != kNpos && toks[p].kind == TokenKind::kIdentifier &&
+        !is_nonqualifying_keyword(toks[p].text)) {
+      continue;
+    }
+    const std::size_t name = next_code(toks, i);
+    if (name == kNpos || toks[name].kind != TokenKind::kIdentifier ||
+        !contains(shimmed_syscalls(), toks[name].text)) {
+      continue;
+    }
+    const std::size_t open = next_code(toks, name);
+    if (open == kNpos || !is_punct(toks[open], "(")) continue;
+    add_finding(out, "sysfail", fc, toks[name],
+                "raw '::" + std::string(toks[name].text) +
+                    "' bypasses the faults::sys shim (src/faults/sysfail.h)"
+                    " — route through sys::" +
+                    std::string(toks[name].text) +
+                    " so fault injection covers this call, or justify with "
+                    "bbsched:allow(sysfail)");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // catalog
 
 namespace {

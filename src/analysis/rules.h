@@ -45,6 +45,11 @@ void run_signal(const FileContext& fc,
                 const std::set<std::string>& signal_safe_fns,
                 std::vector<Finding>& out);
 void run_atomics(const FileContext& fc, std::vector<Finding>& out);
+/// Flags raw global-scope calls (`::read`, `::write`, `::mmap`, …) to
+/// syscalls the faults::sys shim interposes — scoped to src/runtime and
+/// src/core, where every such call must route through the shim so the
+/// syschaos suite can exercise its failure path.
+void run_sysfail(const FileContext& fc, std::vector<Finding>& out);
 
 /// Cross-file catalog check. `doc_text` may be null (no doc input).
 void run_catalog(const FileContext& events, const FileContext& exporter,

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "faults/sysfail.h"
+
 namespace bbsched::core {
 
 namespace {
@@ -28,9 +30,11 @@ const std::uint32_t* crc_table() {
 
 template <typename T>
 void put(std::vector<char>& out, T v) {
-  char bytes[sizeof(T)];
-  std::memcpy(bytes, &v, sizeof(T));
-  out.insert(out.end(), bytes, bytes + sizeof(T));
+  // resize+memcpy rather than insert(): GCC 12's -Werror=array-bounds
+  // false-fires on the insert path at some inlining depths.
+  const std::size_t off = out.size();
+  out.resize(off + sizeof(T));
+  std::memcpy(out.data() + off, &v, sizeof(T));
 }
 
 void put_string(std::vector<char>& out, const std::string& s) {
@@ -162,16 +166,20 @@ bool JournalWriter::write_file(const std::string& path,
                                bool append) const {
   std::FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
   if (f == nullptr) return false;
+  // Routed through the sysfail shim: an injected ENOSPC or short write
+  // leaves a torn record prefix on disk, exactly what a full filesystem
+  // produces — load_latest_snapshot's forward scan discards it.
   const bool ok =
-      std::fwrite(record.data(), 1, record.size(), f) == record.size();
+      faults::sys::fwrite(record.data(), 1, record.size(), f) == record.size();
   return (std::fclose(f) == 0) && ok;
 }
 
-bool JournalWriter::append(const ManagerSnapshot& snap) {
+void JournalWriter::encode_record(const ManagerSnapshot& snap,
+                                  std::vector<char>& record) const {
   std::vector<char> payload;
   encode_snapshot(snap, payload);
 
-  std::vector<char> record;
+  record.clear();
   record.reserve(kHeaderSize + payload.size());
   RecordHeader h{kJournalMagic, kJournalVersion,
                  static_cast<std::uint32_t>(payload.size()),
@@ -179,17 +187,32 @@ bool JournalWriter::append(const ManagerSnapshot& snap) {
   const char* hp = reinterpret_cast<const char*>(&h);
   record.insert(record.end(), hp, hp + kHeaderSize);
   record.insert(record.end(), payload.begin(), payload.end());
+}
 
-  if (records_ >= max_records_) {
-    // Compact: latest record to a temp file, then atomic rename. A crash
-    // between the two leaves either the old journal or the new one — both
-    // restorable.
-    const std::string tmp = path_ + ".tmp";
-    if (!write_file(tmp, record, /*append=*/false)) return false;
-    if (std::rename(tmp.c_str(), path_.c_str()) != 0) return false;
-    records_ = 1;
-    return true;
+bool JournalWriter::rewrite(const ManagerSnapshot& snap) {
+  std::vector<char> record;
+  encode_record(snap, record);
+  // Single record to a temp file, then atomic rename. A crash (or ENOSPC)
+  // between the two leaves either the old journal or the new one — both
+  // restorable. Shrinking a multi-record journal to one record is also the
+  // degrade ladder's bounded rotation: when appends start failing ENOSPC,
+  // this reclaims every byte the journal can reclaim before the manager
+  // gives up on journaling.
+  const std::string tmp = path_ + ".tmp";
+  if (!write_file(tmp, record, /*append=*/false)) {
+    std::remove(tmp.c_str());  // never leave a torn temp behind
+    return false;
   }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) return false;
+  records_ = 1;
+  return true;
+}
+
+bool JournalWriter::append(const ManagerSnapshot& snap) {
+  if (records_ >= max_records_) return rewrite(snap);
+
+  std::vector<char> record;
+  encode_record(snap, record);
   if (!write_file(path_, record, /*append=*/true)) return false;
   ++records_;
   return true;

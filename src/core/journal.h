@@ -90,10 +90,19 @@ class JournalWriter {
   /// (journaling must never take the control plane down).
   bool append(const ManagerSnapshot& snap);
 
+  /// Compacts the journal to this single snapshot via write-to-temp +
+  /// atomic rename, reclaiming all space held by older records. `append`
+  /// calls it at the max_records boundary; the manager's ENOSPC degrade
+  /// ladder calls it directly as the bounded rotation step before falling
+  /// back to journal-less operation (docs/ROBUSTNESS.md §9).
+  bool rewrite(const ManagerSnapshot& snap);
+
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] int records_written() const noexcept { return records_; }
 
  private:
+  void encode_record(const ManagerSnapshot& snap,
+                     std::vector<char>& record) const;
   bool write_file(const std::string& path, const std::vector<char>& record,
                   bool append) const;
 

@@ -1,0 +1,426 @@
+#include "faults/sysfail.h"
+
+#include <cerrno>
+#include <ctime>
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+namespace bbsched::faults {
+
+namespace {
+
+std::atomic<SysFailInjector*> g_sysfail{nullptr};
+
+/// Process-wide floor for clock_monotonic_us: readings never go backwards
+/// even when a jump is injected (or a real clock misbehaves). Timeout
+/// arithmetic downstream subtracts two readings, so non-decreasing readings
+/// make every delta non-negative by construction.
+std::atomic<std::uint64_t> g_clock_floor{0};
+
+[[nodiscard]] bool is_socket_op(SysOp op) noexcept {
+  return op == SysOp::kSend || op == SysOp::kRecv || op == SysOp::kSendMsg ||
+         op == SysOp::kRecvMsg;
+}
+
+[[nodiscard]] bool is_transfer_op(SysOp op) noexcept {
+  return op == SysOp::kRead || op == SysOp::kWrite || is_socket_op(op) ||
+         op == SysOp::kJournalWrite;
+}
+
+}  // namespace
+
+const char* to_string(SysOp op) noexcept {
+  switch (op) {
+    case SysOp::kRead: return "read";
+    case SysOp::kWrite: return "write";
+    case SysOp::kSend: return "send";
+    case SysOp::kRecv: return "recv";
+    case SysOp::kSendMsg: return "sendmsg";
+    case SysOp::kRecvMsg: return "recvmsg";
+    case SysOp::kAccept: return "accept";
+    case SysOp::kMmap: return "mmap";
+    case SysOp::kFork: return "fork";
+    case SysOp::kJournalWrite: return "journal-write";
+    case SysOp::kClock: return "clock";
+  }
+  return "unknown";
+}
+
+SysDecision SysFailInjector::next(SysOp op, std::uint64_t len) {
+  if (!cfg_.enabled) return {};
+  std::lock_guard<std::mutex> lk(mu_);
+  return decide_locked(op, len);
+}
+
+SysDecision SysFailInjector::decide_locked(SysOp op, std::uint64_t len) {
+  const auto op_idx = static_cast<std::size_t>(op);
+  const std::uint64_t call = calls_[op_idx]++;
+
+  SysDecision d;
+  bool hit = false;
+
+  // Scripted triggers take precedence over the probabilistic stream so a
+  // regression test can pin "the 3rd recvmsg tears at byte 7" regardless of
+  // what the probabilities would have drawn.
+  for (const SysCallTrigger& t : cfg_.triggers) {
+    if (t.op != op || t.call_index != call) continue;
+    d.err = t.err;
+    if (t.clamp_bytes > 0) {
+      d.clamp_bytes = t.clamp_bytes;
+    } else if (t.err != 0) {
+      // A failed call moves no bytes unless the trigger says a prefix
+      // landed first (clamp_bytes > 0 = torn transfer, then the errno).
+      d.clamp_bytes = 0;
+    }
+    d.clock_jump_us = t.clock_jump_us;
+    hit = true;
+    break;
+  }
+
+  if (!hit) {
+    switch (op) {
+      case SysOp::kMmap:
+        if (cfg_.mmap_fail_prob > 0.0 &&
+            rng_.uniform() < cfg_.mmap_fail_prob) {
+          d.err = ENOMEM;
+          hit = true;
+        }
+        break;
+      case SysOp::kAccept:
+        if (cfg_.accept_fail_prob > 0.0 &&
+            rng_.uniform() < cfg_.accept_fail_prob) {
+          d.err = EMFILE;
+          hit = true;
+        }
+        break;
+      case SysOp::kFork:
+        if (cfg_.fork_fail_prob > 0.0 &&
+            rng_.uniform() < cfg_.fork_fail_prob) {
+          d.err = EAGAIN;
+          hit = true;
+        }
+        break;
+      case SysOp::kClock:
+        if (cfg_.clock_jump_prob > 0.0 &&
+            rng_.uniform() < cfg_.clock_jump_prob) {
+          // Uniform in [-max, +max]: backwards jumps exercise the clamp,
+          // forward jumps exercise early-firing timeout arithmetic.
+          const double span =
+              2.0 * static_cast<double>(cfg_.clock_jump_max_us);
+          d.clock_jump_us = static_cast<std::int64_t>(
+              (rng_.uniform() - 0.5) * span);
+          hit = true;
+        }
+        break;
+      case SysOp::kJournalWrite:
+        if (cfg_.journal_fail_prob > 0.0 &&
+            rng_.uniform() < cfg_.journal_fail_prob) {
+          d.err = ENOSPC;
+          // Half the failures land a short prefix first — the torn-record
+          // case restore must survive; the other half write nothing.
+          if (len > 1 && rng_.uniform() < 0.5) {
+            d.clamp_bytes = 1 + static_cast<std::uint64_t>(
+                                    rng_.uniform() *
+                                    static_cast<double>(len - 1));
+          } else {
+            d.clamp_bytes = 0;
+          }
+          hit = true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (!hit && is_transfer_op(op)) {
+    if (cfg_.eintr_prob > 0.0 &&
+        eintr_streak_[op_idx] < cfg_.max_eintr_burst &&
+        rng_.uniform() < cfg_.eintr_prob) {
+      d.err = EINTR;
+      hit = true;
+    } else if (cfg_.short_io_prob > 0.0 && len > 1 &&
+               rng_.uniform() < cfg_.short_io_prob) {
+      // Clamp to a strict prefix of at least one byte: zero bytes would
+      // forge an EOF, which is peer death, not a short transfer.
+      d.clamp_bytes = 1 + static_cast<std::uint64_t>(
+                              rng_.uniform() * static_cast<double>(len - 1));
+      hit = true;
+    } else if (is_socket_op(op) && cfg_.eagain_prob > 0.0 &&
+               rng_.uniform() < cfg_.eagain_prob) {
+      d.err = EAGAIN;
+      hit = true;
+    }
+  }
+
+  if (cfg_.io_chunk_bytes > 0 && is_transfer_op(op) && d.err == 0 &&
+      cfg_.io_chunk_bytes < d.clamp_bytes) {
+    d.clamp_bytes = cfg_.io_chunk_bytes;
+    hit = hit || cfg_.io_chunk_bytes < len;
+  }
+
+  eintr_streak_[op_idx] = d.err == EINTR ? eintr_streak_[op_idx] + 1 : 0;
+
+  if (hit) {
+    ++stats_.injected;
+    if (d.err == EINTR) ++stats_.eintr;
+    else if (d.err == EAGAIN && op != SysOp::kFork) ++stats_.eagain;
+    else if (op == SysOp::kMmap && d.err != 0) ++stats_.mmap_fail;
+    else if (op == SysOp::kAccept && d.err != 0) ++stats_.accept_fail;
+    else if (op == SysOp::kFork && d.err != 0) ++stats_.fork_fail;
+    else if (op == SysOp::kJournalWrite && d.err != 0) ++stats_.journal_fail;
+    else if (op == SysOp::kClock && d.clock_jump_us != 0) ++stats_.clock_jumps;
+    else if (d.clamp_bytes != ~std::uint64_t{0}) ++stats_.short_io;
+  }
+  return d;
+}
+
+void SysFailInjector::note_clock_clamped() noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.clock_clamped;
+}
+
+SysFailStats SysFailInjector::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void SysFailInjector::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  rng_.reseed(cfg_.seed);
+  for (std::size_t i = 0; i < kSysOpCount; ++i) {
+    calls_[i] = 0;
+    eintr_streak_[i] = 0;
+  }
+  stats_ = SysFailStats{};
+}
+
+void install_sysfail(SysFailInjector* inj) noexcept {
+  g_sysfail.store(inj, std::memory_order_release);
+}
+
+SysFailInjector* sysfail() noexcept {
+  return g_sysfail.load(std::memory_order_acquire);
+}
+
+namespace sys {
+
+namespace {
+
+/// Shared preamble: null (production) => caller forwards directly.
+[[nodiscard]] SysFailInjector* armed() noexcept {
+  SysFailInjector* inj = g_sysfail.load(std::memory_order_acquire);
+  return inj != nullptr && inj->enabled() ? inj : nullptr;
+}
+
+[[nodiscard]] std::size_t clamped_len(std::size_t len,
+                                      const SysDecision& d) noexcept {
+  return d.clamp_bytes < len ? static_cast<std::size_t>(d.clamp_bytes) : len;
+}
+
+}  // namespace
+
+ssize_t read(int fd, void* buf, std::size_t len) {
+  SysFailInjector* inj = armed();
+  if (inj == nullptr) return ::read(fd, buf, len);
+  const SysDecision d = inj->next(SysOp::kRead, len);
+  if (d.err != 0) {
+    errno = d.err;
+    return -1;
+  }
+  return ::read(fd, buf, clamped_len(len, d));
+}
+
+ssize_t write(int fd, const void* buf, std::size_t len) {
+  SysFailInjector* inj = armed();
+  if (inj == nullptr) return ::write(fd, buf, len);
+  const SysDecision d = inj->next(SysOp::kWrite, len);
+  if (d.err != 0) {
+    errno = d.err;
+    return -1;
+  }
+  return ::write(fd, buf, clamped_len(len, d));
+}
+
+ssize_t send(int sock, const void* buf, std::size_t len, int flags) {
+  SysFailInjector* inj = armed();
+  if (inj == nullptr) return ::send(sock, buf, len, flags);
+  const SysDecision d = inj->next(SysOp::kSend, len);
+  if (d.err != 0) {
+    errno = d.err;
+    return -1;
+  }
+  return ::send(sock, buf, clamped_len(len, d), flags);
+}
+
+ssize_t recv(int sock, void* buf, std::size_t len, int flags) {
+  SysFailInjector* inj = armed();
+  if (inj == nullptr) return ::recv(sock, buf, len, flags);
+  const SysDecision d = inj->next(SysOp::kRecv, len);
+  if (d.err != 0) {
+    errno = d.err;
+    return -1;
+  }
+  return ::recv(sock, buf, clamped_len(len, d), flags);
+}
+
+ssize_t sendmsg(int sock, ::msghdr* msg, int flags) {
+  SysFailInjector* inj = armed();
+  if (inj == nullptr) return ::sendmsg(sock, msg, flags);
+  const std::size_t len = msg->msg_iovlen == 1 ? msg->msg_iov[0].iov_len : 0;
+  const SysDecision d = inj->next(SysOp::kSendMsg, len);
+  if (d.err != 0) {
+    errno = d.err;
+    return -1;
+  }
+  // Shrink the (single) iovec before the real call so the kernel itself
+  // performs the short transfer — the suffix stays untouched for the
+  // caller's resume loop, and any SCM_RIGHTS payload rides the prefix.
+  const std::size_t want = clamped_len(len, d);
+  if (msg->msg_iovlen == 1 && want < msg->msg_iov[0].iov_len) {
+    const std::size_t original = msg->msg_iov[0].iov_len;
+    msg->msg_iov[0].iov_len = want;
+    const ssize_t n = ::sendmsg(sock, msg, flags);
+    msg->msg_iov[0].iov_len = original;
+    return n;
+  }
+  return ::sendmsg(sock, msg, flags);
+}
+
+ssize_t recvmsg(int sock, ::msghdr* msg, int flags) {
+  SysFailInjector* inj = armed();
+  if (inj == nullptr) return ::recvmsg(sock, msg, flags);
+  const std::size_t len = msg->msg_iovlen == 1 ? msg->msg_iov[0].iov_len : 0;
+  const SysDecision d = inj->next(SysOp::kRecvMsg, len);
+  if (d.err != 0) {
+    errno = d.err;
+    return -1;
+  }
+  const std::size_t want = clamped_len(len, d);
+  if (msg->msg_iovlen == 1 && want < msg->msg_iov[0].iov_len) {
+    const std::size_t original = msg->msg_iov[0].iov_len;
+    msg->msg_iov[0].iov_len = want;
+    const ssize_t n = ::recvmsg(sock, msg, flags);
+    msg->msg_iov[0].iov_len = original;
+    return n;
+  }
+  return ::recvmsg(sock, msg, flags);
+}
+
+int accept4(int sock, ::sockaddr* addr, ::socklen_t* addrlen, int flags) {
+  SysFailInjector* inj = armed();
+  if (inj == nullptr) return ::accept4(sock, addr, addrlen, flags);
+  const SysDecision d = inj->next(SysOp::kAccept, 0);
+  if (d.err != 0) {
+    // The pending connection stays queued: the caller's backoff parks the
+    // listen fd and a later retry accepts it — the same recovery sequence a
+    // real transient EMFILE produces.
+    errno = d.err;
+    return -1;
+  }
+  return ::accept4(sock, addr, addrlen, flags);
+}
+
+void* mmap(void* addr, std::size_t len, int prot, int flags, int fd,
+           ::off_t offset) {
+  SysFailInjector* inj = armed();
+  if (inj == nullptr) return ::mmap(addr, len, prot, flags, fd, offset);
+  const SysDecision d = inj->next(SysOp::kMmap, 0);
+  if (d.err != 0) {
+    errno = d.err;
+    return MAP_FAILED;
+  }
+  return ::mmap(addr, len, prot, flags, fd, offset);
+}
+
+int memfd_create(const char* name, unsigned int flags) {
+  SysFailInjector* inj = armed();
+  if (inj == nullptr) {
+    return static_cast<int>(::syscall(SYS_memfd_create, name, flags));
+  }
+  const SysDecision d = inj->next(SysOp::kMmap, 0);
+  if (d.err != 0) {
+    errno = d.err;
+    return -1;
+  }
+  return static_cast<int>(::syscall(SYS_memfd_create, name, flags));
+}
+
+int ftruncate(int fd, ::off_t len) {
+  SysFailInjector* inj = armed();
+  if (inj == nullptr) return ::ftruncate(fd, len);
+  const SysDecision d = inj->next(SysOp::kMmap, 0);
+  if (d.err != 0) {
+    errno = d.err;
+    return -1;
+  }
+  return ::ftruncate(fd, len);
+}
+
+::pid_t fork() {
+  SysFailInjector* inj = armed();
+  if (inj == nullptr) return ::fork();
+  const SysDecision d = inj->next(SysOp::kFork, 0);
+  if (d.err != 0) {
+    errno = d.err;
+    return -1;
+  }
+  return ::fork();
+}
+
+std::size_t fwrite(const void* ptr, std::size_t size, std::size_t nmemb,
+                   std::FILE* stream) {
+  SysFailInjector* inj = armed();
+  if (inj == nullptr) return std::fwrite(ptr, size, nmemb, stream);
+  const std::size_t bytes = size * nmemb;
+  const SysDecision d = inj->next(SysOp::kJournalWrite, bytes);
+  const std::size_t allowed = clamped_len(bytes, d);
+  if (d.err == 0 && allowed == bytes) {
+    return std::fwrite(ptr, size, nmemb, stream);
+  }
+  // Injected ENOSPC / short write: put the allowed prefix on disk (that is
+  // the torn record the restore path must reject), then report failure the
+  // way a full filesystem does — a short item count with errno set.
+  std::size_t wrote_bytes = 0;
+  if (allowed > 0) {
+    wrote_bytes = std::fwrite(ptr, 1, allowed, stream);
+  }
+  if (d.err != 0) errno = d.err;
+  return size > 0 ? wrote_bytes / size : 0;
+}
+
+std::uint64_t clock_monotonic_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  std::uint64_t now = static_cast<std::uint64_t>(ts.tv_sec) * 1000000ULL +
+                      static_cast<std::uint64_t>(ts.tv_nsec) / 1000ULL;
+
+  SysFailInjector* inj = armed();
+  if (inj != nullptr) {
+    const SysDecision d = inj->next(SysOp::kClock, 0);
+    if (d.clock_jump_us != 0) {
+      const std::int64_t jumped =
+          static_cast<std::int64_t>(now) + d.clock_jump_us;
+      now = jumped > 0 ? static_cast<std::uint64_t>(jumped) : 0;
+    }
+  }
+
+  // Never-backwards clamp (the hardening itself, active in production): a
+  // reading below the process-wide floor returns the floor, so deltas
+  // computed from consecutive readings are always >= 0.
+  std::uint64_t floor = g_clock_floor.load(std::memory_order_relaxed);
+  while (now > floor && !g_clock_floor.compare_exchange_weak(
+                            floor, now, std::memory_order_relaxed)) {
+  }
+  if (now < floor) {
+    if (inj != nullptr) inj->note_clock_clamped();
+    return floor;
+  }
+  return now;
+}
+
+}  // namespace sys
+
+}  // namespace bbsched::faults

@@ -1,0 +1,231 @@
+// Deterministic, seedable syscall-failure injection for the native runtime
+// (docs/ROBUSTNESS.md §9).
+//
+// PR 3 made the counter pipeline survivable, PR 4 the manager process, PR 8
+// the clients. This layer covers the last hostile party: the kernel. Every
+// syscall the runtime's control plane performs — frame sends/receives,
+// arena creation and mapping, journal appends, supervisor forks, even
+// CLOCK_MONOTONIC reads — goes through the `sys::` shim below. With no
+// injector installed the shim is one relaxed atomic load and a predictable
+// branch in front of the real call (the same "disabled hook costs one
+// branch" contract as FaultInjector); with one installed, a seeded schedule
+// decides per call whether to interpose an EINTR, a short transfer, EAGAIN,
+// EMFILE on accept, ENOMEM on mmap, ENOSPC / a short write on a journal
+// append, a failed fork, or a CLOCK_MONOTONIC jump.
+//
+// Two schedule modes compose:
+//   * probabilistic — per-class probabilities drawn from a seeded stream,
+//     for soak tests (bench/ext_syschaos, tests/test_syschaos.cc); and
+//   * scripted — SysCallTrigger fires at an exact per-op call index, for
+//     byte-precise regression tests (split a frame at offset k, tear a
+//     journal record at offset k).
+//
+// EINTR storms are bounded (max_eintr_burst consecutive per op), so every
+// correctly written retry loop terminates under injection. Short reads are
+// clamped to at least one byte — a zero-byte read would forge an EOF, which
+// is a *different* fault (peer death) with different correct handling.
+//
+// The shim takes a mutex while an injector is installed and is therefore
+// NOT async-signal-safe: signal-handler code (signal_gate.cc) must keep
+// calling the kernel directly (the lint rule `sysfail` accepts a justified
+// allow(sysfail) escape marker there).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include "stats/rng.h"
+
+namespace bbsched::faults {
+
+/// Interposable syscall classes. One per-op call counter each, so scripted
+/// triggers address "the 3rd recvmsg" independently of unrelated traffic.
+enum class SysOp : std::uint8_t {
+  kRead,          ///< ::read (supervisor heartbeat drain)
+  kWrite,         ///< ::write (heartbeats, manager wake pipe)
+  kSend,          ///< ::send (frame codec payload bytes)
+  kRecv,          ///< ::recv (frame codec, liveness probes)
+  kSendMsg,       ///< ::sendmsg (frame header + SCM_RIGHTS descriptor)
+  kRecvMsg,       ///< ::recvmsg (frame header + ancillary drain)
+  kAccept,        ///< ::accept4 (admission)
+  kMmap,          ///< ::mmap / memfd_create / ftruncate (arena lifecycle)
+  kFork,          ///< ::fork (supervisor respawn)
+  kJournalWrite,  ///< std::fwrite on the state journal
+  kClock,         ///< CLOCK_MONOTONIC reads (clock-jump injection)
+};
+inline constexpr std::size_t kSysOpCount = 11;
+
+[[nodiscard]] const char* to_string(SysOp op) noexcept;
+
+/// Scripted injection: fires when `op`'s 0-based call counter reaches
+/// `call_index`. `err != 0` fails the call with that errno after moving
+/// `clamp_bytes` when the op can transfer partially (ENOSPC mid-record;
+/// clamp_bytes 0 means the failed call moved nothing); `err == 0` with
+/// `clamp_bytes > 0` performs a short transfer and lets the caller resume;
+/// on kClock, `clock_jump_us` is added to the reading.
+struct SysCallTrigger {
+  SysOp op = SysOp::kRead;
+  std::uint64_t call_index = 0;
+  int err = 0;
+  std::uint64_t clamp_bytes = 0;
+  std::int64_t clock_jump_us = 0;
+};
+
+/// Seeded schedule. All-zero probabilities and no triggers make an enabled
+/// injector a no-op with the identical draw stream, so "zero-probability ≡
+/// disabled" is assertable (tests/test_sysfail.cc).
+struct SysFailConfig {
+  bool enabled = false;
+  std::uint64_t seed = 0x5c5ca11ULL;
+
+  double eintr_prob = 0.0;     ///< P(I/O call returns -1/EINTR untried)
+  int max_eintr_burst = 8;     ///< consecutive EINTRs per op before forced
+                               ///< progress (keeps retry loops terminating)
+  double short_io_prob = 0.0;  ///< P(transfer clamped to a strict prefix)
+  double eagain_prob = 0.0;    ///< P(socket op returns -1/EAGAIN): simulates
+                               ///< SO_RCVTIMEO expiry / full socket buffers
+  double mmap_fail_prob = 0.0;     ///< P(arena create/map fails ENOMEM)
+  double journal_fail_prob = 0.0;  ///< P(journal write fails ENOSPC; half of
+                                   ///< these first land a short prefix)
+  double accept_fail_prob = 0.0;   ///< P(accept4 fails EMFILE)
+  double fork_fail_prob = 0.0;     ///< P(fork fails EAGAIN)
+  double clock_jump_prob = 0.0;    ///< P(CLOCK_MONOTONIC reading jumps)
+  std::int64_t clock_jump_max_us = 500'000;  ///< jump magnitude, both signs
+
+  /// Deterministic transfer ceiling: > 0 clamps EVERY I/O transfer to at
+  /// most this many bytes (no draw). io_chunk_bytes = 1 exercises every
+  /// byte boundary of every frame in one pass.
+  std::uint64_t io_chunk_bytes = 0;
+
+  std::vector<SysCallTrigger> triggers;
+};
+
+/// What the shim should do with one call.
+struct SysDecision {
+  int err = 0;  ///< inject -1 (MAP_FAILED / short count) with this errno
+  std::uint64_t clamp_bytes = ~std::uint64_t{0};  ///< transfer ceiling
+  std::int64_t clock_jump_us = 0;
+};
+
+/// Injection counters, snapshot via SysFailInjector::stats(). Exported by
+/// the manager as server.sysfail.* gauges (docs/OBSERVABILITY.md).
+struct SysFailStats {
+  std::uint64_t injected = 0;  ///< every interposed outcome, all classes
+  std::uint64_t eintr = 0;
+  std::uint64_t short_io = 0;
+  std::uint64_t eagain = 0;
+  std::uint64_t mmap_fail = 0;
+  std::uint64_t journal_fail = 0;
+  std::uint64_t accept_fail = 0;
+  std::uint64_t fork_fail = 0;
+  std::uint64_t clock_jumps = 0;   ///< injected jumps (either sign)
+  std::uint64_t clock_clamped = 0; ///< backwards readings clamped by sys::
+};
+
+/// Seeded syscall-fault scheduler. Thread-safe: the runtime's threads share
+/// one injector, so the *draw stream* is deterministic per seed while the
+/// per-thread interleaving follows execution order (the same contract the
+/// chaos suite has relied on since PR 3).
+class SysFailInjector {
+ public:
+  SysFailInjector() : SysFailInjector(SysFailConfig{}) {}
+  explicit SysFailInjector(const SysFailConfig& cfg)
+      : cfg_(cfg), rng_(cfg.seed) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return cfg_.enabled; }
+  [[nodiscard]] const SysFailConfig& config() const noexcept { return cfg_; }
+
+  /// Decides the fate of one call of class `op` moving up to `len` bytes
+  /// (len 0 for non-transfer ops). Advances the per-op call counter.
+  [[nodiscard]] SysDecision next(SysOp op, std::uint64_t len);
+
+  /// Records that sys::clock_monotonic_us() clamped a backwards reading.
+  void note_clock_clamped() noexcept;
+
+  [[nodiscard]] SysFailStats stats() const;
+
+  /// Rewinds the seed stream, call counters, and stats so an identical
+  /// call sequence replays the identical fault schedule.
+  void reset();
+
+ private:
+  [[nodiscard]] SysDecision decide_locked(SysOp op, std::uint64_t len);
+
+  mutable std::mutex mu_;
+  SysFailConfig cfg_;
+  stats::Rng rng_;
+  std::uint64_t calls_[kSysOpCount] = {};
+  int eintr_streak_[kSysOpCount] = {};
+  SysFailStats stats_;
+};
+
+/// Installs `inj` (nullptr uninstalls) as the process-wide injector the
+/// sys:: shim consults. Not reference counted: the caller keeps the object
+/// alive until after uninstalling.
+void install_sysfail(SysFailInjector* inj) noexcept;
+
+/// Currently installed injector, or nullptr (the production state).
+[[nodiscard]] SysFailInjector* sysfail() noexcept;
+
+/// RAII installer for tests and benches: installs an enabled injector for
+/// the scope, restores the previous one (usually nullptr) on exit.
+class ScopedSysFail {
+ public:
+  explicit ScopedSysFail(const SysFailConfig& cfg)
+      : injector_(cfg), previous_(sysfail()) {
+    install_sysfail(&injector_);
+  }
+  ~ScopedSysFail() { install_sysfail(previous_); }
+
+  ScopedSysFail(const ScopedSysFail&) = delete;
+  ScopedSysFail& operator=(const ScopedSysFail&) = delete;
+
+  [[nodiscard]] SysFailInjector& injector() noexcept { return injector_; }
+
+ private:
+  SysFailInjector injector_;
+  SysFailInjector* previous_;
+};
+
+/// The interposition shim. Call-compatible with the kernel entry points the
+/// runtime uses; every wrapper forwards directly when no injector is
+/// installed. Short-transfer injection shrinks the request *before* the
+/// real call, so injected partial I/O never loses or duplicates bytes —
+/// the un-transferred suffix stays with the caller to resume.
+namespace sys {
+
+[[nodiscard]] ssize_t read(int fd, void* buf, std::size_t len);
+[[nodiscard]] ssize_t write(int fd, const void* buf, std::size_t len);
+[[nodiscard]] ssize_t send(int sock, const void* buf, std::size_t len,
+                           int flags);
+[[nodiscard]] ssize_t recv(int sock, void* buf, std::size_t len, int flags);
+/// Single-iovec sendmsg/recvmsg (all the runtime needs): short-transfer
+/// injection clamps iov_len, the caller resumes the remainder.
+[[nodiscard]] ssize_t sendmsg(int sock, ::msghdr* msg, int flags);
+[[nodiscard]] ssize_t recvmsg(int sock, ::msghdr* msg, int flags);
+[[nodiscard]] int accept4(int sock, ::sockaddr* addr, ::socklen_t* addrlen,
+                          int flags);
+[[nodiscard]] void* mmap(void* addr, std::size_t len, int prot, int flags,
+                         int fd, ::off_t offset);
+[[nodiscard]] int memfd_create(const char* name, unsigned int flags);
+[[nodiscard]] int ftruncate(int fd, ::off_t len);
+[[nodiscard]] ::pid_t fork();
+/// std::fwrite with ENOSPC / short-write injection (journal appends).
+[[nodiscard]] std::size_t fwrite(const void* ptr, std::size_t size,
+                                 std::size_t nmemb, std::FILE* stream);
+/// CLOCK_MONOTONIC in µs, jump-injectable and *never backwards*: readings
+/// are clamped to be non-decreasing process-wide, so every timeout delta
+/// computed from it is non-negative even when the clock (or the injector)
+/// leaps. The clamp runs with or without an injector — it is the hardening,
+/// not part of the simulation.
+[[nodiscard]] std::uint64_t clock_monotonic_us();
+
+}  // namespace sys
+
+}  // namespace bbsched::faults

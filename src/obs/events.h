@@ -126,6 +126,14 @@ enum class FaultKind : std::uint8_t {
                       ///< parked under bounded backoff instead of re-polled
   kAdmissionRejected, ///< handshake refused with a typed HelloNack
                       ///< (value = HelloNackReason)
+  kJournalDegraded,   ///< journal ENOSPC ladder exhausted; manager now runs
+                      ///< journal-less (value = failure streak at degrade)
+  kArenaExhausted,    ///< arena create/map failed (ENOMEM class); admission
+                      ///< refused with a typed nack (value = errno)
+  kForkFailure,       ///< supervisor fork() failed during respawn; attempt
+                      ///< paid a breaker/backoff step (value = errno)
+  kClockJump,         ///< CLOCK_MONOTONIC reading jumped (injected or real);
+                      ///< clamped non-decreasing (value = jump magnitude µs)
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);

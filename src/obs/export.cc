@@ -48,6 +48,10 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kAdversarialFeed: return "adversarial-feed";
     case FaultKind::kAcceptBackoff: return "accept-backoff";
     case FaultKind::kAdmissionRejected: return "admission-rejected";
+    case FaultKind::kJournalDegraded: return "journal-degraded";
+    case FaultKind::kArenaExhausted: return "arena-exhausted";
+    case FaultKind::kForkFailure: return "fork-failure";
+    case FaultKind::kClockJump: return "clock-jump";
   }
   return "unknown";
 }

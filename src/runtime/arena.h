@@ -9,7 +9,14 @@
 #pragma once
 
 #include <atomic>
+#include <cerrno>
 #include <cstdint>
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "faults/sysfail.h"
 
 namespace bbsched::runtime {
 
@@ -38,5 +45,34 @@ struct Arena {
 
 static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
               "arena requires lock-free 64-bit atomics");
+
+/// Creates the anonymous backing file for one arena, sized and sealed to
+/// sizeof(Arena). Returns the fd, or -1 with errno set (ENOMEM/ENOSPC
+/// class) — the caller refuses admission with a typed nack rather than
+/// crashing. Routed through the sysfail shim so exhaustion is injectable.
+inline int arena_create_fd() {
+  const int fd = faults::sys::memfd_create("bbsched-arena", 0);
+  if (fd < 0) return -1;
+  if (faults::sys::ftruncate(fd, sizeof(Arena)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+/// Maps an arena fd into this process. Returns nullptr on failure (ENOMEM
+/// under pressure) with errno set; never MAP_FAILED.
+inline Arena* arena_map(int fd) {
+  void* mem = faults::sys::mmap(nullptr, sizeof(Arena),
+                                PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (mem == MAP_FAILED) return nullptr;
+  return static_cast<Arena*>(mem);
+}
+
+inline void arena_unmap(Arena* arena) {
+  if (arena != nullptr) ::munmap(arena, sizeof(Arena));
+}
 
 }  // namespace bbsched::runtime

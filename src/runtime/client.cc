@@ -12,6 +12,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "faults/sysfail.h"
 #include "runtime/protocol.h"
 #include "runtime/signal_gate.h"
 #include "stats/rng.h"
@@ -107,13 +108,14 @@ bool handshake(int sock, MsgType type, std::uint32_t generation,
     return false;
   }
 
-  void* mem = ::mmap(nullptr, sizeof(Arena), PROT_READ | PROT_WRITE,
-                     MAP_SHARED, arena_fd, 0);
+  // Mapping can fail under memory pressure (ENOMEM): a false return here
+  // feeds the caller's normal connect-retry path — transient exhaustion
+  // costs a retry, not the process.
+  Arena* arena = arena_map(arena_fd);
   ::close(arena_fd);  // the mapping keeps the memory alive
-  if (mem == MAP_FAILED) return false;
-  auto* arena = static_cast<Arena*>(mem);
+  if (arena == nullptr) return false;
   if (arena->magic != Arena::kMagic) {
-    ::munmap(mem, sizeof(Arena));
+    arena_unmap(arena);
     return false;
   }
   *arena_out = arena;
@@ -286,8 +288,9 @@ void Client::updater_loop() {
     // (docs/ROBUSTNESS.md) and, with a reattach budget, retries the
     // connection against the manager's next generation.
     char probe = 0;
-    const ssize_t n = ::recv(sock_.load(std::memory_order_relaxed), &probe, 1,
-                             MSG_PEEK | MSG_DONTWAIT);
+    const ssize_t n =
+        faults::sys::recv(sock_.load(std::memory_order_relaxed), &probe, 1,
+                          MSG_PEEK | MSG_DONTWAIT);
     if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
                    errno != EINTR)) {
       unmanaged_.store(true, std::memory_order_relaxed);

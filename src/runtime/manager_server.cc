@@ -15,6 +15,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "faults/sysfail.h"
 #include "runtime/protocol.h"
 #include "runtime/signal_gate.h"
 
@@ -65,10 +66,10 @@ constexpr std::size_t kMaxClientPayload =
 }  // namespace
 
 std::uint64_t monotonic_now_us() {
-  timespec ts{};
-  clock_gettime(CLOCK_MONOTONIC, &ts);
-  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000ULL +
-         static_cast<std::uint64_t>(ts.tv_nsec) / 1000ULL;
+  // Routed through the sysfail shim: readings are clamped non-decreasing
+  // process-wide, so timeout deltas computed from this clock are never
+  // negative even when the clock (or the injector) leaps backwards.
+  return faults::sys::clock_monotonic_us();
 }
 
 ManagerServer::ManagerServer(const ServerConfig& cfg)
@@ -106,6 +107,14 @@ ManagerServer::ManagerServer(const ServerConfig& cfg)
         "server.election_us",
         {5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
          10000.0});
+    m_journal_rotations_ =
+        &cfg_.metrics->counter("server.recovery.journal_rotations");
+    m_journal_degraded_g_ = &cfg_.metrics->gauge("manager.journal.degraded");
+    m_arena_failures_ =
+        &cfg_.metrics->counter("server.faults.arena_exhausted");
+    m_sysfail_injected_ = &cfg_.metrics->gauge("server.sysfail.injected");
+    m_sysfail_clock_clamped_ =
+        &cfg_.metrics->gauge("server.sysfail.clock_clamped");
   }
   peer_windows_.reserve(kPeerWindowSlots);
 }
@@ -156,7 +165,15 @@ void ManagerServer::count_fault(obs::FaultKind kind, int app_id, double value,
           break;
         case HelloNackReason::kInvalidHello:
           break;  // counted at the validation site (invalid_hello)
+        case HelloNackReason::kResourceExhausted:
+          break;  // counted at the arena-creation site (arena_exhausted)
       }
+      break;
+    case obs::FaultKind::kArenaExhausted:
+      if (m_arena_failures_ != nullptr) m_arena_failures_->inc();
+      break;
+    case obs::FaultKind::kJournalDegraded:
+      if (m_journal_degraded_g_ != nullptr) m_journal_degraded_g_->set(1.0);
       break;
     default:
       break;
@@ -250,8 +267,17 @@ void ManagerServer::stop() {
     std::lock_guard<std::mutex> lk(mu_);
     stopping_ = true;
   }
+  // The wake byte MUST land: a write lost to EINTR would leave the manager
+  // thread parked in poll() and this join hanging. The pipe is empty except
+  // for this one byte, so a short write cannot actually occur — but retry
+  // anyway; the loop costs nothing when the first attempt succeeds.
   const char byte = 'x';
-  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  for (;;) {
+    const ssize_t n = faults::sys::write(wake_pipe_[1], &byte, 1);
+    if (n == 1) break;
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    break;  // unwritable pipe: nothing more we can do
+  }
   thread_.join();
   started_ = false;
 
@@ -377,7 +403,8 @@ bool ManagerServer::shed_victim_locked(std::uint64_t now_us) {
 
 void ManagerServer::accept_connection() {
   const std::uint64_t now = monotonic_now_us();
-  const int sock = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+  const int sock =
+      faults::sys::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
   if (sock < 0) {
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
         errno == ECONNABORTED) {
@@ -489,21 +516,32 @@ void ManagerServer::accept_connection() {
   }
 
   // Create the shared arena as an anonymous memfd and hand it over.
-  const int arena_fd = static_cast<int>(
-      ::syscall(SYS_memfd_create, "bbsched-arena", 0U));
-  if (arena_fd < 0 || ::ftruncate(arena_fd, sizeof(Arena)) != 0) {
-    if (arena_fd >= 0) ::close(arena_fd);
-    ::close(sock);
+  // Creation or mapping can fail under memory pressure (ENOMEM/ENFILE
+  // class): that is the *manager's* resource problem, not the client's —
+  // refuse admission gracefully with a typed nack carrying a retry hint
+  // instead of silently dropping (or worse, crashing on) an honest client.
+  const int arena_fd = arena_create_fd();
+  if (arena_fd < 0) {
+    count_fault(obs::FaultKind::kArenaExhausted, -1,
+                static_cast<double>(errno), now);
+    nack_and_close(sock, HelloNackReason::kResourceExhausted,
+                   static_cast<std::uint32_t>(
+                       cfg_.manager.quantum_us / 1000ULL),
+                   now);
     return;
   }
-  void* mem = ::mmap(nullptr, sizeof(Arena), PROT_READ | PROT_WRITE,
-                     MAP_SHARED, arena_fd, 0);
-  if (mem == MAP_FAILED) {
+  Arena* mapped = arena_map(arena_fd);
+  if (mapped == nullptr) {
+    count_fault(obs::FaultKind::kArenaExhausted, -1,
+                static_cast<double>(errno), now);
     ::close(arena_fd);
-    ::close(sock);
+    nack_and_close(sock, HelloNackReason::kResourceExhausted,
+                   static_cast<std::uint32_t>(
+                       cfg_.manager.quantum_us / 1000ULL),
+                   now);
     return;
   }
-  auto* arena = new (mem) Arena();
+  auto* arena = new (mapped) Arena();
   const std::uint64_t period =
       cfg_.manager.quantum_us /
       static_cast<std::uint64_t>(std::max(1, cfg_.manager.samples_per_quantum));
@@ -526,7 +564,7 @@ void ManagerServer::accept_connection() {
   ack.app_id = static_cast<int>(apps_.size());
   if (!send_msg(sock, MsgType::kHelloAck, cfg_.generation, &ack, sizeof(ack),
                 arena_fd)) {
-    ::munmap(mem, sizeof(Arena));
+    arena_unmap(arena);
     ::close(arena_fd);
     ::close(sock);
     return;
@@ -763,15 +801,46 @@ void ManagerServer::quantum_boundary(std::uint64_t now_us) {
   // Journal on a bounded cadence: the snapshot trails live state by at most
   // journal_period_quanta elections. Append failure is advisory (counted,
   // never fatal) — losing the journal must not take the manager down.
+  // ENOSPC degrade ladder (docs/ROBUSTNESS.md §9): a failed append first
+  // tries the bounded rotation (compact to one record, reclaiming every
+  // byte the journal holds); a streak of failures rotation cannot cure
+  // trips journal-less mode — one typed event, the degraded gauge, and the
+  // journal object dropped so no further quantum pays for doomed I/O.
+  // Elections continue unaffected either way.
   if (journal_ != nullptr &&
       ++quanta_since_journal_ >= std::max(1, cfg_.journal_period_quanta)) {
     quanta_since_journal_ = 0;
     core::ManagerSnapshot snap;
     manager_.snapshot(snap);
     if (journal_->append(snap)) {
+      journal_fail_streak_ = 0;
       if (m_journal_appends_ != nullptr) m_journal_appends_->inc();
-    } else if (m_journal_errors_ != nullptr) {
-      m_journal_errors_->inc();
+    } else {
+      if (m_journal_errors_ != nullptr) m_journal_errors_->inc();
+      if (m_journal_rotations_ != nullptr) m_journal_rotations_->inc();
+      if (journal_->rewrite(snap)) {
+        journal_fail_streak_ = 0;  // rotation cured it; journaling continues
+        if (m_journal_appends_ != nullptr) m_journal_appends_->inc();
+      } else if (++journal_fail_streak_ >=
+                 std::max(1, cfg_.journal_failure_limit)) {
+        journal_.reset();
+        journal_degraded_.store(true, std::memory_order_relaxed);
+        count_fault(obs::FaultKind::kJournalDegraded, -1,
+                    static_cast<double>(journal_fail_streak_), now_us);
+      }
+    }
+  }
+
+  // Mirror the installed injector's counters into gauges once per quantum,
+  // so soaks read injection totals from the same registry as every other
+  // instrument. No injector (the production state) leaves them at zero.
+  if (m_sysfail_injected_ != nullptr) {
+    if (const faults::SysFailInjector* inj = faults::sysfail()) {
+      const faults::SysFailStats s = inj->stats();
+      m_sysfail_injected_->set(static_cast<double>(s.injected));
+      if (m_sysfail_clock_clamped_ != nullptr) {
+        m_sysfail_clock_clamped_->set(static_cast<double>(s.clock_clamped));
+      }
     }
   }
 }

@@ -18,6 +18,7 @@
 // path (signals, arenas and sockets behave the same within one process).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -109,6 +110,18 @@ struct ServerConfig {
 
   /// Journal appends before compaction to a single record.
   int journal_max_records = 64;
+
+  /// Consecutive journal-append failures (ENOSPC class) tolerated before
+  /// the manager degrades to journal-less operation. Each failure first
+  /// attempts the bounded rotation (compact the journal to its newest
+  /// record, reclaiming every byte it can); only a streak of failures that
+  /// rotation cannot cure trips the degrade. Degrading emits a
+  /// kJournalDegraded event, raises manager.journal.degraded, and flips
+  /// journal_degraded() so the supervised child can tell its supervisor
+  /// that recovery fidelity is reduced. Elections continue unaffected —
+  /// losing the journal never takes the control plane down. <= 0 degrades
+  /// on the first failed rotation.
+  int journal_failure_limit = 3;
 };
 
 class ManagerServer {
@@ -142,6 +155,13 @@ class ManagerServer {
   /// Feeds parked by the journal restore at start() (0 = cold start).
   [[nodiscard]] int restored_feeds() const noexcept {
     return restored_feeds_;
+  }
+  /// True once the journal ENOSPC ladder gave up and the manager runs
+  /// journal-less (docs/ROBUSTNESS.md §9). Thread-safe: polled by the
+  /// supervised child's heartbeat writer to tell the supervisor that
+  /// recovery fidelity is reduced.
+  [[nodiscard]] bool journal_degraded() const noexcept {
+    return journal_degraded_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
@@ -230,6 +250,8 @@ class ManagerServer {
   std::unique_ptr<core::JournalWriter> journal_;
   int quanta_since_journal_ = 0;
   int restored_feeds_ = 0;
+  int journal_fail_streak_ = 0;  ///< consecutive failed appends+rotations
+  std::atomic<bool> journal_degraded_{false};  ///< journal-less mode latched
 
   // ---- server fault counters (non-owning; null = off) ----
   obs::Counter* m_dead_leaders_ = nullptr;
@@ -252,6 +274,13 @@ class ManagerServer {
   obs::Counter* m_rate_limited_ = nullptr;     ///< .overload.rate_limited
   obs::Counter* m_load_sheds_ = nullptr;       ///< .overload.load_sheds
   obs::Histogram* m_election_us_ = nullptr;    ///< server.election_us
+
+  // ---- OS-failure hardening instruments (docs/ROBUSTNESS.md §9) ----
+  obs::Counter* m_journal_rotations_ = nullptr; ///< .recovery.journal_rotations
+  obs::Gauge* m_journal_degraded_g_ = nullptr;  ///< manager.journal.degraded
+  obs::Counter* m_arena_failures_ = nullptr;    ///< server.faults.arena_exhausted
+  obs::Gauge* m_sysfail_injected_ = nullptr;    ///< server.sysfail.injected
+  obs::Gauge* m_sysfail_clock_clamped_ = nullptr; ///< server.sysfail.clock_clamped
 };
 
 /// Monotonic clock in microseconds.

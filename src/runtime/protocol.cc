@@ -5,9 +5,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "faults/sysfail.h"
+
 namespace bbsched::runtime {
 
 namespace {
+
+namespace sysio = bbsched::faults::sys;
 
 /// After a short read mid-frame, decide between a truncated frame (peer
 /// closed: the bytes will never come — corrupt) and a slow-loris stalling
@@ -18,7 +22,7 @@ RecvStatus classify_short_read(int sock) {
   char probe = 0;
   ssize_t n;
   for (;;) {
-    n = ::recv(sock, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    n = sysio::recv(sock, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
     if (n < 0 && errno == EINTR) continue;
     break;
   }
@@ -49,6 +53,7 @@ const char* to_string(HelloNackReason reason) noexcept {
     case HelloNackReason::kServerFull: return "server-full";
     case HelloNackReason::kInvalidHello: return "invalid-hello";
     case HelloNackReason::kRateLimited: return "rate-limited";
+    case HelloNackReason::kResourceExhausted: return "resource-exhausted";
   }
   return "unknown";
 }
@@ -78,7 +83,7 @@ RecvStatus recv_msg(int sock, MsgHeader& hdr, void* payload,
   char probe = 0;
   ssize_t n;
   for (;;) {
-    n = ::recv(sock, &probe, 1, MSG_PEEK);
+    n = sysio::recv(sock, &probe, 1, MSG_PEEK);
     if (n < 0 && errno == EINTR) continue;
     break;
   }
@@ -119,7 +124,7 @@ RecvStatus recv_msg(int sock, MsgHeader& hdr, void* payload,
 bool send_all(int sock, const void* bytes, std::size_t len) {
   const char* p = static_cast<const char*>(bytes);
   while (len > 0) {
-    const ssize_t n = ::send(sock, p, len, MSG_NOSIGNAL);
+    const ssize_t n = sysio::send(sock, p, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -133,7 +138,7 @@ bool send_all(int sock, const void* bytes, std::size_t len) {
 bool recv_all(int sock, void* bytes, std::size_t len) {
   char* p = static_cast<char*>(bytes);
   while (len > 0) {
-    const ssize_t n = ::recv(sock, p, len, 0);
+    const ssize_t n = sysio::recv(sock, p, len, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -146,86 +151,129 @@ bool recv_all(int sock, void* bytes, std::size_t len) {
 }
 
 bool send_with_fd(int sock, const void* bytes, std::size_t len, int fd) {
-  msghdr msg{};
-  iovec iov{};
-  iov.iov_base = const_cast<void*>(bytes);
-  iov.iov_len = len;
-  msg.msg_iov = &iov;
-  msg.msg_iovlen = 1;
-
   alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int))] = {};
-  if (fd >= 0) {
-    msg.msg_control = control;
-    msg.msg_controllen = sizeof(control);
-    cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
-    cmsg->cmsg_level = SOL_SOCKET;
-    cmsg->cmsg_type = SCM_RIGHTS;
-    cmsg->cmsg_len = CMSG_LEN(sizeof(int));
-    std::memcpy(CMSG_DATA(cmsg), &fd, sizeof(int));
-  }
 
-  for (;;) {
-    const ssize_t n = ::sendmsg(sock, &msg, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    return n == static_cast<ssize_t>(len);
+  const char* p = static_cast<const char*>(bytes);
+  std::size_t left = len;
+  // The descriptor rides the first transferred byte; once any prefix is on
+  // the wire the kernel has queued the SCM_RIGHTS payload with it, and the
+  // remainder resumes as plain sends. A short sendmsg (partial socket
+  // buffer, injected short write) therefore never re-sends the descriptor
+  // and never abandons the frame mid-way.
+  bool fd_in_flight = fd >= 0;
+  while (left > 0) {
+    ssize_t n;
+    if (fd_in_flight) {
+      msghdr msg{};
+      iovec iov{};
+      iov.iov_base = const_cast<char*>(p);
+      iov.iov_len = left;
+      msg.msg_iov = &iov;
+      msg.msg_iovlen = 1;
+      msg.msg_control = control;
+      msg.msg_controllen = sizeof(control);
+      cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+      cmsg->cmsg_level = SOL_SOCKET;
+      cmsg->cmsg_type = SCM_RIGHTS;
+      cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+      std::memcpy(CMSG_DATA(cmsg), &fd, sizeof(int));
+      n = sysio::sendmsg(sock, &msg, MSG_NOSIGNAL);
+    } else {
+      n = sysio::send(sock, p, left, MSG_NOSIGNAL);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    fd_in_flight = false;
+    p += n;
+    left -= static_cast<std::size_t>(n);
   }
+  return true;
 }
 
 bool recv_with_fd(int sock, void* bytes, std::size_t len, int* fd_out,
                   int* unexpected_fds) {
   if (fd_out != nullptr) *fd_out = -1;
 
-  msghdr msg{};
-  iovec iov{};
-  iov.iov_base = bytes;
-  iov.iov_len = len;
-  msg.msg_iov = &iov;
-  msg.msg_iovlen = 1;
-
-  // Room for a batch of descriptors: a hostile peer may cram several into
-  // one SCM_RIGHTS cmsg (or several cmsgs). Whatever fits is received and
-  // drained below; whatever does not fit is closed by the kernel (the
-  // message is flagged MSG_CTRUNC) — either way nothing leaks into our fd
-  // table.
+  // Room for a batch of descriptors per receive round: a hostile peer may
+  // cram several into one SCM_RIGHTS cmsg (or several cmsgs). Whatever
+  // fits is received and drained below; whatever does not fit is closed by
+  // the kernel (the message is flagged MSG_CTRUNC) — either way nothing
+  // leaks into our fd table.
   constexpr int kMaxAncillaryFds = 8;
-  alignas(cmsghdr) char control[CMSG_SPACE(kMaxAncillaryFds * sizeof(int))] =
-      {};
-  msg.msg_control = control;
-  msg.msg_controllen = sizeof(control);
 
-  ssize_t n;
-  for (;;) {
-    n = ::recvmsg(sock, &msg, MSG_WAITALL);
+  char* p = static_cast<char*>(bytes);
+  std::size_t left = len;
+  int got_fd = -1;
+  int extra = 0;
+  bool ok = true;
+  // Resume loop: MSG_WAITALL still returns short when SO_RCVTIMEO expires
+  // with a partial frame in hand or a signal lands mid-copy — and the
+  // injector clamps transfers on purpose. A short round keeps its bytes
+  // and its ancillary payload (descriptors attach to the first byte of the
+  // segment they rode in on); the next round reads the remainder from the
+  // resume offset instead of reclassifying the frame as corrupt.
+  while (left > 0) {
+    msghdr msg{};
+    iovec iov{};
+    iov.iov_base = p;
+    iov.iov_len = left;
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    alignas(cmsghdr) char control[CMSG_SPACE(kMaxAncillaryFds * sizeof(int))] =
+        {};
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof(control);
+
+    const ssize_t n = sysio::recvmsg(sock, &msg, MSG_WAITALL);
     if (n < 0 && errno == EINTR) continue;
-    break;
-  }
-  const bool ok = n == static_cast<ssize_t>(len);
-
-  // Drain every descriptor the kernel installed, wanted or not — on the
-  // failure path too (a truncated frame still delivers its ancillary
-  // payload, and rejecting the frame must not leak it).
-  bool want_fd = ok && fd_out != nullptr;
-  for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
-       cmsg = CMSG_NXTHDR(&msg, cmsg)) {
-    if (cmsg->cmsg_level != SOL_SOCKET || cmsg->cmsg_type != SCM_RIGHTS) {
-      continue;
+    if (n <= 0) {
+      // Hard error, timeout with zero progress this round, or EOF: the
+      // remainder of the frame is not coming. The caller classifies.
+      ok = false;
+      break;
     }
-    const std::size_t data_len =
-        cmsg->cmsg_len - static_cast<std::size_t>(CMSG_LEN(0));
-    const std::size_t nfds = data_len / sizeof(int);
-    for (std::size_t i = 0; i < nfds; ++i) {
-      int fd = -1;
-      std::memcpy(&fd, CMSG_DATA(cmsg) + i * sizeof(int), sizeof(int));
-      if (fd < 0) continue;
-      if (want_fd) {
-        *fd_out = fd;
-        want_fd = false;
-      } else {
-        ::close(fd);
-        if (unexpected_fds != nullptr) ++*unexpected_fds;
+
+    // Drain every descriptor this round installed, wanted or not — a
+    // truncated frame still delivers its ancillary payload, and rejecting
+    // the frame must not leak it.
+    for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+         cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+      if (cmsg->cmsg_level != SOL_SOCKET || cmsg->cmsg_type != SCM_RIGHTS) {
+        continue;
+      }
+      const std::size_t data_len =
+          cmsg->cmsg_len - static_cast<std::size_t>(CMSG_LEN(0));
+      const std::size_t nfds = data_len / sizeof(int);
+      for (std::size_t i = 0; i < nfds; ++i) {
+        int cfd = -1;
+        std::memcpy(&cfd, CMSG_DATA(cmsg) + i * sizeof(int), sizeof(int));
+        if (cfd < 0) continue;
+        if (got_fd < 0 && fd_out != nullptr) {
+          got_fd = cfd;
+        } else {
+          ::close(cfd);
+          ++extra;
+        }
       }
     }
+
+    p += n;
+    left -= static_cast<std::size_t>(n);
   }
+
+  if (ok) {
+    if (fd_out != nullptr) *fd_out = got_fd;
+  } else if (got_fd >= 0) {
+    // Failure path keeps the pre-resume contract: a descriptor that rode
+    // in on a frame we could not complete is closed and counted, never
+    // handed to the caller.
+    ::close(got_fd);
+    ++extra;
+  }
+  if (unexpected_fds != nullptr) *unexpected_fds += extra;
   return ok;
 }
 

@@ -76,6 +76,8 @@ enum class HelloNackReason : std::int32_t {
   kServerFull = 1,   ///< max_clients reached and nothing sheddable
   kInvalidHello = 2, ///< hello failed field validation (trust boundary)
   kRateLimited = 3,  ///< per-peer handshake-attempt budget exceeded
+  kResourceExhausted = 4, ///< arena create/map failed (ENOMEM/ENOSPC class);
+                          ///< transient on the manager's side — retry later
 };
 
 [[nodiscard]] const char* to_string(HelloNackReason reason) noexcept;
@@ -119,18 +121,24 @@ RecvStatus recv_msg(int sock, MsgHeader& hdr, void* payload,
                     int* unexpected_fds = nullptr);
 
 /// Sends `bytes` with an optional file descriptor as ancillary data.
-/// Returns false on error. Retries EINTR.
+/// Returns false on error. Retries EINTR; a partial sendmsg/send resumes
+/// from the offset (the descriptor rides the first transferred byte and is
+/// never re-sent on resume).
 bool send_with_fd(int sock, const void* bytes, std::size_t len, int fd);
 
 /// Receives exactly `len` bytes; if the peer attached a descriptor it is
 /// stored in *fd_out (otherwise -1). Returns false on error / EOF.
+/// A short recvmsg (signal mid-copy, SO_RCVTIMEO with partial progress,
+/// injected short read) resumes from the offset rather than failing the
+/// frame; descriptors received in any round are kept across the resume.
 /// Every ancillary descriptor the kernel delivered beyond the one the
 /// caller wanted (fd_out == nullptr means *none* were wanted) is closed
 /// immediately and counted into *unexpected_fds when provided.
 bool recv_with_fd(int sock, void* bytes, std::size_t len, int* fd_out,
                   int* unexpected_fds = nullptr);
 
-/// Plain full-buffer send/recv with EINTR retry.
+/// Plain full-buffer send/recv with EINTR retry and partial-transfer
+/// resume from the offset.
 bool send_all(int sock, const void* bytes, std::size_t len);
 bool recv_all(int sock, void* bytes, std::size_t len);
 

@@ -12,6 +12,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "faults/sysfail.h"
+
 namespace bbsched::runtime {
 
 namespace {
@@ -57,8 +59,11 @@ void child_term_handler(int) {
   period.tv_nsec =
       static_cast<long>((heartbeat_period_us % 1000000ULL) * 1000ULL);
   while (g_child_term.load(std::memory_order_relaxed) == 0) {
-    const char beat = 'h';
-    const ssize_t n = ::write(heartbeat_wr, &beat, 1);
+    // 'h' = healthy; 'd' = alive but journal-less (the ENOSPC ladder gave
+    // up) — the supervisor learns that the *next* restart will cold-start,
+    // i.e. recovery fidelity is reduced, without a second channel.
+    const char beat = server.journal_degraded() ? 'd' : 'h';
+    const ssize_t n = faults::sys::write(heartbeat_wr, &beat, 1);
     if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
       break;  // parent is gone; no point outliving it
     }
@@ -79,6 +84,10 @@ Supervisor::Supervisor(const SupervisorConfig& cfg)
     m_watchdog_kills_ =
         &cfg_.metrics->counter("server.recovery.watchdog_kills");
     m_gave_up_ = &cfg_.metrics->gauge("server.recovery.supervisor_gave_up");
+    m_fork_failures_ =
+        &cfg_.metrics->counter("server.recovery.fork_failures");
+    m_child_degraded_ =
+        &cfg_.metrics->gauge("server.recovery.child_journal_degraded");
   }
 }
 
@@ -106,10 +115,12 @@ bool Supervisor::spawn_child() {
   ServerConfig child_cfg = cfg_.server;
   child_cfg.generation = generation_.load(std::memory_order_relaxed) + 1;
 
-  const pid_t pid = ::fork();
+  const pid_t pid = faults::sys::fork();
   if (pid < 0) {
+    const int saved = errno;
     ::close(fds[0]);
     ::close(fds[1]);
+    errno = saved;  // the caller reports *fork's* errno, not close's
     return false;
   }
   if (pid == 0) {
@@ -120,6 +131,10 @@ bool Supervisor::spawn_child() {
   heartbeat_fd_ = fds[0];
   generation_.store(child_cfg.generation, std::memory_order_relaxed);
   child_pid_.store(pid, std::memory_order_relaxed);
+  // Each child reports its own journal health; a fresh one may journal
+  // fine again (the disk recovered, or compaction freed space at start).
+  child_degraded_.store(false, std::memory_order_relaxed);
+  if (m_child_degraded_ != nullptr) m_child_degraded_->set(0.0);
   return true;
 }
 
@@ -204,11 +219,18 @@ void Supervisor::monitor_loop() {
       if (rc > 0) {
         char buf[64];
         ssize_t n;
-        while ((n = ::read(heartbeat_fd_, buf, sizeof(buf))) > 0) {
+        while ((n = faults::sys::read(heartbeat_fd_, buf, sizeof(buf))) > 0) {
           misses = 0;
           // A live heartbeat proves the restart took: reset the backoff so
           // the *next* crash starts from the minimum again.
           backoff_us_ = cfg_.initial_backoff_us;
+          for (ssize_t i = 0; i < n; ++i) {
+            if (buf[i] == 'd' && !child_degraded_.exchange(
+                                     true, std::memory_order_relaxed)) {
+              // The child runs journal-less: its successor cold-starts.
+              if (m_child_degraded_ != nullptr) m_child_degraded_->set(1.0);
+            }
+          }
         }
         if (n == 0) {
           // EOF: the child closed its write end — it exited. Reap it.
@@ -217,10 +239,13 @@ void Supervisor::monitor_loop() {
           exited = true;
         }
       } else if (rc == 0 && cfg_.heartbeat_miss_limit > 0 &&
-                 ++misses >= cfg_.heartbeat_miss_limit) {
+                 ++misses >= cfg_.heartbeat_miss_limit && pid > 0) {
         // Hang watchdog: no heartbeat for the whole budget. A SIGSTOPped,
         // livelocked or deadlocked manager is operationally dead — kill it
-        // (SIGKILL terminates stopped processes too) and restart.
+        // (SIGKILL terminates stopped processes too) and restart. The
+        // pid > 0 guard is structural: this loop is only entered with a
+        // live child, but kill(-1) would signal every process we can reach
+        // — worth a belt-and-braces check forever.
         ::kill(pid, SIGKILL);
         if (m_watchdog_kills_ != nullptr) m_watchdog_kills_->inc();
         while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
@@ -261,41 +286,57 @@ void Supervisor::monitor_loop() {
       return;
     }
 
-    const std::uint64_t now = monotonic_now_us();
-    if (!breaker_allows(now)) {
-      // Restart storm: give up permanently. Clients exhaust their reattach
-      // budgets and free-run — the documented degraded mode.
-      gave_up_.store(true, std::memory_order_relaxed);
-      if (m_gave_up_ != nullptr) m_gave_up_->set(1.0);
-      if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
-        cfg_.tracer->supervisor_restart(
-            now, {generation() + 1,
-                  restarts_.load(std::memory_order_relaxed), 0, 1});
+    // Respawn ladder: stay here until a child is actually running again.
+    // fork() itself fails under pressure (EAGAIN/ENOMEM) — each failed
+    // attempt counts toward the same circuit breaker and pays the same
+    // jittered exponential backoff as a crashed child. The pre-ladder code
+    // instead synthesized a crash status and re-entered the wait loop with
+    // child_pid_ == -1, where the watchdog's kill() would have targeted
+    // pid -1 (every reachable process) — and with the watchdog disabled it
+    // polled a closed pipe forever.
+    for (;;) {
+      const std::uint64_t now = monotonic_now_us();
+      if (!breaker_allows(now)) {
+        // Restart (or fork-failure) storm: give up permanently. Clients
+        // exhaust their reattach budgets and free-run — the documented
+        // degraded mode.
+        gave_up_.store(true, std::memory_order_relaxed);
+        if (m_gave_up_ != nullptr) m_gave_up_->set(1.0);
+        if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+          cfg_.tracer->supervisor_restart(
+              now, {generation() + 1,
+                    restarts_.load(std::memory_order_relaxed), 0, 1});
+        }
+        supervising_.store(false, std::memory_order_relaxed);
+        return;
       }
-      supervising_.store(false, std::memory_order_relaxed);
-      return;
-    }
 
-    const std::uint64_t backoff_taken = backoff_us_;
-    if (!backoff_sleep()) {
-      supervising_.store(false, std::memory_order_relaxed);
-      return;  // stop() during the backoff; the child is already gone
-    }
-    restart_times_us_.push_back(monotonic_now_us());
-    restarts_.fetch_add(1, std::memory_order_relaxed);
-    if (m_restarts_ != nullptr) m_restarts_->inc();
+      const std::uint64_t backoff_taken = backoff_us_;
+      if (!backoff_sleep()) {
+        supervising_.store(false, std::memory_order_relaxed);
+        return;  // stop() during the backoff; the child is already gone
+      }
+      restart_times_us_.push_back(monotonic_now_us());
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      if (m_restarts_ != nullptr) m_restarts_->inc();
 
-    if (!spawn_child()) {
-      // fork failed: treat as an instant crash — the breaker and backoff
-      // pace the retries. Synthesize a non-clean status.
-      status = 0x7f;
-      continue;
-    }
-    if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
-      cfg_.tracer->supervisor_restart(
-          monotonic_now_us(),
-          {generation(), restarts_.load(std::memory_order_relaxed),
-           backoff_taken, 0});
+      if (spawn_child()) {
+        if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+          cfg_.tracer->supervisor_restart(
+              monotonic_now_us(),
+              {generation(), restarts_.load(std::memory_order_relaxed),
+               backoff_taken, 0});
+        }
+        break;  // a live child again; back to the wait loop
+      }
+      const int fork_errno = errno;
+      fork_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (m_fork_failures_ != nullptr) m_fork_failures_->inc();
+      if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+        cfg_.tracer->fault(monotonic_now_us(),
+                           {-1, obs::FaultKind::kForkFailure,
+                            static_cast<double>(fork_errno)});
+      }
     }
   }
 }

@@ -106,6 +106,18 @@ class Supervisor {
   [[nodiscard]] pid_t child_pid() const noexcept {
     return child_pid_.load(std::memory_order_relaxed);
   }
+  /// Failed fork() attempts during respawns. Each one pays a full backoff
+  /// step and counts toward the circuit breaker, exactly like a crashed
+  /// child — the respawn path never busy-loops on a fork that keeps
+  /// failing (docs/ROBUSTNESS.md §9).
+  [[nodiscard]] int fork_failures() const noexcept {
+    return fork_failures_.load(std::memory_order_relaxed);
+  }
+  /// True while the current child reports journal-less operation via its
+  /// heartbeat ('d' beats): the next restart will cold-start.
+  [[nodiscard]] bool child_journal_degraded() const noexcept {
+    return child_degraded_.load(std::memory_order_relaxed);
+  }
   /// True while the monitor thread is running (manager alive or between
   /// restarts); false after stop() or after the breaker tripped.
   [[nodiscard]] bool supervising() const noexcept {
@@ -138,6 +150,8 @@ class Supervisor {
   std::atomic<int> restarts_{0};
   std::atomic<bool> gave_up_{false};
   std::atomic<bool> supervising_{false};
+  std::atomic<int> fork_failures_{0};      ///< failed respawn fork() calls
+  std::atomic<bool> child_degraded_{false}; ///< child heartbeats 'd'
   int heartbeat_fd_ = -1;  ///< read end; child owns the write end
 
   std::mutex mu_;
@@ -148,6 +162,8 @@ class Supervisor {
   obs::Counter* m_restarts_ = nullptr;
   obs::Counter* m_watchdog_kills_ = nullptr;
   obs::Gauge* m_gave_up_ = nullptr;
+  obs::Counter* m_fork_failures_ = nullptr;  ///< .recovery.fork_failures
+  obs::Gauge* m_child_degraded_ = nullptr;   ///< .child_journal_degraded
 };
 
 }  // namespace bbsched::runtime

@@ -6,6 +6,7 @@
 // exactly like one that never crashed.
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -15,6 +16,7 @@
 
 #include "core/cpu_manager.h"
 #include "core/journal.h"
+#include "faults/sysfail.h"
 
 namespace bbsched::core {
 namespace {
@@ -211,6 +213,128 @@ TEST(Journal, CorruptionTortureAtEveryOffset) {
           << "byte flip at " << off << " produced a snapshot that was "
           << "never written";
     }
+  }
+}
+
+// ---- injected write failures: ENOSPC and short writes (sysfail) ----
+
+namespace sf = bbsched::faults;
+
+/// ENOSPC with a torn prefix of every length at the second append: the
+/// injected fwrite lands `cut` bytes of record 2 on disk and then fails.
+/// Restore must return record 1 bit-identically — the torn prefix is
+/// rejected by length/CRC — and append must report the failure.
+TEST(Journal, EnospcShortWriteAtEveryRecordOffset) {
+  const ManagerSnapshot first = sample_snapshot(0);
+  const ManagerSnapshot second = sample_snapshot(1);
+
+  // Record length, measured from an uninjected single-record file.
+  std::size_t record_len = 0;
+  {
+    JournalFile probe("enospc-probe");
+    JournalWriter w(probe.path);
+    ASSERT_TRUE(w.append(first));
+    record_len = read_file(probe.path).size();
+  }
+  ASSERT_GT(record_len, 16u);
+
+  for (std::size_t cut = 0; cut < record_len; ++cut) {
+    JournalFile j("enospc");
+    sf::SysFailConfig cfg;
+    cfg.enabled = true;
+    // fwrite call 0 = first append (clean); call 1 = the injected tear.
+    cfg.triggers.push_back(
+        {sf::SysOp::kJournalWrite, 1, ENOSPC, cut, 0});
+    sf::ScopedSysFail scoped(cfg);
+
+    JournalWriter w(j.path);
+    ASSERT_TRUE(w.append(first)) << "cut " << cut;
+    EXPECT_FALSE(w.append(second))
+        << "cut " << cut << ": torn append reported success";
+
+    ManagerSnapshot got;
+    ASSERT_TRUE(load_latest_snapshot(j.path, got))
+        << "cut " << cut << ": intact first record lost";
+    EXPECT_TRUE(snaps_equal(got, first))
+        << "cut " << cut << ": restore returned a record that was never "
+        << "fully written";
+  }
+}
+
+// The degrade ladder's rotation step: a failed rewrite must leave the
+// previous journal intact and never leave a torn .tmp behind; a successful
+// rewrite after failures compacts to exactly the new snapshot.
+TEST(Journal, FailedRewriteLeavesOldJournalAndNoTempFile) {
+  const ManagerSnapshot first = sample_snapshot(0);
+  const ManagerSnapshot second = sample_snapshot(1);
+  JournalFile j("rewrite-fail");
+  const std::string tmp = j.path + ".tmp";
+
+  JournalWriter w(j.path);
+  ASSERT_TRUE(w.append(first));
+
+  {
+    sf::SysFailConfig cfg;
+    cfg.enabled = true;
+    // Tear the rewrite's temp-file write after 5 bytes.
+    cfg.triggers.push_back({sf::SysOp::kJournalWrite, 0, ENOSPC, 5, 0});
+    sf::ScopedSysFail scoped(cfg);
+    EXPECT_FALSE(w.rewrite(second));
+  }
+  EXPECT_NE(::access(tmp.c_str(), F_OK), 0) << "torn temp file left behind";
+  ManagerSnapshot got;
+  ASSERT_TRUE(load_latest_snapshot(j.path, got));
+  EXPECT_TRUE(snaps_equal(got, first))
+      << "failed rewrite damaged the existing journal";
+
+  // Uninjected retry succeeds and compacts to the new snapshot alone.
+  ASSERT_TRUE(w.rewrite(second));
+  ASSERT_TRUE(load_latest_snapshot(j.path, got));
+  EXPECT_TRUE(snaps_equal(got, second));
+  EXPECT_EQ(w.records_written(), 1);
+}
+
+// Probabilistic soak: many seeds of ENOSPC/short-write noise; whatever the
+// injector does, the journal never yields a snapshot that was not fully
+// appended, and a final clean append always restores.
+TEST(Journal, EnospcSoakNeverRestoresAHalfRecord) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    JournalFile j("enospc-soak");
+    std::vector<ManagerSnapshot> appended;
+    {
+      sf::SysFailConfig cfg;
+      cfg.enabled = true;
+      cfg.seed = seed;
+      cfg.journal_fail_prob = 0.4;
+      sf::ScopedSysFail scoped(cfg);
+      JournalWriter w(j.path, /*max_records=*/4);
+      for (int i = 0; i < 16; ++i) {
+        if (w.append(sample_snapshot(i))) {
+          appended.push_back(sample_snapshot(i));
+        }
+      }
+    }
+    ManagerSnapshot got;
+    if (load_latest_snapshot(j.path, got)) {
+      bool known = false;
+      for (const ManagerSnapshot& snap : appended) {
+        if (snaps_equal(got, snap)) {
+          known = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(known) << "seed " << seed
+                         << ": restored a snapshot that never fully landed";
+    }
+    // After the storm, one rotation — the ladder's response to a failed
+    // append — must always restore cleanly: the tmp+rename rewrite cures
+    // whatever torn tail the storm left behind (a plain append could stay
+    // hidden behind it, since the restore scan stops at the first bad
+    // record).
+    JournalWriter w2(j.path);
+    ASSERT_TRUE(w2.rewrite(sample_snapshot(99)));
+    ASSERT_TRUE(load_latest_snapshot(j.path, got));
+    EXPECT_TRUE(snaps_equal(got, sample_snapshot(99))) << "seed " << seed;
   }
 }
 

@@ -327,6 +327,68 @@ TEST(LintCatalog, MissingDocHeadingIsDetected) {
   }
 }
 
+// ------------------------------------------------------------------ sysfail
+
+TEST(LintSysfail, FlagsRawShimmedSyscallsInRuntimeAndCore) {
+  const std::string src = R"(
+#include <unistd.h>
+long pump(int fd, char* buf) {
+  long n = ::read(fd, buf, 64);
+  if (n > 0) n = ::write(fd, buf, (unsigned long)n);
+  return n;
+}
+void* grab(int fd) { return ::mmap(nullptr, 4096, 3, 1, fd, 0); }
+)";
+  EXPECT_EQ(count_rule(lint_one("src/runtime/fixture.cc", src), "sysfail"),
+            3u);
+  EXPECT_EQ(count_rule(lint_one("src/core/fixture.cc", src), "sysfail"),
+            3u);
+}
+
+TEST(LintSysfail, ShimCallsAndQualifiedNamesPass) {
+  const std::string src = R"(
+#include "faults/sysfail.h"
+namespace sysio = bbsched::faults::sys;
+long pump(int fd, char* buf) {
+  long n = sysio::read(fd, buf, 64);
+  if (n > 0) n = bbsched::faults::sys::write(fd, buf, (unsigned long)n);
+  return n;
+}
+unsigned long persist(const char* p, void* f) {
+  return std::fwrite(p, 1, 8, (FILE*)f);
+}
+int cleanup(int fd) { return ::close(fd); }  // close is not interposed
+)";
+  EXPECT_EQ(count_rule(lint_one("src/runtime/fixture.cc", src), "sysfail"),
+            0u);
+}
+
+TEST(LintSysfail, ScopedToRuntimeAndCoreOnly) {
+  const std::string src = R"(
+#include <unistd.h>
+long pump(int fd, char* buf) { return ::read(fd, buf, 64); }
+)";
+  EXPECT_EQ(count_rule(lint_one("src/sim/fixture.cc", src), "sysfail"), 0u);
+  EXPECT_EQ(count_rule(lint_one("tools/fixture.cc", src), "sysfail"), 0u);
+  EXPECT_EQ(count_rule(lint_one("src/faults/sysfail.cc", src), "sysfail"),
+            0u);
+}
+
+TEST(LintSysfail, AllowEscapeSuppressesWithJustification) {
+  const std::string src =
+      "long h(int fd, char* b) { return ::read(fd, b, 1); }  "
+      "// bbsched:allow(sysfail): async-signal-safe path, shim takes a "
+      "lock\n";
+  const AnalysisResult r = lint_one("src/runtime/fixture.cc", src);
+  ASSERT_EQ(count_rule(r, "sysfail"), 1u);
+  EXPECT_EQ(r.unsuppressed(), 0u);
+  for (const Finding& f : r.findings) {
+    if (f.rule == "sysfail") {
+      EXPECT_TRUE(f.suppressed);
+    }
+  }
+}
+
 // -------------------------------------------------------------- suppressions
 
 TEST(LintSuppression, TrailingAllowCoversItsOwnLine) {

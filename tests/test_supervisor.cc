@@ -11,10 +11,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <string>
 #include <thread>
 
+#include "faults/sysfail.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "runtime/supervisor.h"
@@ -153,6 +155,121 @@ TEST(Supervisor, CleanStopIsNotARestart) {
 
   sup.stop();  // idempotent
   EXPECT_EQ(sup.restarts(), 0);
+}
+
+// ---- injected OS failures (faults/sysfail.h) ----
+
+namespace sf = bbsched::faults;
+
+// Satellite regression: fork() failing during a respawn must take the
+// normal backoff + circuit-breaker ladder — counted, paced, retried — and
+// never busy-loop or kill a stray pid. Scripted: the initial start forks
+// cleanly (kFork call 0), then the first two respawn forks fail.
+TEST(Supervisor, ForkFailureBacksOffAndEventuallyRespawns) {
+  sf::SysFailConfig fcfg;
+  fcfg.enabled = true;
+  fcfg.triggers.push_back({sf::SysOp::kFork, 1, EAGAIN, 0, 0});
+  fcfg.triggers.push_back({sf::SysOp::kFork, 2, EAGAIN, 0, 0});
+  sf::ScopedSysFail scoped(fcfg);
+
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer(obs::TracerConfig{true, 1024});
+  SupervisorConfig cfg = fast_config("forkfail");
+  cfg.metrics = &metrics;
+  cfg.tracer = &tracer;
+  Supervisor sup(cfg);
+  ASSERT_TRUE(sup.start());
+  ASSERT_TRUE(eventually([&] { return sup.child_pid() > 0; }));
+  const pid_t first = sup.child_pid();
+
+  ASSERT_TRUE(sup.kill_child(SIGKILL));
+  // Two fork attempts fail (each pays a full backoff step), the third
+  // succeeds: the supervisor must come back with a live child.
+  ASSERT_TRUE(eventually([&] {
+    return sup.fork_failures() == 2 && sup.child_pid() > 0 &&
+           sup.child_pid() != first;
+  }));
+  EXPECT_FALSE(sup.gave_up());
+  EXPECT_TRUE(sup.supervising());
+  // Every failed fork paid a breaker-accounted restart before the one
+  // that stuck.
+  EXPECT_GE(sup.restarts(), 3);
+  EXPECT_GE(metrics.counter("server.recovery.fork_failures").value(), 2.0);
+
+  sup.stop();
+
+  // Fork failures are traced with their errno.
+  int fork_faults = 0;
+  tracer.events().for_each([&](const obs::TraceEvent& e) {
+    if (e.type == obs::EventType::kFault &&
+        e.fault.kind == obs::FaultKind::kForkFailure) {
+      ++fork_faults;
+      EXPECT_EQ(static_cast<int>(e.fault.value), EAGAIN);
+    }
+  });
+  EXPECT_EQ(fork_faults, 2);
+}
+
+// Persistent fork failure trips the breaker exactly like a crash storm:
+// the supervisor gives up cleanly instead of spinning on fork() forever.
+TEST(Supervisor, PersistentForkFailureTripsTheBreaker) {
+  sf::SysFailConfig fcfg;
+  fcfg.enabled = true;
+  for (std::uint64_t call = 1; call <= 4; ++call) {
+    fcfg.triggers.push_back({sf::SysOp::kFork, call, EAGAIN, 0, 0});
+  }
+  sf::ScopedSysFail scoped(fcfg);
+
+  obs::MetricsRegistry metrics;
+  SupervisorConfig cfg = fast_config("forkstorm");
+  cfg.metrics = &metrics;
+  cfg.max_restarts = 2;  // the third respawn attempt trips the breaker
+  Supervisor sup(cfg);
+  ASSERT_TRUE(sup.start());
+  ASSERT_TRUE(eventually([&] { return sup.child_pid() > 0; }));
+
+  ASSERT_TRUE(sup.kill_child(SIGKILL));
+  ASSERT_TRUE(eventually([&] { return sup.gave_up(); }, 20'000));
+  EXPECT_FALSE(sup.supervising());
+  EXPECT_EQ(sup.child_pid(), -1);
+  EXPECT_EQ(sup.fork_failures(), 2);
+  EXPECT_EQ(sup.restarts(), cfg.max_restarts);
+  EXPECT_DOUBLE_EQ(
+      metrics.gauge("server.recovery.supervisor_gave_up").value(), 1.0);
+
+  sup.stop();
+}
+
+// End-to-end degrade ladder: a child whose journal writes always fail
+// ENOSPC goes journal-less after journal_failure_limit streaked failures
+// and tells its supervisor through the heartbeat ('d' beats).
+TEST(Supervisor, ChildJournalDegradationReachesTheSupervisor) {
+  sf::SysFailConfig fcfg;
+  fcfg.enabled = true;
+  fcfg.journal_fail_prob = 1.0;  // inherited by the forked child
+  sf::ScopedSysFail scoped(fcfg);
+
+  obs::MetricsRegistry metrics;
+  SupervisorConfig cfg = fast_config("degraded");
+  cfg.metrics = &metrics;
+  cfg.server.journal_path = unique_sock("degraded-journal");
+  cfg.server.journal_period_quanta = 1;
+  cfg.server.journal_failure_limit = 2;
+  Supervisor sup(cfg);
+  ASSERT_TRUE(sup.start());
+  ASSERT_TRUE(eventually([&] { return sup.child_pid() > 0; }));
+  EXPECT_FALSE(sup.child_journal_degraded());
+
+  ASSERT_TRUE(eventually([&] { return sup.child_journal_degraded(); }));
+  EXPECT_DOUBLE_EQ(
+      metrics.gauge("server.recovery.child_journal_degraded").value(), 1.0);
+  // Degradation is advisory: the child stays alive and supervised.
+  EXPECT_TRUE(sup.supervising());
+  EXPECT_GT(sup.child_pid(), 0);
+  EXPECT_EQ(sup.restarts(), 0);
+
+  sup.stop();
+  ::unlink(cfg.server.journal_path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,440 @@
+// Tests for the syscall-failure injection layer (faults/sysfail.h) and the
+// frame codec's partial-I/O hardening it exists to exercise:
+//
+//   * the injector itself — seeded determinism, reset() replay, scripted
+//     triggers at exact per-op call indices, bounded EINTR bursts, and the
+//     "enabled with all-zero probabilities ≡ disabled" contract;
+//   * the satellite regression the PR promises — every frame type split at
+//     every byte boundary (sender side, receiver side, descriptor-bearing
+//     headers included) still round-trips bit-identically, the SCM_RIGHTS
+//     descriptor arrives exactly once, and nothing leaks;
+//   * the never-backwards clock clamp under injected jumps.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "faults/sysfail.h"
+#include "runtime/protocol.h"
+
+namespace bbsched::runtime {
+namespace {
+
+namespace sf = bbsched::faults;
+
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  int a() const { return fds[0]; }
+  int b() const { return fds[1]; }
+};
+
+bool decisions_equal(const sf::SysDecision& x, const sf::SysDecision& y) {
+  return x.err == y.err && x.clamp_bytes == y.clamp_bytes &&
+         x.clock_jump_us == y.clock_jump_us;
+}
+
+/// A fixed mixed-op call sequence long enough that two schedules agreeing
+/// on all of it by chance is negligible.
+std::vector<sf::SysDecision> drive_schedule(sf::SysFailInjector& inj,
+                                            int calls) {
+  static constexpr sf::SysOp kOps[] = {
+      sf::SysOp::kRead,    sf::SysOp::kWrite,  sf::SysOp::kSend,
+      sf::SysOp::kRecv,    sf::SysOp::kSendMsg, sf::SysOp::kRecvMsg,
+      sf::SysOp::kAccept,  sf::SysOp::kMmap,   sf::SysOp::kFork,
+      sf::SysOp::kJournalWrite, sf::SysOp::kClock,
+  };
+  std::vector<sf::SysDecision> out;
+  out.reserve(static_cast<std::size_t>(calls));
+  for (int i = 0; i < calls; ++i) {
+    const sf::SysOp op = kOps[static_cast<std::size_t>(i) % 11];
+    out.push_back(inj.next(op, 64));
+  }
+  return out;
+}
+
+sf::SysFailConfig noisy_cfg(std::uint64_t seed) {
+  sf::SysFailConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = seed;
+  cfg.eintr_prob = 0.25;
+  cfg.short_io_prob = 0.25;
+  cfg.eagain_prob = 0.10;
+  cfg.mmap_fail_prob = 0.20;
+  cfg.journal_fail_prob = 0.30;
+  cfg.accept_fail_prob = 0.20;
+  cfg.fork_fail_prob = 0.20;
+  cfg.clock_jump_prob = 0.20;
+  return cfg;
+}
+
+TEST(SysFail, DisabledInjectorDecidesNothing) {
+  sf::SysFailInjector inj;  // default config: enabled = false
+  for (const sf::SysDecision& d : drive_schedule(inj, 64)) {
+    EXPECT_EQ(d.err, 0);
+    EXPECT_EQ(d.clamp_bytes, ~std::uint64_t{0});
+    EXPECT_EQ(d.clock_jump_us, 0);
+  }
+  EXPECT_EQ(inj.stats().injected, 0u);
+}
+
+TEST(SysFail, SameSeedSameSchedule) {
+  sf::SysFailInjector a(noisy_cfg(42));
+  sf::SysFailInjector b(noisy_cfg(42));
+  const auto da = drive_schedule(a, 550);
+  const auto db = drive_schedule(b, 550);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_TRUE(decisions_equal(da[i], db[i])) << "call " << i << " diverged";
+  }
+  EXPECT_GT(a.stats().injected, 0u) << "noisy schedule injected nothing";
+}
+
+TEST(SysFail, DifferentSeedDifferentSchedule) {
+  sf::SysFailInjector a(noisy_cfg(42));
+  sf::SysFailInjector b(noisy_cfg(43));
+  const auto da = drive_schedule(a, 550);
+  const auto db = drive_schedule(b, 550);
+  bool diverged = false;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    if (!decisions_equal(da[i], db[i])) {
+      diverged = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(SysFail, ResetReplaysTheIdenticalSchedule) {
+  sf::SysFailInjector inj(noisy_cfg(7));
+  const auto first = drive_schedule(inj, 330);
+  const sf::SysFailStats stats_first = inj.stats();
+
+  inj.reset();
+  EXPECT_EQ(inj.stats().injected, 0u);
+  const auto replay = drive_schedule(inj, 330);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(decisions_equal(first[i], replay[i]))
+        << "replayed call " << i << " diverged";
+  }
+  EXPECT_EQ(inj.stats().injected, stats_first.injected);
+  EXPECT_EQ(inj.stats().eintr, stats_first.eintr);
+  EXPECT_EQ(inj.stats().short_io, stats_first.short_io);
+}
+
+// The contract sysfail.h states outright: an enabled injector with all-zero
+// probabilities and no triggers decides exactly like no injector at all.
+TEST(SysFail, ZeroProbabilityEnabledIsANoOp) {
+  sf::SysFailConfig cfg;
+  cfg.enabled = true;
+  sf::SysFailInjector inj(cfg);
+  for (const sf::SysDecision& d : drive_schedule(inj, 110)) {
+    EXPECT_EQ(d.err, 0);
+    EXPECT_EQ(d.clamp_bytes, ~std::uint64_t{0});
+    EXPECT_EQ(d.clock_jump_us, 0);
+  }
+  EXPECT_EQ(inj.stats().injected, 0u);
+}
+
+TEST(SysFail, ScriptedTriggerFiresAtTheExactCallIndex) {
+  sf::SysFailConfig cfg;
+  cfg.enabled = true;
+  cfg.triggers.push_back({sf::SysOp::kSend, 2, EINTR, 0, 0});
+  cfg.triggers.push_back({sf::SysOp::kRecvMsg, 0, 0, 7, 0});
+  sf::SysFailInjector inj(cfg);
+
+  // Per-op counters are independent: interleaved recv calls must not shift
+  // the send trigger's index.
+  for (int i = 0; i < 4; ++i) {
+    const sf::SysDecision r = inj.next(sf::SysOp::kRecv, 64);
+    EXPECT_EQ(r.err, 0);
+    const sf::SysDecision s = inj.next(sf::SysOp::kSend, 64);
+    if (i == 2) {
+      EXPECT_EQ(s.err, EINTR) << "trigger missed its call index";
+    } else {
+      EXPECT_EQ(s.err, 0) << "trigger fired at the wrong index " << i;
+    }
+  }
+  const sf::SysDecision m = inj.next(sf::SysOp::kRecvMsg, 64);
+  EXPECT_EQ(m.err, 0);
+  EXPECT_EQ(m.clamp_bytes, 7u);
+  EXPECT_EQ(inj.next(sf::SysOp::kRecvMsg, 64).clamp_bytes, ~std::uint64_t{0});
+}
+
+// eintr_prob = 1.0 with max_eintr_burst = 3: three EINTRs, one forced
+// clean call (so every retry loop terminates), and the streak restarts.
+TEST(SysFail, EintrBurstsAreBounded) {
+  sf::SysFailConfig cfg;
+  cfg.enabled = true;
+  cfg.eintr_prob = 1.0;
+  cfg.max_eintr_burst = 3;
+  sf::SysFailInjector inj(cfg);
+  for (int i = 0; i < 8; ++i) {
+    const sf::SysDecision d = inj.next(sf::SysOp::kRead, 64);
+    if (i % 4 == 3) {
+      EXPECT_EQ(d.err, 0) << "call " << i << ": burst not bounded";
+    } else {
+      EXPECT_EQ(d.err, EINTR) << "call " << i;
+    }
+  }
+}
+
+TEST(SysFail, IoChunkClampsEveryTransferOp) {
+  sf::SysFailConfig cfg;
+  cfg.enabled = true;
+  cfg.io_chunk_bytes = 4;
+  sf::SysFailInjector inj(cfg);
+  EXPECT_EQ(inj.next(sf::SysOp::kSend, 64).clamp_bytes, 4u);
+  EXPECT_EQ(inj.next(sf::SysOp::kRecvMsg, 64).clamp_bytes, 4u);
+  EXPECT_EQ(inj.next(sf::SysOp::kJournalWrite, 64).clamp_bytes, 4u);
+  // Non-transfer ops are untouched by the chunk ceiling.
+  EXPECT_EQ(inj.next(sf::SysOp::kMmap, 0).clamp_bytes, ~std::uint64_t{0});
+}
+
+// ---- the clock hardening: readings never go backwards ----
+
+TEST(SysFail, InjectedBackwardsClockJumpIsClamped) {
+  sf::SysFailConfig cfg;
+  cfg.enabled = true;
+  // Call 0 establishes the floor; call 1 leaps 50 ms into the past.
+  cfg.triggers.push_back({sf::SysOp::kClock, 1, 0, 0, -50'000});
+  sf::ScopedSysFail scoped(cfg);
+  const std::uint64_t t0 = sf::sys::clock_monotonic_us();
+  const std::uint64_t t1 = sf::sys::clock_monotonic_us();
+  EXPECT_GE(t1, t0) << "clock went backwards through the clamp";
+  EXPECT_GE(scoped.injector().stats().clock_clamped, 1u);
+  EXPECT_EQ(scoped.injector().stats().clock_jumps, 1u);
+}
+
+TEST(SysFail, ForwardJumpAdvancesTheFloorMonotonically) {
+  sf::SysFailConfig cfg;
+  cfg.enabled = true;
+  // A small forward jump: the next *uninjected* reading would land behind
+  // the jumped one; the clamp must hold it at the floor.
+  cfg.triggers.push_back({sf::SysOp::kClock, 0, 0, 0, 20'000});
+  sf::ScopedSysFail scoped(cfg);
+  const std::uint64_t jumped = sf::sys::clock_monotonic_us();
+  const std::uint64_t after = sf::sys::clock_monotonic_us();
+  EXPECT_GE(after, jumped);
+}
+
+// ---- satellite regression: frames split at every byte boundary ----
+
+struct Frame {
+  MsgType type;
+  std::vector<char> payload;
+};
+
+/// One frame per message type, payload bytes patterned per type so a
+/// resume that duplicated or dropped a byte cannot compare equal.
+std::vector<Frame> patterned_frames() {
+  std::vector<Frame> frames;
+  for (const MsgType type : {MsgType::kHello, MsgType::kHelloAck,
+                             MsgType::kReady, MsgType::kReattach,
+                             MsgType::kHelloNack}) {
+    Frame f;
+    f.type = type;
+    f.payload.resize(
+        expected_payload_len(static_cast<std::uint16_t>(type)));
+    for (std::size_t i = 0; i < f.payload.size(); ++i) {
+      f.payload[i] = static_cast<char>(
+          (i * 7 + static_cast<std::size_t>(type) * 31) & 0xff);
+    }
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+/// Sends then receives one frame over a fresh pair (frames are tiny next
+/// to the socket buffer, so single-threaded send-then-recv cannot stall)
+/// and asserts a bit-identical round trip with no stray descriptors.
+void expect_round_trip(const Frame& f, const char* what) {
+  SocketPair sp;
+  ASSERT_TRUE(send_msg(sp.a(), f.type, 9, f.payload.data(),
+                       f.payload.size()))
+      << what;
+  MsgHeader hdr{};
+  std::vector<char> got(f.payload.size() + 8);
+  int fd = -42;
+  int unexpected = 0;
+  ASSERT_EQ(recv_msg(sp.b(), hdr, got.data(), got.size(), &fd, &unexpected),
+            RecvStatus::kOk)
+      << what;
+  EXPECT_EQ(hdr.type, static_cast<std::uint16_t>(f.type)) << what;
+  EXPECT_EQ(hdr.generation, 9u) << what;
+  EXPECT_EQ(std::memcmp(got.data(), f.payload.data(), f.payload.size()), 0)
+      << what << ": payload bytes diverged";
+  EXPECT_EQ(fd, -1) << what;
+  EXPECT_EQ(unexpected, 0) << what;
+}
+
+// io_chunk_bytes = 1 forces EVERY transfer down to single bytes — one pass
+// splits every frame at every byte boundary on both sides at once.
+TEST(SysFailProtocol, OneByteChunkingRoundTripsEveryFrameType) {
+  sf::SysFailConfig cfg;
+  cfg.enabled = true;
+  cfg.io_chunk_bytes = 1;
+  sf::ScopedSysFail scoped(cfg);
+  for (const Frame& f : patterned_frames()) {
+    expect_round_trip(f, "chunk=1");
+  }
+  EXPECT_GT(scoped.injector().stats().short_io, 0u);
+}
+
+// Scripted precision: cut the kHello frame at each individual byte offset,
+// sender side. Offsets inside the 16-byte header clamp the first send;
+// offsets inside the payload clamp the payload send.
+TEST(SysFailProtocol, SenderSplitAtEveryByteBoundaryStillDelivers) {
+  const Frame hello = patterned_frames()[0];
+  const std::size_t frame_len = sizeof(MsgHeader) + hello.payload.size();
+  for (std::size_t cut = 1; cut < frame_len; ++cut) {
+    sf::SysFailConfig cfg;
+    cfg.enabled = true;
+    if (cut < sizeof(MsgHeader)) {
+      cfg.triggers.push_back({sf::SysOp::kSend, 0, 0, cut, 0});
+    } else {
+      cfg.triggers.push_back(
+          {sf::SysOp::kSend, 1, 0, cut - sizeof(MsgHeader), 0});
+    }
+    sf::ScopedSysFail scoped(cfg);
+    expect_round_trip(hello,
+                      ("sender cut at byte " + std::to_string(cut)).c_str());
+    // cut == sizeof(MsgHeader) is the natural header/payload boundary —
+    // the trigger clamps zero bytes there and injects nothing.
+    if (cut != sizeof(MsgHeader)) {
+      EXPECT_EQ(scoped.injector().stats().short_io, 1u);
+    }
+  }
+}
+
+// Receiver side: recv_msg's first-byte probe is kRecv call 0; the header
+// lands via recvmsg; the payload via kRecv call 1.
+TEST(SysFailProtocol, ReceiverSplitAtEveryByteBoundaryStillDelivers) {
+  const Frame hello = patterned_frames()[0];
+  const std::size_t frame_len = sizeof(MsgHeader) + hello.payload.size();
+  for (std::size_t cut = 1; cut < frame_len; ++cut) {
+    sf::SysFailConfig cfg;
+    cfg.enabled = true;
+    if (cut < sizeof(MsgHeader)) {
+      cfg.triggers.push_back({sf::SysOp::kRecvMsg, 0, 0, cut, 0});
+    } else {
+      cfg.triggers.push_back(
+          {sf::SysOp::kRecv, 1, 0, cut - sizeof(MsgHeader), 0});
+    }
+    sf::ScopedSysFail scoped(cfg);
+    expect_round_trip(
+        hello, ("receiver cut at byte " + std::to_string(cut)).c_str());
+  }
+}
+
+int make_marked_memfd() {
+  const int fd = static_cast<int>(::syscall(SYS_memfd_create, "t-sysfail",
+                                            0u));
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::pwrite(fd, "mark", 4, 0), 4);
+  return fd;
+}
+
+void expect_fd_round_trip(std::size_t cut_tag, int send_sock, int recv_sock,
+                          const Frame& ack) {
+  const int memfd = make_marked_memfd();
+  ASSERT_TRUE(send_msg(send_sock, ack.type, 3, ack.payload.data(),
+                       ack.payload.size(), memfd))
+      << "cut " << cut_tag;
+  ::close(memfd);
+  MsgHeader hdr{};
+  std::vector<char> got(ack.payload.size());
+  int fd = -1;
+  int unexpected = 0;
+  ASSERT_EQ(recv_msg(recv_sock, hdr, got.data(), got.size(), &fd,
+                     &unexpected),
+            RecvStatus::kOk)
+      << "cut " << cut_tag;
+  ASSERT_GE(fd, 0) << "cut " << cut_tag << ": descriptor lost";
+  EXPECT_EQ(unexpected, 0) << "cut " << cut_tag
+                           << ": descriptor arrived more than once";
+  char mark[5] = {};
+  EXPECT_EQ(::pread(fd, mark, 4, 0), 4);
+  EXPECT_STREQ(mark, "mark") << "cut " << cut_tag;
+  EXPECT_EQ(std::memcmp(got.data(), ack.payload.data(), ack.payload.size()),
+            0)
+      << "cut " << cut_tag;
+  ::close(fd);
+}
+
+// Descriptor-bearing headers go through sendmsg; a split header resumes via
+// plain send, so the SCM_RIGHTS descriptor must ride the first fragment and
+// never be re-sent — exactly once delivered, zero drained as unexpected.
+TEST(SysFailProtocol, SplitFdHeaderDeliversTheDescriptorExactlyOnce) {
+  const Frame ack = patterned_frames()[1];  // kHelloAck
+  for (std::size_t cut = 1; cut < sizeof(MsgHeader); ++cut) {
+    sf::SysFailConfig cfg;
+    cfg.enabled = true;
+    cfg.triggers.push_back({sf::SysOp::kSendMsg, 0, 0, cut, 0});
+    sf::ScopedSysFail scoped(cfg);
+    SocketPair sp;
+    expect_fd_round_trip(cut, sp.a(), sp.b(), ack);
+  }
+  // Receiver-side split of the descriptor-bearing header.
+  for (std::size_t cut = 1; cut < sizeof(MsgHeader); ++cut) {
+    sf::SysFailConfig cfg;
+    cfg.enabled = true;
+    cfg.triggers.push_back({sf::SysOp::kRecvMsg, 0, 0, cut, 0});
+    sf::ScopedSysFail scoped(cfg);
+    SocketPair sp;
+    expect_fd_round_trip(cut, sp.a(), sp.b(), ack);
+  }
+}
+
+// Probabilistic storm: EINTR bursts + short transfers on every I/O call,
+// many seeds — every frame still round-trips bit-identically.
+TEST(SysFailProtocol, EintrAndShortIoStormRoundTripsAllFrames) {
+  const std::vector<Frame> frames = patterned_frames();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sf::SysFailConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = seed;
+    cfg.eintr_prob = 0.6;
+    cfg.max_eintr_burst = 4;
+    cfg.short_io_prob = 0.5;
+    sf::ScopedSysFail scoped(cfg);
+    for (int round = 0; round < 10; ++round) {
+      for (const Frame& f : frames) {
+        expect_round_trip(f, ("storm seed " + std::to_string(seed)).c_str());
+      }
+    }
+    EXPECT_GT(scoped.injector().stats().eintr, 0u);
+    EXPECT_GT(scoped.injector().stats().short_io, 0u);
+  }
+}
+
+// With an injector installed but everything at zero, the wire behaviour is
+// byte-for-byte the production path (the "compiled in but disabled" gate).
+TEST(SysFailProtocol, ZeroProbabilityInjectorLeavesTheWireUntouched) {
+  sf::SysFailConfig cfg;
+  cfg.enabled = true;
+  sf::ScopedSysFail scoped(cfg);
+  for (const Frame& f : patterned_frames()) {
+    expect_round_trip(f, "zero-prob");
+  }
+  EXPECT_EQ(scoped.injector().stats().injected, 0u);
+}
+
+TEST(SysFailProtocol, ResourceExhaustedNackReasonHasAName) {
+  EXPECT_STREQ(to_string(HelloNackReason::kResourceExhausted),
+               "resource-exhausted");
+}
+
+}  // namespace
+}  // namespace bbsched::runtime

@@ -7,10 +7,12 @@
 # Each configuration gets its own build directory (build-check-<name>), so
 # repeat runs are incremental. The plain configuration runs the whole suite;
 # sanitizer configurations run the concurrency/robustness labels that the
-# instrumentation is for (chaos, soak) plus the lint gate — except that the
-# thread configuration skips the soak: the recovery soak forks a supervised
-# manager from a multi-threaded process, which TSan refuses to run
-# ("starting new threads after multi-threaded fork is not supported").
+# instrumentation is for (chaos, soak, syschaos) plus the lint gate —
+# except that the thread configuration skips the soak: the recovery soak
+# forks a supervised manager from a multi-threaded process, which TSan
+# refuses to run ("starting new threads after multi-threaded fork is not
+# supported"). The syschaos label stays fork-free by construction
+# (tests/CMakeLists.txt), so TSan runs it in full.
 # Stops on the first failure.
 set -euo pipefail
 
@@ -43,8 +45,8 @@ for cfg in "${configs[@]}"; do
   echo "==> [$cfg] ctest"
   case "$cfg" in
     plain)  (cd "$dir" && ctest --output-on-failure -j "$jobs") ;;
-    thread) (cd "$dir" && ctest --output-on-failure -j "$jobs" -L 'chaos|fuzz|lint') ;;
-    *)      (cd "$dir" && ctest --output-on-failure -j "$jobs" -L 'chaos|soak|fuzz|lint') ;;
+    thread) (cd "$dir" && ctest --output-on-failure -j "$jobs" -L 'chaos|fuzz|lint|syschaos') ;;
+    *)      (cd "$dir" && ctest --output-on-failure -j "$jobs" -L 'chaos|soak|fuzz|lint|syschaos') ;;
   esac
 done
 
