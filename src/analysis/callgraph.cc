@@ -1,0 +1,1328 @@
+// Cross-TU linker + transitive hot/signal walks. See callgraph.h for the
+// resolution model; docs/STATIC_ANALYSIS.md for the user-facing contract.
+#include "analysis/callgraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace bbsched::analysis::detail {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Name plumbing.
+
+/// Identifiers that can never *be* a function name in a definition.
+/// Checked after the conversion-operator special case (`operator bool`).
+bool reject_def_name(std::string_view word) {
+  if (set_contains(call_keywords(), word)) return true;
+  static const std::set<std::string, std::less<>> kExtra{
+      "using", "assert", "co_await", "co_return", "co_yield", "else",
+      "do",    "goto",   "case",     "default",   "operator"};
+  return kExtra.find(word) != kExtra.end();
+}
+
+/// Keywords that legally precede a call expression (`return f(x)`), as
+/// opposed to a type name preceding a declarator (`Foo f(x)`).
+bool precedes_expression(std::string_view word) {
+  static const std::set<std::string, std::less<>> kSet{
+      "return", "throw", "case", "else", "do", "goto",
+      "co_return", "co_yield", "co_await", "in"};
+  return kSet.find(word) != kSet.end();
+}
+
+[[nodiscard]] std::vector<std::string> split_qual(std::string_view s) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  if (s.size() >= 2 && s.substr(0, 2) == "::") pos = 2;
+  while (pos <= s.size()) {
+    const std::size_t next = s.find("::", pos);
+    if (next == std::string_view::npos) {
+      parts.emplace_back(s.substr(pos));
+      break;
+    }
+    parts.emplace_back(s.substr(pos, next - pos));
+    pos = next + 2;
+  }
+  return parts;
+}
+
+[[nodiscard]] std::string join_qual(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += "::";
+    out += p;
+  }
+  return out;
+}
+
+/// Walks backwards over a `<...>` template-argument list whose closing
+/// `>` is at `close`. Returns the token index of the matching `<`, or
+/// kNpos when the walk runs off the front.
+[[nodiscard]] std::size_t match_angle_back(const std::vector<Token>& toks,
+                                           std::size_t close,
+                                           std::size_t floor) {
+  int depth = 0;
+  for (std::size_t j = close + 1; j-- > floor;) {
+    if (is_trivia(toks[j])) continue;
+    if (is_punct(toks[j], ">")) ++depth;
+    if (is_punct(toks[j], "<")) {
+      if (--depth == 0) return j;
+    }
+    if (j == floor) break;
+  }
+  return kNpos;
+}
+
+struct NameParts {
+  bool valid = false;
+  bool absolute = false;           ///< leading `::`
+  std::vector<std::string> parts;  ///< qualifier components + name
+  std::size_t name_token = 0;      ///< token index of the final component
+};
+
+/// Walks the qualified name ending directly before `open` (a `(` token).
+/// `floor` bounds the walk (statement start for defs, 0 for call sites).
+[[nodiscard]] NameParts walk_name_back(const std::vector<Token>& toks,
+                                       std::size_t open, std::size_t floor) {
+  NameParts np;
+  std::size_t j = prev_code(toks, open);
+  if (j == kNpos || j + 1 <= floor) return np;
+  // `f<int>(` — skip the template arguments back to the name.
+  if (is_punct(toks[j], ">")) {
+    const std::size_t lt = match_angle_back(toks, j, floor);
+    if (lt == kNpos) return np;
+    j = prev_code(toks, lt);
+    if (j == kNpos || j + 1 <= floor) return np;
+  }
+  if (toks[j].kind != TokenKind::kIdentifier) return np;
+  np.name_token = j;
+  std::string name(toks[j].text);
+  std::size_t p = prev_code(toks, j);
+  const bool in_range = p != kNpos && p + 1 > floor;
+  if (in_range && is_ident(toks[p], "operator")) {
+    // Conversion operator: `operator bool(` — merge before the keyword
+    // rejection would throw the primitive name out.
+    name = "operator " + name;
+    np.name_token = p;
+    j = p;
+    p = prev_code(toks, j);
+  } else if (reject_def_name(name)) {
+    return np;
+  }
+  if (p != kNpos && p + 1 > floor && is_punct(toks[p], "~")) {
+    name = "~" + name;
+    np.name_token = p;
+    j = p;
+    p = prev_code(toks, j);
+  }
+  np.parts.push_back(std::move(name));
+  while (p != kNpos && p + 1 > floor && is_punct(toks[p], "::")) {
+    std::size_t q = prev_code(toks, p);
+    if (q == kNpos || q + 1 <= floor) {
+      np.absolute = true;
+      break;
+    }
+    if (is_punct(toks[q], ">")) {
+      const std::size_t lt = match_angle_back(toks, q, floor);
+      if (lt == kNpos) break;
+      q = prev_code(toks, lt);
+      if (q == kNpos || q + 1 <= floor ||
+          toks[q].kind != TokenKind::kIdentifier) {
+        break;
+      }
+    }
+    if (toks[q].kind != TokenKind::kIdentifier ||
+        reject_def_name(toks[q].text)) {
+      // `return ::read(...)`: the `::` is global-scope qualification.
+      np.absolute = true;
+      break;
+    }
+    np.parts.insert(np.parts.begin(), std::string(toks[q].text));
+    j = q;
+    p = prev_code(toks, j);
+  }
+  np.valid = true;
+  return np;
+}
+
+// ---------------------------------------------------------------------------
+// Definition parser: recursive scope walk over one file's tokens.
+
+struct FileParse {
+  std::map<std::string, std::string> aliases;  ///< alias -> replacement
+  std::vector<FunctionDef> defs;               ///< file order
+  /// Class scope -> field -> declared type (last component).
+  std::map<std::string, std::map<std::string, std::string>> fields;
+};
+
+class DefParser {
+ public:
+  DefParser(const FileContext& fc, FileParse& out)
+      : toks_(fc.tokens), out_(out) {}
+
+  void parse() { parse_scope(0, toks_.size(), "", false, true); }
+
+ private:
+  /// Skips to the `;` ending the current statement, tracking every
+  /// bracket kind (braced initializers, lambdas in initializers).
+  [[nodiscard]] std::size_t skip_to_semicolon(std::size_t i) const {
+    int depth = 0;
+    for (; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokenKind::kPunct) continue;
+      if (t.text == "(" || t.text == "{" || t.text == "[") ++depth;
+      if (t.text == ")" || t.text == "}" || t.text == "]") --depth;
+      if (t.text == ";" && depth <= 0) return i + 1;
+    }
+    return toks_.size();
+  }
+
+  void parse_scope(std::size_t begin, std::size_t end, std::string scope,
+                   bool file_scoped, bool namespace_scope) {
+    std::size_t i = begin;
+    std::size_t stmt_start = begin;
+    while (i < end) {
+      const Token& t = toks_[i];
+      if (is_trivia(t)) {
+        ++i;
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier) {
+        if (t.text == "namespace" && namespace_scope) {
+          i = parse_namespace(i, end, scope, file_scoped);
+          stmt_start = i;
+          continue;
+        }
+        if (t.text == "extern") {
+          const std::size_t j = next_code(toks_, i);
+          if (j != kNpos && j < end && toks_[j].kind == TokenKind::kString) {
+            const std::size_t k = next_code(toks_, j);
+            if (k != kNpos && k < end && is_punct(toks_[k], "{")) {
+              const std::size_t close = match_pair(toks_, k, "{", "}");
+              if (close == kNpos) return;
+              parse_scope(k + 1, close, scope, file_scoped, namespace_scope);
+              i = close + 1;
+              stmt_start = i;
+              continue;
+            }
+            i = k == kNpos ? end : k;
+            continue;
+          }
+          ++i;
+          continue;
+        }
+        if (t.text == "class" || t.text == "struct" || t.text == "union") {
+          i = parse_class(i, end, scope, file_scoped);
+          stmt_start = i;
+          continue;
+        }
+        if (t.text == "enum") {
+          std::size_t j = i + 1;
+          while (j < end && !is_punct(toks_[j], "{") &&
+                 !is_punct(toks_[j], ";")) {
+            ++j;
+          }
+          if (j < end && is_punct(toks_[j], "{")) {
+            const std::size_t close = match_pair(toks_, j, "{", "}");
+            if (close == kNpos) return;
+            j = close + 1;
+          }
+          i = j;
+          continue;
+        }
+        if (t.text == "template") {
+          const std::size_t j = next_code(toks_, i);
+          if (j != kNpos && j < end && is_punct(toks_[j], "<")) {
+            const std::size_t close = match_pair(toks_, j, "<", ">");
+            if (close == kNpos) return;
+            i = close + 1;
+            continue;  // following declaration parses in this scope
+          }
+          ++i;
+          continue;
+        }
+        if (t.text == "using" || t.text == "typedef" || t.text == "friend" ||
+            t.text == "static_assert") {
+          i = skip_to_semicolon(i);
+          stmt_start = i;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == ";") {
+          if (!namespace_scope) record_field(stmt_start, i, scope);
+          ++i;
+          stmt_start = i;
+          continue;
+        }
+        if (t.text == "=") {
+          if (!namespace_scope) record_field(stmt_start, i, scope);
+          i = skip_to_semicolon(i);
+          stmt_start = i;
+          continue;
+        }
+        if (t.text == "{") {
+          // A brace with no preceding function pattern (braced variable
+          // initializer, stray macro block): skip it whole.
+          const std::size_t close = match_pair(toks_, i, "{", "}");
+          if (close == kNpos) return;
+          i = close + 1;
+          continue;
+        }
+        if (t.text == "(") {
+          i = handle_paren(i, end, stmt_start, scope, file_scoped,
+                           namespace_scope);
+          // A consumed definition ends its statement: without this reset,
+          // a `static` inside the previous body would leak into the next
+          // def's storage-class scan and wrongly file-scope it.
+          stmt_start = i;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  /// Harvests a member declaration `Type name_;` / `Type name_{init};` /
+  /// `Type name_ = init;` from [begin, term) inside class scope `scope`.
+  /// Function declarations (a `(` before the name) are left alone.
+  void record_field(std::size_t begin, std::size_t term,
+                    const std::string& scope) {
+    std::size_t j = prev_code(toks_, term);
+    if (j == kNpos || j < begin) return;
+    if (is_punct(toks_[j], "}")) {
+      // Brace initializer: walk back over the matched braces.
+      int depth = 0;
+      while (j != kNpos && j >= begin) {
+        if (is_punct(toks_[j], "}")) ++depth;
+        if (is_punct(toks_[j], "{")) {
+          if (--depth == 0) break;
+        }
+        if (j == 0) return;
+        j = prev_code(toks_, j);
+      }
+      if (j == kNpos || j < begin) return;
+      j = prev_code(toks_, j);
+      if (j == kNpos || j < begin) return;
+    }
+    if (toks_[j].kind != TokenKind::kIdentifier) return;
+    const std::string field(toks_[j].text);
+    std::size_t k = prev_code(toks_, j);
+    while (k != kNpos && k >= begin &&
+           (is_punct(toks_[k], "*") || is_punct(toks_[k], "&"))) {
+      k = prev_code(toks_, k);
+    }
+    if (k == kNpos || k < begin) return;
+    if (is_punct(toks_[k], ">")) {
+      const std::size_t lt = match_angle_back(toks_, k, begin);
+      if (lt == kNpos) return;
+      k = prev_code(toks_, lt);
+      if (k == kNpos || k < begin) return;
+    }
+    if (toks_[k].kind != TokenKind::kIdentifier) return;
+    const std::string type(toks_[k].text);
+    if (reject_def_name(type) || type == field) return;
+    out_.fields[scope][field] = type;
+  }
+
+  std::size_t parse_namespace(std::size_t i, std::size_t end,
+                              const std::string& scope, bool file_scoped) {
+    std::size_t j = next_code(toks_, i);
+    if (j == kNpos || j >= end) return end;
+    if (is_punct(toks_[j], "{")) {
+      // Anonymous namespace: transparent for names, file-scoped.
+      const std::size_t close = match_pair(toks_, j, "{", "}");
+      if (close == kNpos) return end;
+      parse_scope(j + 1, close, scope, true, true);
+      return close + 1;
+    }
+    if (toks_[j].kind != TokenKind::kIdentifier) return j;
+    std::vector<std::string> comps{std::string(toks_[j].text)};
+    std::size_t k = next_code(toks_, j);
+    if (k != kNpos && is_punct(toks_[k], "=")) {
+      // `namespace x = a::b::c;` — record the alias, consume to ';'.
+      std::string rhs;
+      for (std::size_t m = next_code(toks_, k);
+           m != kNpos && m < end && !is_punct(toks_[m], ";");
+           m = next_code(toks_, m)) {
+        rhs += toks_[m].text;
+      }
+      out_.aliases[comps[0]] = rhs;
+      return skip_to_semicolon(k);
+    }
+    while (k != kNpos && k < end && is_punct(toks_[k], "::")) {
+      const std::size_t n = next_code(toks_, k);
+      if (n == kNpos || toks_[n].kind != TokenKind::kIdentifier) break;
+      comps.emplace_back(toks_[n].text);
+      k = next_code(toks_, n);
+    }
+    if (k == kNpos || k >= end || !is_punct(toks_[k], "{")) {
+      return k == kNpos ? end : k + 1;  // forward declaration or malformed
+    }
+    const std::size_t close = match_pair(toks_, k, "{", "}");
+    if (close == kNpos) return end;
+    std::string inner = scope;
+    for (const std::string& c : comps) {
+      if (!inner.empty()) inner += "::";
+      inner += c;
+    }
+    parse_scope(k + 1, close, inner, file_scoped, true);
+    return close + 1;
+  }
+
+  std::size_t parse_class(std::size_t i, std::size_t end,
+                          const std::string& scope, bool file_scoped) {
+    // Find the class-head name: the last depth-0 identifier before the
+    // body `{`, a base-list `:`, or a terminating `;` (fwd declaration).
+    std::string name;
+    int depth = 0;
+    std::size_t j = i + 1;
+    bool saw_colon = false;
+    for (; j < end; ++j) {
+      const Token& t = toks_[j];
+      if (is_trivia(t)) continue;
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(" || t.text == "<" || t.text == "[") ++depth;
+        if (t.text == ")" || t.text == ">" || t.text == "]") --depth;
+        if (depth <= 0 && t.text == ";") return j + 1;
+        if (depth <= 0 && t.text == "{") break;
+        if (depth <= 0 && t.text == ":") saw_colon = true;
+        continue;
+      }
+      if (depth == 0 && !saw_colon && t.kind == TokenKind::kIdentifier &&
+          t.text != "final" && t.text != "alignas") {
+        name = std::string(t.text);
+      }
+    }
+    if (j >= end) return end;
+    const std::size_t close = match_pair(toks_, j, "{", "}");
+    if (close == kNpos) return end;
+    std::string inner = scope;
+    if (!name.empty()) {
+      if (!inner.empty()) inner += "::";
+      inner += name;
+    }
+    parse_scope(j + 1, close, inner, file_scoped, false);
+    return close + 1;
+  }
+
+  std::size_t handle_paren(std::size_t open, std::size_t end,
+                           std::size_t stmt_start, const std::string& scope,
+                           bool file_scoped, bool namespace_scope) {
+    const std::size_t close = match_pair(toks_, open, "(", ")");
+    if (close == kNpos) return end;
+    const NameParts np = walk_name_back(toks_, open, stmt_start);
+    if (!np.valid) return close + 1;
+
+    // Post-parameter qualifiers, then the decisive token.
+    std::size_t j = next_code(toks_, close);
+    std::size_t body = kNpos;
+    while (j != kNpos && j < end) {
+      const Token& t = toks_[j];
+      if (t.kind == TokenKind::kIdentifier) {
+        if (t.text == "noexcept") {
+          std::size_t k = next_code(toks_, j);
+          if (k != kNpos && is_punct(toks_[k], "(")) {
+            const std::size_t c2 = match_pair(toks_, k, "(", ")");
+            if (c2 == kNpos) return end;
+            k = next_code(toks_, c2);
+          }
+          j = k;
+          continue;
+        }
+        if (t.text == "const" || t.text == "override" ||
+            t.text == "final" || t.text == "try" || t.text == "volatile" ||
+            t.text == "mutable" || t.text == "requires") {
+          j = next_code(toks_, j);
+          continue;
+        }
+        return close + 1;  // `int x(3), y;`-style declarator list, etc.
+      }
+      if (is_punct(toks_[j], "&")) {
+        j = next_code(toks_, j);
+        continue;
+      }
+      if (is_punct(toks_[j], "->")) {
+        // Trailing return type: scan to the body/terminator at depth 0.
+        int depth = 0;
+        std::size_t k = j + 1;
+        for (; k < end; ++k) {
+          const Token& u = toks_[k];
+          if (u.kind != TokenKind::kPunct) continue;
+          if (u.text == "(" || u.text == "[") ++depth;
+          if (u.text == ")" || u.text == "]") --depth;
+          if (depth == 0 && u.text == "{") break;
+          if (depth == 0 && (u.text == ";" || u.text == "=")) {
+            return u.text == ";" ? k + 1 : skip_to_semicolon(k);
+          }
+        }
+        if (k >= end) return end;
+        body = k;
+        break;
+      }
+      if (is_punct(toks_[j], ":")) {
+        // Constructor initializer list: consume `name(...)`/`name{...}`
+        // items until the body brace.
+        std::size_t k = next_code(toks_, j);
+        while (k != kNpos && k < end) {
+          // qualified/templated member-or-base name
+          while (k != kNpos && k < end &&
+                 (toks_[k].kind == TokenKind::kIdentifier ||
+                  is_punct(toks_[k], "::"))) {
+            k = next_code(toks_, k);
+          }
+          if (k != kNpos && k < end && is_punct(toks_[k], "<")) {
+            const std::size_t c2 = match_pair(toks_, k, "<", ">");
+            if (c2 == kNpos) return end;
+            k = next_code(toks_, c2);
+          }
+          if (k == kNpos || k >= end) return end;
+          if (is_punct(toks_[k], "(")) {
+            const std::size_t c2 = match_pair(toks_, k, "(", ")");
+            if (c2 == kNpos) return end;
+            k = next_code(toks_, c2);
+          } else if (is_punct(toks_[k], "{")) {
+            const std::size_t c2 = match_pair(toks_, k, "{", "}");
+            if (c2 == kNpos) return end;
+            k = next_code(toks_, c2);
+          } else {
+            break;
+          }
+          if (k != kNpos && k < end && is_punct(toks_[k], ",")) {
+            k = next_code(toks_, k);
+            continue;
+          }
+          break;
+        }
+        if (k == kNpos || k >= end || !is_punct(toks_[k], "{")) {
+          return k == kNpos ? end : k + 1;
+        }
+        body = k;
+        break;
+      }
+      if (is_punct(toks_[j], "{")) {
+        body = j;
+        break;
+      }
+      if (is_punct(toks_[j], ";")) return j + 1;
+      if (is_punct(toks_[j], "=")) return skip_to_semicolon(j);
+      return close + 1;
+    }
+    if (body == kNpos) return end;
+    const std::size_t body_close = match_pair(toks_, body, "{", "}");
+    if (body_close == kNpos) return end;
+
+    bool static_stmt = false;
+    for (std::size_t k = stmt_start; k < open; ++k) {
+      if (is_ident(toks_[k], "static")) {
+        static_stmt = true;
+        break;
+      }
+    }
+
+    FunctionDef def;
+    std::string full;
+    if (np.absolute || scope.empty()) {
+      full = join_qual(np.parts);
+    } else {
+      full = scope + "::" + join_qual(np.parts);
+    }
+    def.qual = full;
+    def.last = np.parts.back();
+    def.scope = full.size() > def.last.size() + 2
+                    ? full.substr(0, full.size() - def.last.size() - 2)
+                    : "";
+    def.file_scoped =
+        file_scoped || (namespace_scope && static_stmt) || full == "main";
+    def.body_begin = body;
+    def.body_end = body_close;
+    def.line = toks_[np.name_token].line;
+    def.col = toks_[np.name_token].col;
+    out_.defs.push_back(std::move(def));
+    return body_close + 1;
+  }
+
+  const std::vector<Token>& toks_;
+  FileParse& out_;
+};
+
+// ---------------------------------------------------------------------------
+// Body scanner: call sites, lock events, block events.
+
+struct ActiveLock {
+  std::string lock;
+  int depth = 0;           ///< brace depth of the guard declaration
+  std::string guard_var;   ///< empty for manual .lock() acquisitions
+  bool manual = false;     ///< released only by .unlock() or body end
+};
+
+[[nodiscard]] bool guard_type(std::string_view word) {
+  return word == "lock_guard" || word == "unique_lock" ||
+         word == "scoped_lock" || word == "shared_lock";
+}
+
+class BodyScanner {
+ public:
+  BodyScanner(const FileContext& fc, FunctionDef& def,
+              const std::map<std::string, std::string>& aliases)
+      : fc_(fc), toks_(fc.tokens), def_(def), aliases_(aliases) {}
+
+  void scan() {
+    int depth = 0;
+    for (std::size_t i = def_.body_begin + 1; i < def_.body_end; ++i) {
+      const Token& t = toks_[i];
+      if (is_trivia(t)) continue;
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "{") ++depth;
+        if (t.text == "}") {
+          --depth;
+          release_scoped(depth);
+        }
+        continue;
+      }
+      if (t.kind != TokenKind::kIdentifier) continue;
+
+      // `auto f = [..](..) {..};` — calls through f are the lambda body,
+      // which is scanned inline right here; remember the name so the call
+      // sites are not reported as unresolvable externs.
+      {
+        const std::size_t e = next_code(toks_, i);
+        if (e != kNpos && e < def_.body_end && is_punct(toks_[e], "=")) {
+          const std::size_t l = next_code(toks_, e);
+          if (l != kNpos && l < def_.body_end && is_punct(toks_[l], "[")) {
+            lambda_vars_.insert(std::string(t.text));
+          }
+        }
+      }
+      if (guard_type(t.text)) {
+        i = handle_guard_decl(i, depth);
+        continue;
+      }
+      if (t.text == "lock" || t.text == "unlock" || t.text == "try_lock" ||
+          t.text == "wait" || t.text == "wait_for" ||
+          t.text == "wait_until") {
+        if (handle_lock_member(i)) continue;
+        // fall through: not a member call of that shape
+      }
+      if (t.text == "new") {
+        def_.block_events.push_back(
+            {"new", true, i, t.line, t.col, current_held()});
+        continue;
+      }
+      record_call_site(i);
+    }
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::string> current_held() const {
+    std::vector<std::string> held;
+    held.reserve(active_.size());
+    for (const ActiveLock& a : active_) held.push_back(a.lock);
+    std::sort(held.begin(), held.end());
+    held.erase(std::unique(held.begin(), held.end()), held.end());
+    return held;
+  }
+
+  void release_scoped(int depth) {
+    for (std::size_t k = active_.size(); k-- > 0;) {
+      if (!active_[k].manual && active_[k].depth > depth) {
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(k));
+      }
+    }
+  }
+
+  /// Lock identity for a mutex expression (trivia-free token texts).
+  /// A bare member name is qualified with the enclosing scope so every
+  /// method of a class agrees on what `mu_` means; `this->` is stripped
+  /// first; anything compound is recorded as written.
+  [[nodiscard]] std::string lock_id(std::vector<std::string> words) const {
+    if (words.size() >= 2 && words[0] == "this" && words[1] == "->") {
+      words.erase(words.begin(), words.begin() + 2);
+    }
+    if (words.size() == 1) {
+      return def_.scope.empty() ? words[0] : def_.scope + "::" + words[0];
+    }
+    std::string joined;
+    for (const std::string& w : words) joined += w;
+    return joined;
+  }
+
+  std::size_t handle_guard_decl(std::size_t i, int depth) {
+    const bool unique = toks_[i].text == "unique_lock";
+    std::size_t n = next_code(toks_, i);
+    if (n != kNpos && is_punct(toks_[n], "<")) {
+      const std::size_t c = match_pair(toks_, n, "<", ">");
+      if (c == kNpos) return i;
+      n = next_code(toks_, c);
+    }
+    if (n == kNpos || n >= def_.body_end ||
+        toks_[n].kind != TokenKind::kIdentifier) {
+      return i;
+    }
+    const std::string var(toks_[n].text);
+    std::size_t a = next_code(toks_, n);
+    if (a == kNpos || a >= def_.body_end ||
+        !(is_punct(toks_[a], "(") || is_punct(toks_[a], "{"))) {
+      return i;
+    }
+    const bool paren = is_punct(toks_[a], "(");
+    const std::size_t close = paren ? match_pair(toks_, a, "(", ")")
+                                    : match_pair(toks_, a, "{", "}");
+    if (close == kNpos) return i;
+
+    // Split the constructor arguments at top-level commas.
+    std::vector<std::vector<std::string>> args(1);
+    bool defer = false;
+    int d2 = 0;
+    for (std::size_t k = a + 1; k < close; ++k) {
+      const Token& u = toks_[k];
+      if (is_trivia(u)) continue;
+      if (u.kind == TokenKind::kPunct) {
+        if (u.text == "(" || u.text == "{" || u.text == "[" ||
+            u.text == "<") {
+          ++d2;
+        }
+        if (u.text == ")" || u.text == "}" || u.text == "]" ||
+            u.text == ">") {
+          --d2;
+        }
+        if (u.text == "," && d2 == 0) {
+          args.emplace_back();
+          continue;
+        }
+      }
+      if (u.kind == TokenKind::kIdentifier &&
+          (u.text == "defer_lock" || u.text == "try_to_lock")) {
+        defer = true;
+      }
+      args.back().emplace_back(u.text);
+    }
+    // Drop tag arguments (std::defer_lock etc.) from the mutex list.
+    std::vector<std::string> ids;
+    for (const std::vector<std::string>& arg : args) {
+      if (arg.empty()) continue;
+      bool tag = false;
+      for (const std::string& w : arg) {
+        if (w == "defer_lock" || w == "adopt_lock" || w == "try_to_lock") {
+          tag = true;
+        }
+      }
+      if (!tag) ids.push_back(lock_id(arg));
+    }
+    // All mutexes of one scoped_lock/guard acquire against the *same*
+    // held-before set: std::scoped_lock is deadlock-avoiding, so its own
+    // arguments impose no order on each other.
+    const std::vector<std::string> before = current_held();
+    for (const std::string& id : ids) {
+      guards_[var].push_back(id);
+      if (!defer) {
+        def_.lock_events.push_back(
+            {id, i, toks_[i].line, toks_[i].col, before});
+        active_.push_back({id, depth, var, false});
+      } else if (unique) {
+        // defer_lock: the variable owns the mutex but hasn't locked it;
+        // a later var.lock() activates it.
+        guards_[var].push_back(id);
+      }
+    }
+    return close;
+  }
+
+  /// Receiver chain directly before the `.`/`->` at `p`, outermost-first.
+  [[nodiscard]] std::vector<std::string> receiver_words(std::size_t p) const {
+    std::vector<std::string> words;
+    std::size_t q = prev_code(toks_, p);
+    while (q != kNpos && q > def_.body_begin) {
+      const Token& u = toks_[q];
+      if (u.kind == TokenKind::kIdentifier) {
+        words.insert(words.begin(), std::string(u.text));
+        const std::size_t r = prev_code(toks_, q);
+        if (r == kNpos || r <= def_.body_begin) break;
+        if (is_punct(toks_[r], ".") || is_punct(toks_[r], "->") ||
+            is_punct(toks_[r], "::")) {
+          words.insert(words.begin(), std::string(toks_[r].text));
+          q = prev_code(toks_, r);
+          continue;
+        }
+        break;
+      }
+      break;  // `)`/`]` receiver: give up on identity, keep what we have
+    }
+    return words;
+  }
+
+  /// Handles `recv.lock()` / `recv.unlock()` / `cv.wait(lk)` etc.
+  /// Returns true when the token was consumed as a lock/wait member op.
+  bool handle_lock_member(std::size_t i) {
+    const std::size_t p = prev_code(toks_, i);
+    if (p == kNpos || p <= def_.body_begin ||
+        !(is_punct(toks_[p], ".") || is_punct(toks_[p], "->"))) {
+      return false;
+    }
+    const std::size_t n = next_code(toks_, i);
+    if (n == kNpos || n >= def_.body_end || !is_punct(toks_[n], "(")) {
+      return false;
+    }
+    const Token& t = toks_[i];
+    if (t.text == "wait" || t.text == "wait_for" || t.text == "wait_until") {
+      def_.block_events.push_back(
+          {std::string(t.text), false, i, t.line, t.col, current_held()});
+      return true;
+    }
+    const std::vector<std::string> recv = receiver_words(p);
+    std::string id;
+    if (recv.size() == 1 && guards_.count(recv[0]) != 0) {
+      // Operation on a guard variable: affects its underlying mutex.
+      const std::vector<std::string>& ids = guards_.at(recv[0]);
+      if (!ids.empty()) id = ids.front();
+    } else if (!recv.empty()) {
+      id = lock_id(recv);
+    }
+    if (id.empty()) return true;
+    if (t.text == "unlock") {
+      for (std::size_t k = active_.size(); k-- > 0;) {
+        if (active_[k].lock == id) {
+          active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(k));
+          break;
+        }
+      }
+      return true;
+    }
+    // .lock() / .try_lock(): manual acquisition, held until .unlock()
+    // or the end of the body.
+    def_.lock_events.push_back(
+        {id, i, t.line, t.col, current_held()});
+    active_.push_back({id, 0, "", true});
+    return true;
+  }
+
+  void record_call_site(std::size_t i) {
+    const Token& t = toks_[i];
+    if (set_contains(call_keywords(), t.text)) return;
+    if (t.text.substr(0, 8) == "operator") return;
+    static const std::set<std::string, std::less<>> kNotCalls{
+        "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+        "assert",      "co_await",     "co_return",        "co_yield"};
+    if (kNotCalls.find(t.text) != kNotCalls.end()) return;
+    if (lambda_vars_.count(std::string(t.text)) != 0) return;
+    std::size_t n = next_code(toks_, i);
+    if (n != kNpos && n < def_.body_end && is_punct(toks_[n], "<")) {
+      // `f<T>(x)`: peek past the template arguments — but only commit if
+      // a call really follows (otherwise `a < b` would eat the rest).
+      const std::size_t c = match_pair(toks_, n, "<", ">");
+      if (c == kNpos || c >= def_.body_end) return;
+      n = next_code(toks_, c);
+    }
+    if (n == kNpos || n >= def_.body_end || !is_punct(toks_[n], "(")) return;
+
+    const std::size_t p = prev_code(toks_, i);
+    bool member = false;
+    if (p != kNpos && p > def_.body_begin) {
+      if (is_punct(toks_[p], ".") || is_punct(toks_[p], "->")) {
+        const std::size_t r = prev_code(toks_, p);
+        if (r != kNpos && r > def_.body_begin && is_ident(toks_[r], "this")) {
+          member = false;  // this->helper() resolves like helper()
+        } else {
+          member = true;
+        }
+      } else if (toks_[p].kind == TokenKind::kIdentifier &&
+                 !precedes_expression(toks_[p].text) &&
+                 !is_punct(toks_[p], "::")) {
+        // `Foo x(args);` — a declaration, not a call on `x`.
+        if (!set_contains(call_keywords(), toks_[p].text) ||
+            toks_[p].text == "auto") {
+          return;
+        }
+      } else if (is_punct(toks_[p], ">") || is_punct(toks_[p], "&") ||
+                 is_punct(toks_[p], "*")) {
+        return;  // templated declaration / pointer declarator / address-of
+      }
+    }
+
+    CallSite cs;
+    cs.member = member;
+    cs.token = i;
+    cs.line = t.line;
+    cs.col = t.col;
+    cs.held = current_held();
+    if (member) {
+      cs.spelled = std::string(t.text);
+      // A simple-identifier receiver (x.f() / this->x_.f()) can be typed
+      // against the class's field declarations during resolution.
+      std::vector<std::string> recv = receiver_words(p);
+      if (recv.size() >= 2 && recv[0] == "this") {
+        recv.erase(recv.begin(), recv.begin() + 2);
+      }
+      if (recv.size() == 1) cs.recv = recv[0];
+    } else if (p != kNpos && is_punct(toks_[p], "::")) {
+      NameParts np =
+          walk_name_back(toks_, n, def_.body_begin + 1);
+      if (!np.valid) return;
+      // Expand a per-file namespace alias on the head component.
+      const auto it = np.parts.empty()
+                          ? aliases_.end()
+                          : aliases_.find(np.parts.front());
+      if (it != aliases_.end()) {
+        std::vector<std::string> head = split_qual(it->second);
+        np.parts.erase(np.parts.begin());
+        np.parts.insert(np.parts.begin(), head.begin(), head.end());
+      }
+      cs.spelled = (np.absolute ? "::" : "") + join_qual(np.parts);
+    } else {
+      cs.spelled = std::string(t.text);
+    }
+    cs.last = split_qual(cs.spelled).back();
+
+    if (set_contains(blocking_calls(), cs.last)) {
+      def_.block_events.push_back(
+          {cs.spelled, false, i, t.line, t.col, cs.held});
+    }
+    if (set_contains(alloc_calls(), cs.last)) {
+      def_.block_events.push_back(
+          {cs.spelled, true, i, t.line, t.col, cs.held});
+    }
+    def_.calls.push_back(std::move(cs));
+  }
+
+  const FileContext& fc_;
+  const std::vector<Token>& toks_;
+  FunctionDef& def_;
+  const std::map<std::string, std::string>& aliases_;
+  std::vector<ActiveLock> active_;
+  std::map<std::string, std::vector<std::string>> guards_;
+  std::set<std::string> lambda_vars_;
+};
+
+// ---------------------------------------------------------------------------
+// Resolution.
+
+[[nodiscard]] bool std_qualified(const std::string& spelled) {
+  return spelled.size() > 5 && spelled.compare(0, 5, "std::") == 0;
+}
+
+void resolve_sites(ProgramContext& pc) {
+  for (FunctionDef& d : pc.defs) {
+    const std::string& path = pc.files[d.file]->path;
+    for (CallSite& s : d.calls) {
+      if (s.member) {
+        if (set_contains(benign_member_methods(), s.last)) continue;
+        ++pc.call_sites;
+        const auto it = pc.by_last.find(s.last);
+        if (it == pc.by_last.end()) continue;
+        // First choice: type the receiver via the enclosing class's field
+        // declarations (`manager_.connect()` in a ManagerServer method
+        // resolves against CpuManager's `connect` only). When the receiver
+        // cannot be typed, a method name with owners in several classes
+        // resolves to *all* of them — a sound over-approximation (every
+        // candidate body is walked; virtual dispatch is covered by its
+        // whole override set). `ambiguous` records a widened edge.
+        std::string recv_type;
+        if (!s.recv.empty()) {
+          const auto fit = pc.fields.find(d.scope);
+          if (fit != pc.fields.end()) {
+            const auto f2 = fit->second.find(s.recv);
+            if (f2 != fit->second.end()) recv_type = f2->second;
+          }
+        }
+        if (!recv_type.empty()) {
+          std::vector<int> typed;
+          for (const int idx : it->second) {
+            const std::string& sc =
+                pc.defs[static_cast<std::size_t>(idx)].scope;
+            const std::size_t cut = sc.rfind("::");
+            const std::string owner =
+                cut == std::string::npos ? sc : sc.substr(cut + 2);
+            if (owner == recv_type) typed.push_back(idx);
+          }
+          if (!typed.empty()) {
+            s.callees = std::move(typed);
+            ++pc.resolved_edges;
+            continue;
+          }
+        }
+        std::set<std::string> scopes;
+        for (const int idx : it->second) {
+          scopes.insert(pc.defs[static_cast<std::size_t>(idx)].scope);
+        }
+        s.ambiguous = scopes.size() > 1;
+        s.callees = it->second;
+        ++pc.resolved_edges;
+        continue;
+      }
+      if (std_qualified(s.spelled)) continue;
+      const std::vector<std::string> comps = split_qual(s.spelled);
+      if (comps.size() == 1 &&
+          set_contains(hot_benign_externs(), comps[0])) {
+        continue;
+      }
+      ++pc.call_sites;
+      const bool absolute =
+          s.spelled.size() >= 2 && s.spelled.compare(0, 2, "::") == 0;
+      const std::string name =
+          absolute ? s.spelled.substr(2) : s.spelled;
+      // Enclosing scope prefixes, innermost first, then global.
+      std::vector<std::string> prefixes;
+      if (!absolute) {
+        std::vector<std::string> sc = split_qual(d.scope);
+        if (d.scope.empty()) sc.clear();
+        while (!sc.empty()) {
+          prefixes.push_back(join_qual(sc));
+          sc.pop_back();
+        }
+      }
+      prefixes.emplace_back();
+      for (const std::string& prefix : prefixes) {
+        const std::string full =
+            prefix.empty() ? name : prefix + "::" + name;
+        for (const std::string& key :
+             {path + "$" + full, full, path + "$" + full + "::" + comps.back(),
+              full + "::" + comps.back()}) {
+          const auto it = pc.by_qual.find(key);
+          if (it != pc.by_qual.end()) {
+            s.callees = it->second;
+            break;
+          }
+        }
+        if (!s.callees.empty()) break;
+      }
+      if (!s.callees.empty()) ++pc.resolved_edges;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points.
+
+std::string display_name(const FunctionDef& def) {
+  std::string_view q = def.qual;
+  constexpr std::string_view kPrefix = "bbsched::";
+  if (q.substr(0, kPrefix.size()) == kPrefix) q.remove_prefix(kPrefix.size());
+  return std::string(q);
+}
+
+std::string format_chain(const ProgramContext& pc,
+                         const std::vector<int>& chain) {
+  std::string out;
+  for (const int idx : chain) {
+    if (!out.empty()) out += " -> ";
+    out += display_name(pc.defs[static_cast<std::size_t>(idx)]);
+  }
+  return out;
+}
+
+void build_program_context(const std::vector<FileContext>& files,
+                           ProgramContext& pc) {
+  std::vector<FileParse> parses(files.size());
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    pc.files.push_back(&files[fi]);
+    DefParser(files[fi], parses[fi]).parse();
+    for (const auto& [scope, fields] : parses[fi].fields) {
+      pc.fields[scope].insert(fields.begin(), fields.end());
+    }
+
+    // Mutexes declared recursive anywhere in the tree are exempt from the
+    // double-acquisition check (matched by member name).
+    const std::vector<Token>& toks = files[fi].tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is_ident(toks[i], "recursive_mutex") &&
+          !is_ident(toks[i], "recursive_timed_mutex")) {
+        continue;
+      }
+      const std::size_t n = next_code(toks, i);
+      if (n != kNpos && toks[n].kind == TokenKind::kIdentifier) {
+        pc.recursive_locks.insert(std::string(toks[n].text));
+      }
+    }
+  }
+
+  // Collect, mark roots, and sort into the canonical deterministic order.
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    for (FunctionDef& def : parses[fi].defs) {
+      def.file = static_cast<int>(fi);
+      for (const FunctionRange& fr : files[fi].hot_fns) {
+        if (fr.body_begin == def.body_begin) def.hot_root = true;
+      }
+      for (const FunctionRange& fr : files[fi].signal_fns) {
+        if (fr.body_begin == def.body_begin) def.signal_root = true;
+      }
+      pc.defs.push_back(std::move(def));
+    }
+  }
+  std::sort(pc.defs.begin(), pc.defs.end(),
+            [](const FunctionDef& a, const FunctionDef& b) {
+              return std::tie(a.qual, a.file, a.line, a.body_begin) <
+                     std::tie(b.qual, b.file, b.line, b.body_begin);
+            });
+
+  for (std::size_t i = 0; i < pc.defs.size(); ++i) {
+    const FunctionDef& d = pc.defs[i];
+    const std::string key =
+        d.file_scoped
+            ? pc.files[static_cast<std::size_t>(d.file)]->path + "$" + d.qual
+            : d.qual;
+    pc.by_qual[key].push_back(static_cast<int>(i));
+    if (!d.file_scoped) pc.by_last[d.last].push_back(static_cast<int>(i));
+  }
+
+  for (FunctionDef& d : pc.defs) {
+    BodyScanner(*pc.files[static_cast<std::size_t>(d.file)], d,
+                parses[static_cast<std::size_t>(d.file)].aliases)
+        .scan();
+  }
+  resolve_sites(pc);
+}
+
+HotReach compute_hot_reach(const ProgramContext& pc) {
+  HotReach reach;
+  std::deque<int> queue;
+  for (std::size_t i = 0; i < pc.defs.size(); ++i) {
+    if (pc.defs[i].hot_root) {
+      reach.chain[static_cast<int>(i)] = {static_cast<int>(i)};
+      queue.push_back(static_cast<int>(i));
+    }
+  }
+  while (!queue.empty()) {
+    const int d = queue.front();
+    queue.pop_front();
+    for (const CallSite& s : pc.defs[static_cast<std::size_t>(d)].calls) {
+      for (const int c : s.callees) {
+        if (reach.chain.count(c) != 0) continue;
+        std::vector<int> chain = reach.chain.at(d);
+        chain.push_back(c);
+        reach.chain.emplace(c, std::move(chain));
+        queue.push_back(c);
+      }
+    }
+  }
+  return reach;
+}
+
+namespace {
+
+/// The PR 5 per-body hot checks, verbatim, parameterized by location:
+/// allocation calls, new/delete/throw, non-scratch growth, fresh local
+/// containers. `where` carries the call chain for transitive hits.
+void scan_hot_body(const FileContext& fc, std::size_t body_begin,
+                   std::size_t body_end, const std::string& where,
+                   std::vector<Finding>& out) {
+  const std::vector<Token>& toks = fc.tokens;
+  for (std::size_t i = body_begin + 1; i < body_end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+
+    if (t.text == "new" || t.text == "delete") {
+      add_finding(out, "hotpath", fc, t,
+                  "'" + std::string(t.text) + "' in " + where +
+                      " — hot paths must not touch the heap "
+                      "(perf_ticks 0-alloc gate)");
+      continue;
+    }
+    if (t.text == "throw") {
+      add_finding(out, "hotpath", fc, t,
+                  "'throw' in " + where +
+                      " — exceptions allocate and unwind; return an "
+                      "error value instead");
+      continue;
+    }
+    const std::size_t n = next_code(toks, i);
+    const bool called = n != kNpos && n < body_end && is_punct(toks[n], "(");
+    const std::size_t p = prev_code(toks, i);
+    const bool member_access =
+        p != kNpos && (is_punct(toks[p], ".") || is_punct(toks[p], "->"));
+
+    if (called && !member_access && set_contains(alloc_calls(), t.text)) {
+      add_finding(out, "hotpath", fc, t,
+                  "call to '" + std::string(t.text) + "' in " + where +
+                      " — hot paths must not allocate");
+      continue;
+    }
+    if (called && member_access && set_contains(growth_calls(), t.text)) {
+      // Growth on a reused scratch member (trailing-underscore naming
+      // convention) amortizes to zero allocations; anything else is a
+      // fresh buffer per call.
+      const std::size_t recv = prev_code(toks, p);
+      const bool scratch = recv != kNpos &&
+                           toks[recv].kind == TokenKind::kIdentifier &&
+                           !toks[recv].text.empty() &&
+                           toks[recv].text.back() == '_';
+      if (!scratch) {
+        add_finding(
+            out, "hotpath", fc, t,
+            "'" + std::string(t.text) + "' on non-scratch container in " +
+                where +
+                " — only reused scratch members (name_) may grow here");
+      }
+      continue;
+    }
+    if (set_contains(container_types(), t.text) && p != kNpos &&
+        is_punct(toks[p], "::")) {
+      const std::size_t after = skip_template_args(toks, i);
+      if (after != kNpos && after < body_end &&
+          toks[after].kind == TokenKind::kIdentifier &&
+          !statement_is_static(toks, i)) {
+        add_finding(out, "hotpath", fc, toks[after],
+                    "local '" + std::string(t.text) + " " +
+                        std::string(toks[after].text) + "' in " + where +
+                        " — a fresh container per call allocates; use a "
+                        "static thread_local or member scratch buffer");
+      }
+    }
+  }
+}
+
+[[nodiscard]] bool annotation_matched(const ProgramContext& pc, int file,
+                                      const FunctionRange& fr) {
+  for (const FunctionDef& d : pc.defs) {
+    if (d.file == file && d.body_begin == fr.body_begin) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void run_hotpath_transitive(const ProgramContext& pc, const HotReach& hot,
+                            std::vector<Finding>& out) {
+  for (const auto& [idx, chain] : hot.chain) {
+    const FunctionDef& d = pc.defs[static_cast<std::size_t>(idx)];
+    const FileContext& fc = *pc.files[static_cast<std::size_t>(d.file)];
+    const std::string where =
+        chain.size() == 1
+            ? "hot '" + display_name(d) + "'"
+            : "hot chain '" + format_chain(pc, chain) + "'";
+    scan_hot_body(fc, d.body_begin, d.body_end, where, out);
+
+    // Edges the proof cannot follow are findings of their own.
+    for (const CallSite& s : d.calls) {
+      if (s.member) {
+        if (set_contains(benign_member_methods(), s.last)) continue;
+        if (s.callees.empty()) {
+          add_finding(out, "callgraph", fc, fc.tokens[s.token],
+                      "member call '." + s.last +
+                          "' has no in-tree definition in " + where +
+                          " — unknown extern method (or a function-pointer "
+                          "member); allowlist it or justify with "
+                          "bbsched:allow(callgraph)");
+        }
+        continue;
+      }
+      if (!s.callees.empty()) continue;
+      if (std_qualified(s.spelled)) continue;
+      const std::vector<std::string> comps = split_qual(s.spelled);
+      if (comps.size() == 1 && set_contains(hot_benign_externs(), comps[0])) {
+        continue;
+      }
+      // An unresolved Uppercase head is almost always a constructor of a
+      // type whose (compiler-generated) ctor has no in-tree body.
+      if (!comps.back().empty() &&
+          std::isupper(static_cast<unsigned char>(comps.back()[0])) != 0) {
+        continue;
+      }
+      add_finding(out, "callgraph", fc, fc.tokens[s.token],
+                  "cannot resolve call to '" + s.spelled + "' in " + where +
+                      " — extern or function-pointer target outside the "
+                      "benign allowlist; the hot-path proof is blind past "
+                      "this edge (justify with bbsched:allow(callgraph))");
+    }
+  }
+
+  // Annotations whose body the definition parser could not claim (e.g. a
+  // hot lambda) keep the direct single-body check so coverage never
+  // regresses below PR 5.
+  for (std::size_t fi = 0; fi < pc.files.size(); ++fi) {
+    const FileContext& fc = *pc.files[fi];
+    for (const FunctionRange& fr : fc.hot_fns) {
+      if (annotation_matched(pc, static_cast<int>(fi), fr)) continue;
+      const std::string where =
+          fr.name.empty() ? "hot function" : "hot '" + fr.name + "'";
+      scan_hot_body(fc, fr.body_begin, fr.body_end, where, out);
+    }
+  }
+}
+
+void run_signal_transitive(const ProgramContext& pc,
+                           const std::set<std::string>& signal_annotated,
+                           std::vector<Finding>& out) {
+  std::map<int, std::vector<int>> chainof;
+  std::deque<int> queue;
+  for (std::size_t i = 0; i < pc.defs.size(); ++i) {
+    if (pc.defs[i].signal_root) {
+      chainof[static_cast<int>(i)] = {static_cast<int>(i)};
+      queue.push_back(static_cast<int>(i));
+    }
+  }
+  std::vector<int> order;
+  while (!queue.empty()) {
+    const int d = queue.front();
+    queue.pop_front();
+    order.push_back(d);
+    for (const CallSite& s : pc.defs[static_cast<std::size_t>(d)].calls) {
+      if (set_contains(signal_safe_builtin(), s.last)) continue;
+      if (!s.member && signal_annotated.count(s.last) != 0) continue;
+      if (s.callees.empty()) continue;
+      for (const int c : s.callees) {
+        if (chainof.count(c) != 0) continue;
+        std::vector<int> chain = chainof.at(d);
+        chain.push_back(c);
+        chainof.emplace(c, std::move(chain));
+        queue.push_back(c);
+      }
+    }
+  }
+
+  for (const int d : order) {
+    const FunctionDef& def = pc.defs[static_cast<std::size_t>(d)];
+    const FileContext& fc = *pc.files[static_cast<std::size_t>(def.file)];
+    const std::vector<int>& chain = chainof.at(d);
+    const std::string where =
+        chain.size() == 1
+            ? "signal '" + display_name(def) + "'"
+            : "signal chain '" + format_chain(pc, chain) + "'";
+    for (const CallSite& s : def.calls) {
+      if (set_contains(signal_safe_builtin(), s.last)) continue;
+      if (!s.member && signal_annotated.count(s.last) != 0) continue;
+      if (!s.callees.empty()) continue;  // recursed above
+      add_finding(
+          out, "signal", fc, fc.tokens[s.token],
+          "call to '" + s.spelled + "' in " + where +
+              " — not on the async-signal-safe allowlist (mark the callee "
+              "with the signal annotation if it qualifies)");
+    }
+  }
+
+  // Unclaimed signal annotations: the PR 5 direct body check.
+  for (std::size_t fi = 0; fi < pc.files.size(); ++fi) {
+    const FileContext& fc = *pc.files[fi];
+    const std::vector<Token>& toks = fc.tokens;
+    for (const FunctionRange& fn : fc.signal_fns) {
+      if (annotation_matched(pc, static_cast<int>(fi), fn)) continue;
+      for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokenKind::kIdentifier) continue;
+        const std::size_t n = next_code(toks, i);
+        if (n == kNpos || n >= fn.body_end || !is_punct(toks[n], "(")) {
+          continue;
+        }
+        if (set_contains(call_keywords(), t.text)) continue;
+        if (set_contains(signal_safe_builtin(), t.text)) continue;
+        if (signal_annotated.count(std::string(t.text)) != 0) continue;
+        const std::string where =
+            fn.name.empty() ? "signal context" : "signal '" + fn.name + "'";
+        add_finding(
+            out, "signal", fc, t,
+            "call to '" + std::string(t.text) + "' in " + where +
+                " — not on the async-signal-safe allowlist (mark the "
+                "callee with the signal annotation if it qualifies)");
+      }
+    }
+  }
+}
+
+}  // namespace bbsched::analysis::detail

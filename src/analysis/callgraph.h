@@ -1,0 +1,150 @@
+// Cross-translation-unit linker for bbsched_lint: stitches the per-file
+// token streams into one ProgramContext — qualified function definitions,
+// call edges resolved by name + enclosing class/namespace scope, lock
+// acquisitions with the held-lock set at every call site — and rebuilds
+// the hot-path and signal contracts as *transitive* proofs over it.
+//
+// Where PR 5's rules stopped at the annotated body, these walk the call
+// graph from every annotated root: an allocation three TUs away from a
+// `bbsched:hot` function is a finding whose message carries the full call
+// chain (`sim::Engine::tick -> BusModel::resolve -> resize: allocates`).
+// Edges the token-level linker cannot resolve inside that reachability
+// (function pointers, ambiguous virtual dispatch, externs off the benign
+// allowlist) are findings of their own under the `callgraph` rule, so the
+// proof is honest about its blind spots instead of silently partial.
+//
+// Name resolution model (deliberately compiler-free, documented in
+// docs/STATIC_ANALYSIS.md):
+//   - definitions get the scope stack they were parsed under; out-of-line
+//     members contribute their written qualifier (`Engine::tick` inside
+//     `namespace bbsched::sim` defines `bbsched::sim::Engine::tick`);
+//   - template argument lists are dropped from names (`Pool<T>::grow`
+//     defines `Pool::grow`); `operator()` et al. are ordinary names;
+//   - anonymous-namespace / file-static / `main` definitions are keyed by
+//     file, invisible to other TUs;
+//   - unqualified calls resolve innermost-scope-outwards; qualified calls
+//     try each enclosing scope as a prefix (then absolute), with
+//     per-file `namespace x = a::b;` aliases expanded first;
+//   - member calls (`x.f()` / `x->f()`) resolve only when the method name
+//     has exactly one in-tree owner; several owners is virtual-dispatch
+//     territory and is reported (in hot/signal reachability) rather than
+//     guessed.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.h"
+
+namespace bbsched::analysis::detail {
+
+/// One call site inside a function body.
+struct CallSite {
+  std::string spelled;   ///< as written, aliases expanded, no template args
+  std::string last;      ///< last `::` component of `spelled`
+  std::string recv;      ///< single-identifier member-call receiver, if any
+  bool member = false;   ///< receiver.f(...) / receiver->f(...)
+  bool ambiguous = false;  ///< member call with several in-tree owners
+  std::size_t token = 0;   ///< index of the name token in the owning file
+  int line = 0;
+  int col = 0;
+  std::vector<int> callees;       ///< resolved definition indices
+  std::vector<std::string> held;  ///< lock ids held here (sorted, unique)
+};
+
+/// One lock acquisition inside a function body.
+struct LockEvent {
+  std::string lock;  ///< program-wide lock id (scope-qualified member name)
+  std::size_t token = 0;
+  int line = 0;
+  int col = 0;
+  std::vector<std::string> held_before;  ///< locks already held (sorted)
+};
+
+/// A potentially blocking call or an allocation observed in a body.
+/// Recorded even when no lock is held here: the caller may hold one, and
+/// the lock-discipline rule propagates these through the call graph.
+struct BlockEvent {
+  std::string what;   ///< callee name (or `new`)
+  bool alloc = false; ///< allocation rather than a blocking wait
+  std::size_t token = 0;
+  int line = 0;
+  int col = 0;
+  std::vector<std::string> held;  ///< locks held at this site (may be empty)
+};
+
+struct FunctionDef {
+  std::string qual;   ///< logical identity, e.g. `bbsched::sim::Engine::tick`
+  std::string scope;  ///< `qual` minus the last component
+  std::string last;   ///< last component
+  int file = -1;      ///< index into ProgramContext::files
+  bool file_scoped = false;  ///< anon-namespace / file-static / main:
+                             ///< invisible to other TUs
+  std::size_t body_begin = 0;  ///< token index of the opening '{'
+  std::size_t body_end = 0;    ///< token index of the matching '}'
+  int line = 0;
+  int col = 0;
+  bool hot_root = false;     ///< carries a bbsched:hot annotation
+  bool signal_root = false;  ///< carries a bbsched:signal annotation
+  std::vector<CallSite> calls;        ///< body order
+  std::vector<LockEvent> lock_events; ///< body order
+  std::vector<BlockEvent> block_events;  ///< body order
+};
+
+struct ProgramContext {
+  std::vector<const FileContext*> files;  ///< sorted by path
+  std::vector<FunctionDef> defs;          ///< sorted by (qual, file, line)
+  /// Key: `qual` for cross-TU defs, `path + "$" + qual` for file-scoped
+  /// ones (resolution tries the file key first at every scope prefix).
+  std::map<std::string, std::vector<int>> by_qual;
+  std::map<std::string, std::vector<int>> by_last;  ///< cross-TU defs only
+  /// Class scope -> field name -> last component of the declared type,
+  /// harvested from member declarations. Types a member call's receiver:
+  /// `manager_.connect()` inside ManagerServer resolves against the class
+  /// that declared `manager_`, not against every in-tree `connect`.
+  std::map<std::string, std::map<std::string, std::string>> fields;
+  std::set<std::string> recursive_locks;  ///< declared recursive_mutex names
+  std::size_t call_sites = 0;      ///< non-benign call sites
+  std::size_t resolved_edges = 0;  ///< of those, resolved to an in-tree def
+};
+
+/// Links `files` (each already lexed + annotated) into one program.
+/// `files` must outlive the context.
+void build_program_context(const std::vector<FileContext>& files,
+                           ProgramContext& pc);
+
+/// Reachability from the hot roots: def index -> call chain (root first).
+/// Deterministic: roots and edges are walked in sorted-qualified-name
+/// order, and each function keeps the first chain that reached it.
+struct HotReach {
+  std::map<int, std::vector<int>> chain;
+};
+[[nodiscard]] HotReach compute_hot_reach(const ProgramContext& pc);
+
+/// Transitive hot-path rule (allocation/throw/growth anywhere in the
+/// closure of a hot root) plus the `callgraph` rule for edges the walk
+/// cannot prove (unresolved externs, function pointers, ambiguous
+/// member dispatch) inside hot or signal reachability.
+void run_hotpath_transitive(const ProgramContext& pc, const HotReach& hot,
+                            std::vector<Finding>& out);
+
+/// Transitive signal-safety rule: walks resolved edges from every signal
+/// root; each reached body may call only the async-signal-safe allowlist,
+/// other signal-annotated functions, or in-tree functions (recursed).
+/// `signal_annotated` carries the bare names of annotated functions
+/// (tree-wide, the PR 5 escape hatch, still honored).
+void run_signal_transitive(const ProgramContext& pc,
+                           const std::set<std::string>& signal_annotated,
+                           std::vector<Finding>& out);
+
+/// Display name for chains: the qualified name minus the repo-wide
+/// `bbsched::` prefix (file-scoped names keep their `path:` key).
+[[nodiscard]] std::string display_name(const FunctionDef& def);
+
+/// Formats `chain` (def indices) as `a -> b -> c`.
+[[nodiscard]] std::string format_chain(const ProgramContext& pc,
+                                       const std::vector<int>& chain);
+
+}  // namespace bbsched::analysis::detail

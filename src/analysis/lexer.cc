@@ -241,6 +241,31 @@ class Scanner {
                                       (src_.data() + begin));
       return s;
     }
+    // `operator` + symbol is one name: merge the maximal operator symbol
+    // (or the `()` / `[]` pair) into the identifier token. Conversion
+    // operators (`operator bool`) and `operator new/delete` keep their
+    // word form and are not merged.
+    if (word == "operator" && pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '(' && peek(1) == ')') {
+        advance();
+        advance();
+        return finish(t, begin);
+      }
+      if (c == '[' && peek(1) == ']') {
+        advance();
+        advance();
+        return finish(t, begin);
+      }
+      constexpr std::string_view kOperatorChars = "+-*/%^&|~!=<>,";
+      if (kOperatorChars.find(c) != std::string_view::npos) {
+        while (pos_ < src_.size() &&
+               kOperatorChars.find(src_[pos_]) != std::string_view::npos) {
+          advance();
+        }
+        return finish(t, begin);
+      }
+    }
     return finish(t, begin);
   }
 

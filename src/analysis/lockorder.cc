@@ -1,0 +1,252 @@
+// Program-wide lock-discipline rule. See lockorder.h for semantics.
+#include "analysis/lockorder.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace bbsched::analysis::detail {
+
+namespace {
+
+[[nodiscard]] std::string last_component(const std::string& lock) {
+  const std::size_t pos = lock.rfind("::");
+  return pos == std::string::npos ? lock : lock.substr(pos + 2);
+}
+
+[[nodiscard]] bool held_contains(const std::vector<std::string>& held,
+                                 const std::string& lock) {
+  return std::find(held.begin(), held.end(), lock) != held.end();
+}
+
+/// Where one ordered acquisition was witnessed: location plus the call
+/// chain (as display text) leading from the first lock to the second.
+struct Witness {
+  std::string path;
+  int line = 0;
+  int col = 0;
+  std::size_t token = 0;
+  int file = -1;
+  std::string chain;  ///< `f -> g` when the second lock is taken in a callee
+};
+
+/// Per-def transitive acquisition set: lock id -> the call chain (def
+/// indices, this def first) along which the lock is eventually taken.
+using TransAcquires = std::map<std::string, std::vector<int>>;
+
+/// Per-def first transitive blocking/allocating event.
+struct TransBlock {
+  std::string what;
+  bool alloc = false;
+  std::vector<int> chain;  ///< def indices, this def first
+  int line = 0;
+};
+
+}  // namespace
+
+void run_lockorder(const ProgramContext& pc, const HotReach& hot,
+                   std::vector<Finding>& out) {
+  const std::size_t n = pc.defs.size();
+
+  // -------------------------------------------------------------------
+  // Fixpoint 1: which locks does calling def d (with nothing held)
+  // eventually acquire, and along which chain? First chain wins so the
+  // witness text is deterministic (defs are sorted by qualified name).
+  std::vector<TransAcquires> acq(n);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t d = 0; d < n; ++d) {
+      const FunctionDef& def = pc.defs[d];
+      for (const LockEvent& e : def.lock_events) {
+        if (acq[d].count(e.lock) == 0) {
+          acq[d][e.lock] = {static_cast<int>(d)};
+          changed = true;
+        }
+      }
+      for (const CallSite& s : def.calls) {
+        for (const int c : s.callees) {
+          for (const auto& [lock, chain] : acq[static_cast<std::size_t>(c)]) {
+            if (acq[d].count(lock) != 0) continue;
+            std::vector<int> mine{static_cast<int>(d)};
+            mine.insert(mine.end(), chain.begin(), chain.end());
+            acq[d][lock] = std::move(mine);
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Fixpoint 2: does calling def d eventually block or allocate?
+  std::vector<TransBlock> blk(n);
+  std::vector<bool> has_blk(n, false);
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t d = 0; d < n; ++d) {
+      if (has_blk[d]) continue;
+      const FunctionDef& def = pc.defs[d];
+      if (!def.block_events.empty()) {
+        const BlockEvent& e = def.block_events.front();
+        blk[d] = {e.what, e.alloc, {static_cast<int>(d)}, e.line};
+        has_blk[d] = true;
+        changed = true;
+        continue;
+      }
+      for (const CallSite& s : def.calls) {
+        for (const int c : s.callees) {
+          if (!has_blk[static_cast<std::size_t>(c)]) continue;
+          const TransBlock& inner = blk[static_cast<std::size_t>(c)];
+          blk[d].what = inner.what;
+          blk[d].alloc = inner.alloc;
+          blk[d].line = inner.line;
+          blk[d].chain = {static_cast<int>(d)};
+          blk[d].chain.insert(blk[d].chain.end(), inner.chain.begin(),
+                              inner.chain.end());
+          has_blk[d] = true;
+          changed = true;
+          break;
+        }
+        if (has_blk[d]) break;
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // (a) Pairwise acquisition order. An ordered pair (A, B) means some
+  // chain holds A while acquiring B; seeing both (A, B) and (B, A)
+  // program-wide is a deadlock-capable inversion.
+  std::map<std::pair<std::string, std::string>, Witness> pairs;
+  auto note_pair = [&](const std::string& first, const std::string& second,
+                       Witness w) {
+    if (first == second) return;
+    pairs.emplace(std::make_pair(first, second), std::move(w));
+  };
+
+  for (std::size_t d = 0; d < n; ++d) {
+    const FunctionDef& def = pc.defs[d];
+    const FileContext& fc = *pc.files[static_cast<std::size_t>(def.file)];
+    // Direct: a lock event with locks already held.
+    for (const LockEvent& e : def.lock_events) {
+      for (const std::string& held : e.held_before) {
+        note_pair(held, e.lock,
+                  {fc.path, e.line, e.col, e.token, def.file,
+                   display_name(def)});
+      }
+    }
+    // Through calls: holding `held` across a call whose callee
+    // transitively acquires another lock.
+    for (const CallSite& s : def.calls) {
+      if (s.held.empty()) continue;
+      for (const int c : s.callees) {
+        for (const auto& [lock, chain] : acq[static_cast<std::size_t>(c)]) {
+          if (held_contains(s.held, lock)) continue;
+          std::vector<int> full{static_cast<int>(d)};
+          full.insert(full.end(), chain.begin(), chain.end());
+          for (const std::string& held : s.held) {
+            note_pair(held, lock,
+                      {fc.path, s.line, s.col, s.token, def.file,
+                       format_chain(pc, full)});
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& [key, w1] : pairs) {
+    const auto& [a, b] = key;
+    if (a >= b) continue;  // report each inversion once, at the A<B witness
+    const auto rev = pairs.find(std::make_pair(b, a));
+    if (rev == pairs.end()) continue;
+    const Witness& w2 = rev->second;
+    const FileContext& fc = *pc.files[static_cast<std::size_t>(w1.file)];
+    add_finding(out, "lockorder", fc, fc.tokens[w1.token],
+                "lock order inversion between '" + a + "' and '" + b +
+                    "': " + w1.chain + " acquires '" + a + "' then '" + b +
+                    "' (here), but " + w2.chain + " (" + w2.path + ":" +
+                    std::to_string(w2.line) + ") acquires '" + b +
+                    "' then '" + a +
+                    "' — the two interleavings deadlock; pick one global "
+                    "order or merge the critical sections");
+  }
+
+  // -------------------------------------------------------------------
+  // (c) Double acquisition of a non-recursive mutex.
+  auto is_recursive = [&](const std::string& lock) {
+    return pc.recursive_locks.count(last_component(lock)) != 0;
+  };
+  for (std::size_t d = 0; d < n; ++d) {
+    const FunctionDef& def = pc.defs[d];
+    const FileContext& fc = *pc.files[static_cast<std::size_t>(def.file)];
+    for (const LockEvent& e : def.lock_events) {
+      if (!held_contains(e.held_before, e.lock) || is_recursive(e.lock)) {
+        continue;
+      }
+      add_finding(out, "lockorder", fc, fc.tokens[e.token],
+                  "double acquisition of non-recursive mutex '" + e.lock +
+                      "' in '" + display_name(def) +
+                      "' — already held here; this self-deadlocks");
+    }
+    for (const CallSite& s : def.calls) {
+      if (s.held.empty()) continue;
+      bool reported = false;
+      for (const int c : s.callees) {
+        if (reported) break;
+        for (const auto& [lock, chain] : acq[static_cast<std::size_t>(c)]) {
+          if (!held_contains(s.held, lock) || is_recursive(lock)) continue;
+          std::vector<int> full{static_cast<int>(d)};
+          full.insert(full.end(), chain.begin(), chain.end());
+          add_finding(out, "lockorder", fc, fc.tokens[s.token],
+                      "double acquisition of non-recursive mutex '" + lock +
+                          "' along '" + format_chain(pc, full) +
+                          "' — held at this call and re-acquired in the "
+                          "callee; this self-deadlocks");
+          reported = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // (b) Blocking or allocating under a lock, inside hot reachability.
+  for (const auto& [idx, hot_chain] : hot.chain) {
+    const FunctionDef& def = pc.defs[static_cast<std::size_t>(idx)];
+    const FileContext& fc = *pc.files[static_cast<std::size_t>(def.file)];
+    const std::string where =
+        hot_chain.size() == 1
+            ? "hot '" + display_name(def) + "'"
+            : "hot chain '" + format_chain(pc, hot_chain) + "'";
+    std::set<std::size_t> reported_tokens;
+    for (const BlockEvent& e : def.block_events) {
+      if (e.held.empty()) continue;
+      add_finding(out, "lockorder", fc, fc.tokens[e.token],
+                  std::string(e.alloc ? "allocation ('" : "blocking call ('") +
+                      e.what + "') while holding '" + e.held.front() +
+                      "' in " + where +
+                      " — a stalled holder convoys every thread behind the "
+                      "lock");
+      reported_tokens.insert(e.token);
+    }
+    for (const CallSite& s : def.calls) {
+      if (s.held.empty() || reported_tokens.count(s.token) != 0) continue;
+      for (const int c : s.callees) {
+        if (!has_blk[static_cast<std::size_t>(c)]) continue;
+        const TransBlock& inner = blk[static_cast<std::size_t>(c)];
+        std::vector<int> full{idx};
+        full.insert(full.end(), inner.chain.begin(), inner.chain.end());
+        add_finding(
+            out, "lockorder", fc, fc.tokens[s.token],
+            std::string(inner.alloc ? "allocation" : "blocking call") +
+                " ('" + inner.what + "' via '" + format_chain(pc, full) +
+                "') while holding '" + s.held.front() + "' in " + where +
+                " — a stalled holder convoys every thread behind the lock");
+        reported_tokens.insert(s.token);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace bbsched::analysis::detail

@@ -1,0 +1,31 @@
+// Program-wide lock-discipline rule (`lockorder`), built on the
+// ProgramContext call graph:
+//
+//   (a) inconsistent pairwise acquisition order: if any chain acquires
+//       lock A then (transitively) B while another acquires B then A,
+//       one finding is emitted carrying BOTH witness chains — the two
+//       interleavings that deadlock;
+//   (b) blocking calls (syscalls, poll/select, condition-variable waits,
+//       sleeps) and allocations while holding a lock, inside the
+//       transitive closure of hot-annotated roots — a blocked hot path
+//       convoys every thread behind the lock;
+//   (c) double acquisition of a non-recursive mutex along any chain
+//       (direct or through calls) — guaranteed self-deadlock.
+//
+// Lock identity is token-level: a simple member name acquires
+// `<enclosing scope>::name` (so ThreadPool::submit and ThreadPool::drain
+// locking mu_ agree they mean ThreadPool::mu_), compound receivers are
+// recorded as written. Mutexes declared std::recursive_mutex are exempt
+// from (c). All findings are suppressible with bbsched:allow(lockorder).
+#pragma once
+
+#include <vector>
+
+#include "analysis/callgraph.h"
+
+namespace bbsched::analysis::detail {
+
+void run_lockorder(const ProgramContext& pc, const HotReach& hot,
+                   std::vector<Finding>& out);
+
+}  // namespace bbsched::analysis::detail

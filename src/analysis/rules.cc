@@ -6,20 +6,15 @@
 
 namespace bbsched::analysis::detail {
 
-namespace {
-
-constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
-
-[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+bool is_punct(const Token& t, std::string_view text) {
   return t.kind == TokenKind::kPunct && t.text == text;
 }
 
-[[nodiscard]] bool is_ident(const Token& t, std::string_view text) {
+bool is_ident(const Token& t, std::string_view text) {
   return t.kind == TokenKind::kIdentifier && t.text == text;
 }
 
-[[nodiscard]] bool contains(const std::set<std::string>& set,
-                            std::string_view word) {
+bool set_contains(const std::set<std::string>& set, std::string_view word) {
   return set.find(std::string(word)) != set.end();
 }
 
@@ -27,15 +22,12 @@ void add_finding(std::vector<Finding>& out, const char* rule,
                  const FileContext& fc, const Token& at,
                  std::string message) {
   out.push_back(
-      {rule, fc.path, at.line, at.col, std::move(message), false, {}});
+      {rule, fc.path, at.line, at.col, std::move(message), false, false, {}});
 }
 
-/// Matches a bracket pair starting at `open` (token index of the opening
-/// bracket). Returns the index of the closing token, or kNpos.
-[[nodiscard]] std::size_t match_pair(const std::vector<Token>& toks,
-                                     std::size_t open,
-                                     std::string_view open_text,
-                                     std::string_view close_text) {
+std::size_t match_pair(const std::vector<Token>& toks, std::size_t open,
+                       std::string_view open_text,
+                       std::string_view close_text) {
   int depth = 0;
   for (std::size_t i = open; i < toks.size(); ++i) {
     if (is_punct(toks[i], open_text)) {
@@ -47,16 +39,26 @@ void add_finding(std::vector<Finding>& out, const char* rule,
   return kNpos;
 }
 
-/// For a container type name at token `i`, skips an optional template
-/// argument list and returns the index of the first token after the type
-/// (kNpos when the angle brackets never close).
-[[nodiscard]] std::size_t skip_template_args(const std::vector<Token>& toks,
-                                             std::size_t i) {
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t i) {
   std::size_t j = next_code(toks, i);
   if (j == kNpos || !is_punct(toks[j], "<")) return j;
   const std::size_t close = match_pair(toks, j, "<", ">");
   if (close == kNpos) return kNpos;
   return next_code(toks, close);
+}
+
+bool statement_is_static(const std::vector<Token>& toks, std::size_t i) {
+  for (std::size_t j = i; j-- > 0;) {
+    if (is_punct(toks[j], ";") || is_punct(toks[j], "{") ||
+        is_punct(toks[j], "}")) {
+      break;
+    }
+    if (is_ident(toks[j], "static") || is_ident(toks[j], "thread_local")) {
+      return true;
+    }
+  }
+  return false;
 }
 
 const std::set<std::string>& container_types() {
@@ -68,6 +70,130 @@ const std::set<std::string>& container_types() {
       "istringstream", "stringstream", "valarray"};
   return kSet;
 }
+
+const std::set<std::string>& alloc_calls() {
+  static const std::set<std::string> kSet{"malloc",        "calloc",
+                                          "realloc",       "free",
+                                          "aligned_alloc", "posix_memalign",
+                                          "strdup",        "make_unique",
+                                          "make_shared"};
+  return kSet;
+}
+
+const std::set<std::string>& growth_calls() {
+  static const std::set<std::string> kSet{
+      "push_back", "emplace_back", "push_front", "emplace_front", "emplace",
+      "insert",    "resize",       "reserve",    "append"};
+  return kSet;
+}
+
+const std::set<std::string>& signal_safe_builtin() {
+  // The POSIX async-signal-safe subset this codebase actually leans on,
+  // plus lock-free atomic member operations (async-signal-safe per the
+  // C++ memory model) and assert (accepted for invariant checks: it only
+  // runs work on the failure path, where the process is lost anyway).
+  static const std::set<std::string> kSet{
+      // syscalls / libc
+      "write", "read", "open", "close", "fsync", "unlink", "dup", "dup2",
+      "pipe", "poll", "send", "recv", "sendto", "recvfrom", "kill",
+      "raise", "tgkill", "abort", "_exit", "_Exit", "getpid", "getppid",
+      "gettid", "syscall", "waitpid", "nanosleep", "clock_gettime",
+      // signal management
+      "sigaction", "signal", "sigemptyset", "sigfillset", "sigaddset",
+      "sigdelset", "sigismember", "sigsuspend", "sigprocmask",
+      "sigpending", "pthread_kill", "pthread_self", "pthread_sigmask",
+      // string/memory primitives
+      "memcpy", "memmove", "memset", "memcmp", "strlen",
+      // lock-free atomics
+      "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+      "fetch_or", "fetch_xor", "compare_exchange_strong",
+      "compare_exchange_weak", "test_and_set", "notify_one", "notify_all",
+      // invariants
+      "assert"};
+  return kSet;
+}
+
+const std::set<std::string>& call_keywords() {
+  static const std::set<std::string> kSet{
+      "if", "while", "for", "switch", "return", "sizeof", "alignof",
+      "alignas", "catch", "noexcept", "decltype", "defined", "static_assert",
+      "throw", "new", "delete", "typeid", "requires",
+      // primitive / vocabulary type names: function-style casts, not calls
+      "void", "bool", "char", "short", "int", "long", "float", "double",
+      "unsigned", "signed", "auto", "size_t", "ssize_t", "ptrdiff_t",
+      "int8_t", "int16_t", "int32_t", "int64_t", "uint8_t", "uint16_t",
+      "uint32_t", "uint64_t", "uintptr_t", "intptr_t", "time_t", "off_t",
+      "pid_t", "socklen_t"};
+  return kSet;
+}
+
+const std::set<std::string>& blocking_calls() {
+  // Entry points that can park the calling thread: syscalls (raw or via
+  // the faults::sys shim — the last :: component is what the scanner
+  // sees), polling, sleeps, condition-variable waits, fork/exec.
+  static const std::set<std::string> kSet{
+      "read", "write", "send", "recv", "sendmsg", "recvmsg", "sendto",
+      "recvfrom", "accept", "accept4", "connect", "poll", "ppoll",
+      "select", "epoll_wait", "fork", "waitpid", "wait", "wait_for",
+      "wait_until", "sleep", "usleep", "nanosleep", "sleep_for",
+      "sleep_until", "fsync", "fdatasync", "flock", "msync"};
+  return kSet;
+}
+
+const std::set<std::string>& hot_benign_externs() {
+  // Non-allocating externs the hot-path proof accepts without an in-tree
+  // definition. Everything else unresolved inside hot reachability is a
+  // `callgraph` finding: the proof is honest about what it cannot see.
+  static const std::set<std::string> kSet{
+      // libm / numeric
+      "abs", "labs", "llabs", "fabs", "sqrt", "cbrt", "pow", "exp", "exp2",
+      "log", "log2", "log10", "floor", "ceil", "round", "lround", "llround",
+      "trunc", "fmod", "fmin", "fmax", "hypot", "isnan", "isinf",
+      "isfinite", "copysign", "ldexp", "frexp",
+      // <algorithm>/<utility> (non-allocating forms used on scratch)
+      "min", "max", "clamp", "swap", "move", "forward", "get", "tie",
+      "distance", "advance", "lower_bound", "upper_bound", "binary_search",
+      "sort", "stable_sort", "partial_sort", "nth_element", "fill",
+      "fill_n", "copy", "copy_n", "accumulate", "reduce", "find",
+      "find_if", "count", "count_if", "all_of", "any_of", "none_of",
+      "max_element", "min_element", "remove_if", "rotate", "reverse",
+      "iota", "exchange", "begin", "end", "size", "data", "empty",
+      // formatted output into caller buffers + byte ops + classification
+      "snprintf", "sscanf", "strcmp", "strncmp", "strchr", "strrchr",
+      "strtol", "strtoul", "strtoull", "strtod", "isspace", "isdigit",
+      "isalpha", "isalnum", "tolower", "toupper",
+      // byte-order helpers
+      "htons", "htonl", "ntohs", "ntohl"};
+  return kSet;
+}
+
+const std::set<std::string>& benign_member_methods() {
+  // Method names owned by the standard library in practice: the member
+  // resolver never binds these to in-tree definitions, and the hot walk
+  // treats them as non-escaping (growth/alloc members are still caught by
+  // the token-level hot-path scan).
+  static const std::set<std::string> kSet{
+      // containers / views
+      "size", "length", "empty", "clear", "assign", "reserve", "resize",
+      "push_back", "emplace_back", "pop_back", "push_front", "pop_front",
+      "front", "back", "data", "c_str", "str", "at", "find", "rfind",
+      "count", "contains", "erase", "insert", "emplace", "swap", "begin",
+      "end", "cbegin", "cend", "rbegin", "rend", "substr", "compare",
+      "append", "capacity", "shrink_to_fit", "fill", "splice",
+      // atomics
+      "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+      "fetch_or", "fetch_xor", "compare_exchange_strong",
+      "compare_exchange_weak", "test_and_set", "notify_one", "notify_all",
+      // smart pointers / optionals / streams
+      "reset", "release", "value", "value_or", "has_value", "emplace_hint",
+      "good", "bad", "fail", "eof", "flush", "open", "close", "is_open",
+      "rdbuf", "tellp", "tellg", "seekp", "seekg", "getline", "put",
+      "first", "second", "native_handle", "joinable", "join", "detach",
+      "get_id", "time_since_epoch", "count"};
+  return kSet;
+}
+
+namespace {
 
 const std::set<std::string>& unordered_types() {
   static const std::set<std::string> kSet{
@@ -99,7 +225,7 @@ void build_file_context(const std::string& path, const std::string& content,
   fc.annotations = parse_annotations(fc.tokens, known_rules());
   for (const AnnotationDiag& d : fc.annotations.diags) {
     findings.push_back(
-        {"annotation", fc.path, d.line, d.col, d.message, false, {}});
+        {"annotation", fc.path, d.line, d.col, d.message, false, false, {}});
   }
 
   const std::vector<Token>& toks = fc.tokens;
@@ -124,6 +250,7 @@ void build_file_context(const std::string& path, const std::string& content,
       findings.push_back({"annotation", fc.path, a.line, a.col,
                           "hot/signal annotation attaches to no function "
                           "body — place it directly above the definition",
+                          false,
                           false,
                           {}});
       continue;
@@ -150,7 +277,7 @@ void build_file_context(const std::string& path, const std::string& content,
   for (std::size_t i = 0; i < toks.size(); ++i) {
     if (toks[i].kind != TokenKind::kIdentifier) continue;
     if (toks[i].text == "atomic") fc.has_atomic_decl = true;
-    if (!contains(unordered_types(), toks[i].text)) continue;
+    if (!set_contains(unordered_types(), toks[i].text)) continue;
     const std::size_t after = skip_template_args(toks, i);
     if (after != kNpos && toks[after].kind == TokenKind::kIdentifier) {
       fc.unordered_names.insert(std::string(toks[after].text));
@@ -192,14 +319,14 @@ void run_determinism(const FileContext& fc,
     const bool member_access =
         p != kNpos && (is_punct(toks[p], ".") || is_punct(toks[p], "->"));
 
-    if (contains(banned_idents(), t.text) && !member_access) {
+    if (set_contains(banned_idents(), t.text) && !member_access) {
       add_finding(out, "determinism", fc, t,
                   "'" + std::string(t.text) +
                       "' in a policy path — elections must replay "
                       "bit-identically from the seed");
       continue;
     }
-    if (contains(banned_calls(), t.text) && !member_access) {
+    if (set_contains(banned_calls(), t.text) && !member_access) {
       const std::size_t n = next_code(toks, i);
       if (n != kNpos && is_punct(toks[n], "(")) {
         add_finding(out, "determinism", fc, t,
@@ -231,7 +358,7 @@ void run_determinism(const FileContext& fc,
       if (colon == kNpos) continue;
       for (std::size_t j = colon + 1; j < close; ++j) {
         if (toks[j].kind == TokenKind::kIdentifier &&
-            contains(unordered_names, toks[j].text)) {
+            set_contains(unordered_names, toks[j].text)) {
           add_finding(out, "determinism", fc, toks[j],
                       "iteration over unordered container '" +
                           std::string(toks[j].text) +
@@ -242,7 +369,7 @@ void run_determinism(const FileContext& fc,
       }
       continue;
     }
-    if (contains(unordered_names, t.text)) {
+    if (set_contains(unordered_names, t.text)) {
       const std::size_t dot = next_code(toks, i);
       if (dot == kNpos ||
           !(is_punct(toks[dot], ".") || is_punct(toks[dot], "->"))) {
@@ -256,182 +383,6 @@ void run_determinism(const FileContext& fc,
                         ".begin()' walks an unordered container — hash "
                         "order is not deterministic");
       }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// hotpath
-
-namespace {
-
-const std::set<std::string>& alloc_calls() {
-  static const std::set<std::string> kSet{"malloc",        "calloc",
-                                          "realloc",       "free",
-                                          "aligned_alloc", "posix_memalign",
-                                          "strdup",        "make_unique",
-                                          "make_shared"};
-  return kSet;
-}
-
-const std::set<std::string>& growth_calls() {
-  static const std::set<std::string> kSet{
-      "push_back", "emplace_back", "push_front", "emplace_front", "emplace",
-      "insert",    "resize",       "reserve",    "append"};
-  return kSet;
-}
-
-/// True when the statement containing token `i` begins with a storage
-/// qualifier that makes a container declaration reuse-safe.
-[[nodiscard]] bool statement_is_static(const std::vector<Token>& toks,
-                                       std::size_t i) {
-  for (std::size_t j = i; j-- > 0;) {
-    if (is_punct(toks[j], ";") || is_punct(toks[j], "{") ||
-        is_punct(toks[j], "}")) {
-      break;
-    }
-    if (is_ident(toks[j], "static") || is_ident(toks[j], "thread_local")) {
-      return true;
-    }
-  }
-  return false;
-}
-
-}  // namespace
-
-void run_hotpath(const FileContext& fc, std::vector<Finding>& out) {
-  const std::vector<Token>& toks = fc.tokens;
-  for (const FunctionRange& fn : fc.hot_fns) {
-    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
-      const Token& t = toks[i];
-      if (t.kind != TokenKind::kIdentifier) continue;
-      const std::string where =
-          fn.name.empty() ? "hot function" : "hot '" + fn.name + "'";
-
-      if (t.text == "new" || t.text == "delete") {
-        add_finding(out, "hotpath", fc, t,
-                    "'" + std::string(t.text) + "' in " + where +
-                        " — hot paths must not touch the heap "
-                        "(perf_ticks 0-alloc gate)");
-        continue;
-      }
-      if (t.text == "throw") {
-        add_finding(out, "hotpath", fc, t,
-                    "'throw' in " + where +
-                        " — exceptions allocate and unwind; return an "
-                        "error value instead");
-        continue;
-      }
-      const std::size_t n = next_code(toks, i);
-      const bool called = n != kNpos && n < fn.body_end &&
-                          is_punct(toks[n], "(");
-      const std::size_t p = prev_code(toks, i);
-      const bool member_access =
-          p != kNpos && (is_punct(toks[p], ".") || is_punct(toks[p], "->"));
-
-      if (called && !member_access && contains(alloc_calls(), t.text)) {
-        add_finding(out, "hotpath", fc, t,
-                    "call to '" + std::string(t.text) + "' in " + where +
-                        " — hot paths must not allocate");
-        continue;
-      }
-      if (called && member_access && contains(growth_calls(), t.text)) {
-        // Growth on a reused scratch member (trailing-underscore naming
-        // convention) amortizes to zero allocations; anything else is a
-        // fresh buffer per call.
-        const std::size_t recv = prev_code(toks, p);
-        const bool scratch = recv != kNpos &&
-                             toks[recv].kind == TokenKind::kIdentifier &&
-                             !toks[recv].text.empty() &&
-                             toks[recv].text.back() == '_';
-        if (!scratch) {
-          add_finding(
-              out, "hotpath", fc, t,
-              "'" + std::string(t.text) + "' on non-scratch container in " +
-                  where +
-                  " — only reused scratch members (name_) may grow here");
-        }
-        continue;
-      }
-      if (contains(container_types(), t.text) && p != kNpos &&
-          is_punct(toks[p], "::")) {
-        const std::size_t after = skip_template_args(toks, i);
-        if (after != kNpos && after < fn.body_end &&
-            toks[after].kind == TokenKind::kIdentifier &&
-            !statement_is_static(toks, i)) {
-          add_finding(out, "hotpath", fc, toks[after],
-                      "local '" + std::string(t.text) + " " +
-                          std::string(toks[after].text) + "' in " + where +
-                          " — a fresh container per call allocates; use a "
-                          "static thread_local or member scratch buffer");
-        }
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// signal
-
-namespace {
-
-const std::set<std::string>& signal_safe_builtin() {
-  // The POSIX async-signal-safe subset this codebase actually leans on,
-  // plus lock-free atomic member operations (async-signal-safe per the
-  // C++ memory model) and assert (accepted for invariant checks: it only
-  // runs work on the failure path, where the process is lost anyway).
-  static const std::set<std::string> kSet{
-      // syscalls / libc
-      "write", "read", "open", "close", "fsync", "unlink", "dup", "dup2",
-      "pipe", "poll", "send", "recv", "sendto", "recvfrom", "kill",
-      "raise", "tgkill", "abort", "_exit", "_Exit", "getpid", "getppid",
-      "gettid", "syscall", "waitpid", "nanosleep", "clock_gettime",
-      // signal management
-      "sigaction", "signal", "sigemptyset", "sigfillset", "sigaddset",
-      "sigdelset", "sigismember", "sigsuspend", "sigprocmask",
-      "sigpending", "pthread_kill", "pthread_self", "pthread_sigmask",
-      // string/memory primitives
-      "memcpy", "memmove", "memset", "memcmp", "strlen",
-      // lock-free atomics
-      "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
-      "fetch_or", "fetch_xor", "compare_exchange_strong",
-      "compare_exchange_weak", "test_and_set", "notify_one", "notify_all",
-      // invariants
-      "assert"};
-  return kSet;
-}
-
-const std::set<std::string>& call_keywords() {
-  static const std::set<std::string> kSet{
-      "if", "while", "for", "switch", "return", "sizeof", "alignof",
-      "catch", "noexcept", "decltype", "defined"};
-  return kSet;
-}
-
-}  // namespace
-
-void run_signal(const FileContext& fc,
-                const std::set<std::string>& signal_safe_fns,
-                std::vector<Finding>& out) {
-  const std::vector<Token>& toks = fc.tokens;
-  for (const FunctionRange& fn : fc.signal_fns) {
-    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
-      const Token& t = toks[i];
-      if (t.kind != TokenKind::kIdentifier) continue;
-      const std::size_t n = next_code(toks, i);
-      if (n == kNpos || n >= fn.body_end || !is_punct(toks[n], "(")) {
-        continue;
-      }
-      if (contains(call_keywords(), t.text)) continue;
-      if (contains(signal_safe_builtin(), t.text)) continue;
-      if (contains(signal_safe_fns, t.text)) continue;
-      const std::string where =
-          fn.name.empty() ? "signal context" : "signal '" + fn.name + "'";
-      add_finding(
-          out, "signal", fc, t,
-          "call to '" + std::string(t.text) + "' in " + where +
-              " — not on the async-signal-safe allowlist (mark the callee "
-              "with the signal annotation if it qualifies)");
     }
   }
 }
@@ -479,7 +430,7 @@ void run_atomics(const FileContext& fc, std::vector<Finding>& out) {
       continue;
     }
     if (t.kind != TokenKind::kIdentifier ||
-        !contains(atomic_ops(), t.text)) {
+        !set_contains(atomic_ops(), t.text)) {
       continue;
     }
     const std::size_t p = prev_code(toks, i);
@@ -549,7 +500,7 @@ void run_sysfail(const FileContext& fc, std::vector<Finding>& out) {
     }
     const std::size_t name = next_code(toks, i);
     if (name == kNpos || toks[name].kind != TokenKind::kIdentifier ||
-        !contains(shimmed_syscalls(), toks[name].text)) {
+        !set_contains(shimmed_syscalls(), toks[name].text)) {
       continue;
     }
     const std::size_t open = next_code(toks, name);
@@ -648,6 +599,7 @@ void run_catalog(const FileContext& events, const FileContext& exporter,
                  std::to_string(required) +
                  " — every event kind must export (docs/OBSERVABILITY.md)",
              false,
+             false,
              {}});
       }
       if (is_event_type && doc_text != nullptr) {
@@ -660,6 +612,7 @@ void run_catalog(const FileContext& events, const FileContext& exporter,
                          enum_name + "::" + e.name + " has no '" + heading +
                              "' entry in the observability doc — the event "
                              "catalog must stay complete",
+                         false,
                          false,
                          {}});
         }

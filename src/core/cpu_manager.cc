@@ -432,8 +432,8 @@ const ElectionResult& CpuManager::schedule_quantum(int nprocs,
     }
   }
   if (predictive) {
-    result_ = elect_predictive(candidates, nprocs, cfg_.predictor,
-                               cfg_.predictive_objective);
+    elect_predictive_into(candidates, nprocs, cfg_.predictor,
+                          cfg_.predictive_objective, result_);
   } else if (use_credit) {
     credit_.elect(candidates, nprocs, cfg_.total_bus_bw_tps, rule,
                   tracing ? &audit_ : nullptr, result_);

@@ -28,7 +28,10 @@ ContentionPredictor::Prediction ContentionPredictor::predict(
   if (n == 0) return out;
 
   double total_demand = 0.0;
-  std::vector<double> alphas(n, 0.0);
+  // Reused scratch: predictions run inside the election inner loop, which
+  // must not touch the heap once capacities stabilize (election.cc idiom).
+  static thread_local std::vector<double> alphas;
+  alphas.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     total_demand += demands[i];
     alphas[i] = alpha(demands[i]);
@@ -95,24 +98,37 @@ double score(const ContentionPredictor& predictor,
 
 }  // namespace
 
-ElectionResult elect_predictive(const std::vector<Candidate>& candidates,
-                                int nprocs, const PredictorConfig& cfg,
-                                PredictiveObjective objective) {
+void elect_predictive_into(const std::vector<Candidate>& candidates,
+                           int nprocs, const PredictorConfig& cfg,
+                           PredictiveObjective objective,
+                           ElectionResult& out) {
   assert(nprocs >= 0);
   const ContentionPredictor predictor(cfg);
 
-  ElectionResult out;
+  out.elected.clear();
   out.idle_procs = nprocs;
-  std::vector<bool> taken(candidates.size(), false);
-  std::vector<double> demands;  // per-thread demands of the growing gang
+  out.allocated_bw = 0.0;
+
+  // Reused scratch: per-quantum elections must not touch the heap once
+  // the buffers reached the candidate-list length (election.cc idiom).
+  static thread_local std::vector<char> taken;
+  static thread_local std::vector<double> demands;
+  static thread_local std::vector<double> trial;
+  taken.assign(candidates.size(), 0);
+  demands.clear();
 
   auto allocate = [&](std::size_t idx) {
     const Candidate& c = candidates[idx];
-    taken[idx] = true;
+    taken[idx] = 1;
+    // Capacity stabilizes after the first quantum:
+    // bbsched:allow(hotpath): out.elected is the caller's reused result buffer
     out.elected.push_back(c.app_id);
     out.idle_procs -= c.nthreads;
     out.allocated_bw += c.bbw_per_thread * static_cast<double>(c.nthreads);
-    for (int t = 0; t < c.nthreads; ++t) demands.push_back(c.bbw_per_thread);
+    for (int t = 0; t < c.nthreads; ++t) {
+      // bbsched:allow(hotpath): demands is reused thread-local scratch
+      demands.push_back(c.bbw_per_thread);
+    }
   };
 
   // Head-of-list default allocation (starvation freedom, as in Eq. 1).
@@ -130,9 +146,10 @@ ElectionResult elect_predictive(const std::vector<Candidate>& candidates,
     double best_score = current;
     std::size_t best_idx = candidates.size();
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (taken[i] || candidates[i].nthreads > out.idle_procs) continue;
-      std::vector<double> trial = demands;
+      if (taken[i] != 0 || candidates[i].nthreads > out.idle_procs) continue;
+      trial.assign(demands.begin(), demands.end());
       for (int t = 0; t < candidates[i].nthreads; ++t) {
+        // bbsched:allow(hotpath): trial is reused thread-local scratch
         trial.push_back(candidates[i].bbw_per_thread);
       }
       const double s = score(predictor, trial, objective);
@@ -144,6 +161,13 @@ ElectionResult elect_predictive(const std::vector<Candidate>& candidates,
     if (best_idx == candidates.size()) break;  // nothing improves: stop
     allocate(best_idx);
   }
+}
+
+ElectionResult elect_predictive(const std::vector<Candidate>& candidates,
+                                int nprocs, const PredictorConfig& cfg,
+                                PredictiveObjective objective) {
+  ElectionResult out;
+  elect_predictive_into(candidates, nprocs, cfg, objective, out);
   return out;
 }
 

@@ -79,7 +79,16 @@ enum class PredictiveObjective {
 [[nodiscard]] const char* to_string(PredictiveObjective objective);
 
 /// Model-driven gang election: head-of-list default, then greedy additions
-/// while the objective improves.
+/// while the objective improves. Writes into `out` (cleared first), which
+/// the caller reuses across quanta so steady-state elections are
+/// allocation-free — the same contract as elect_into().
+void elect_predictive_into(
+    const std::vector<Candidate>& candidates, int nprocs,
+    const PredictorConfig& cfg, PredictiveObjective objective,
+    ElectionResult& out);
+
+/// By-value convenience wrapper (tests, offline tools): allocates a fresh
+/// result per call, so keep it off hot paths.
 [[nodiscard]] ElectionResult elect_predictive(
     const std::vector<Candidate>& candidates, int nprocs,
     const PredictorConfig& cfg,

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full local gate: build + lint + test across the sanitizer matrix.
+# Full local gate: build + lint + baseline freshness + test across the
+# sanitizer matrix.
 #
 #   tools/check.sh            # plain, thread, address, undefined
 #   tools/check.sh plain tsan # subset: plain + thread
@@ -13,8 +14,11 @@
 # refuses to run ("starting new threads after multi-threaded fork is not
 # supported"). The syschaos label stays fork-free by construction
 # (tests/CMakeLists.txt), so TSan runs it in full.
-# Stops on the first failure.
-set -euo pipefail
+#
+# Legs continue past failures so one run reports every broken
+# configuration; the summary table at the end shows per-leg results and
+# the exit code is nonzero if ANY leg failed.
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -24,6 +28,58 @@ if [ ${#configs[@]} -eq 0 ]; then
   configs=(plain thread address undefined)
 fi
 
+legs=()      # "<config>/<step>" per leg, in run order
+results=()   # "ok" | "FAIL" | "skip", same index
+
+run_leg() {  # run_leg <config> <step> <cmd...>
+  local cfg="$1" step="$2"
+  shift 2
+  echo "==> [$cfg] $step"
+  if "$@"; then
+    legs+=("$cfg/$step"); results+=("ok")
+    return 0
+  fi
+  legs+=("$cfg/$step"); results+=("FAIL")
+  return 1
+}
+
+skip_leg() {  # skip_leg <config> <step> <why>
+  echo "==> [$1] $2 skipped ($3)"
+  legs+=("$1/$2"); results+=("skip")
+}
+
+# The committed ratchet baseline must match what --update-baseline would
+# write today: a stale file hides drift in both directions (fixed findings
+# that should leave the baseline, or hand-edits that never matched a real
+# finding). Regenerate to a temp file and diff.
+baseline_fresh() {  # baseline_fresh <builddir>
+  local dir="$1" tmp
+  tmp=$(mktemp) || return 1
+  if ! "$dir/tools/bbsched_lint" --root="$PWD" \
+      --compdb="$dir/compile_commands.json" \
+      --baseline="$tmp" --update-baseline >/dev/null; then
+    rm -f "$tmp"
+    return 1
+  fi
+  if ! diff -u lint_baseline.json "$tmp"; then
+    echo "lint_baseline.json is stale: regenerate with" >&2
+    echo "  $dir/tools/bbsched_lint --root=. --compdb=$dir/compile_commands.json --baseline=lint_baseline.json --update-baseline" >&2
+    rm -f "$tmp"
+    return 1
+  fi
+  rm -f "$tmp"
+}
+
+ctest_leg() {  # ctest_leg <builddir> [label-regex]
+  local dir="$1" labels="${2-}"
+  if [ -n "$labels" ]; then
+    (cd "$dir" && ctest --output-on-failure -j "$jobs" -L "$labels")
+  else
+    (cd "$dir" && ctest --output-on-failure -j "$jobs")
+  fi
+}
+
+checked_fresh=0
 for cfg in "${configs[@]}"; do
   case "$cfg" in
     plain)               sanitize="" ;;
@@ -33,21 +89,39 @@ for cfg in "${configs[@]}"; do
     *) echo "check.sh: unknown configuration '$cfg'" >&2; exit 2 ;;
   esac
   dir="build-check-$cfg"
-  echo "==> [$cfg] configure"
-  cmake -S . -B "$dir" -DBBSCHED_SANITIZE="$sanitize" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  echo "==> [$cfg] build"
-  cmake --build "$dir" -j "$jobs"
-  echo "==> [$cfg] lint"
-  "$dir/tools/bbsched_lint" --root="$PWD"
-  echo "==> [$cfg] opt_solve fixtures"
-  "$dir/tools/opt_solve" --self-check
-  echo "==> [$cfg] ctest"
+
+  run_leg "$cfg" configure \
+    cmake -S . -B "$dir" -DBBSCHED_SANITIZE="$sanitize" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo || { skip_leg "$cfg" build "configure failed"; continue; }
+  run_leg "$cfg" build cmake --build "$dir" -j "$jobs" \
+    || { skip_leg "$cfg" lint "build failed"; continue; }
+
+  run_leg "$cfg" lint \
+    "$dir/tools/bbsched_lint" --root="$PWD" \
+      --compdb="$dir/compile_commands.json" --baseline=lint_baseline.json || true
+  # Freshness is configuration-independent; check it once.
+  if [ "$checked_fresh" -eq 0 ]; then
+    checked_fresh=1
+    run_leg "$cfg" baseline-fresh baseline_fresh "$dir" || true
+  fi
+  run_leg "$cfg" opt_solve "$dir/tools/opt_solve" --self-check || true
+
   case "$cfg" in
-    plain)  (cd "$dir" && ctest --output-on-failure -j "$jobs") ;;
-    thread) (cd "$dir" && ctest --output-on-failure -j "$jobs" -L 'chaos|fuzz|lint|syschaos') ;;
-    *)      (cd "$dir" && ctest --output-on-failure -j "$jobs" -L 'chaos|soak|fuzz|lint|syschaos') ;;
+    plain)  run_leg "$cfg" ctest ctest_leg "$dir" || true ;;
+    thread) run_leg "$cfg" ctest ctest_leg "$dir" 'chaos|fuzz|lint|syschaos' || true ;;
+    *)      run_leg "$cfg" ctest ctest_leg "$dir" 'chaos|soak|fuzz|lint|syschaos' || true ;;
   esac
 done
 
-echo "==> all configurations passed: ${configs[*]}"
+echo
+echo "==> summary"
+failed=0
+for i in "${!legs[@]}"; do
+  printf '  %-28s %s\n' "${legs[$i]}" "${results[$i]}"
+  [ "${results[$i]}" = "FAIL" ] && failed=1
+done
+if [ "$failed" -ne 0 ]; then
+  echo "==> FAILED legs above"
+  exit 1
+fi
+echo "==> all legs passed: ${configs[*]}"
